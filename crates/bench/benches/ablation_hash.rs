@@ -1,0 +1,111 @@
+//! Ablation: site-placement schemes.
+//!
+//! The paper's related-work section criticizes pure hashing for its
+//! behaviour under elastic membership ("the functions themselves may have
+//! to be changed ... tremendous metadata migrations"). This bench
+//! quantifies the trade-off: lookup cost per scheme and vnode count, and
+//! (printed once at startup) the key-migration fraction when a site joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geometa_core::hash::{
+    migration_fraction, ConsistentRing, Rendezvous, SitePlacer, UniformHash,
+};
+use geometa_sim::topology::SiteId;
+use std::hint::black_box;
+
+fn sites(n: u16) -> Vec<SiteId> {
+    (0..n).map(SiteId).collect()
+}
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("bench/w{}/file{}", i % 16, i)).collect()
+}
+
+fn report_migration() {
+    let ks = keys(50_000);
+    let uniform_before = UniformHash::new(sites(4));
+    let uniform_after = UniformHash::new(sites(5));
+    let ring_before = ConsistentRing::new(sites(4), 128);
+    let mut ring_after = ring_before.clone();
+    ring_after.add_site(SiteId(4));
+    let rdv_before = Rendezvous::new(sites(4));
+    let mut rdv_after = rdv_before.clone();
+    rdv_after.add_site(SiteId(4));
+    eprintln!("--- key migration when a 5th site joins (ideal = 20%) ---");
+    eprintln!(
+        "uniform mod-hash : {:5.1}%",
+        migration_fraction(&uniform_before, &uniform_after, &ks) * 100.0
+    );
+    eprintln!(
+        "consistent ring  : {:5.1}%",
+        migration_fraction(&ring_before, &ring_after, &ks) * 100.0
+    );
+    eprintln!(
+        "rendezvous       : {:5.1}%",
+        migration_fraction(&rdv_before, &rdv_after, &ks) * 100.0
+    );
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    report_migration();
+    let ks = keys(10_000);
+    let mut group = c.benchmark_group("placer_lookup_10k_keys");
+    group.bench_function("uniform_mod_hash", |b| {
+        let p = UniformHash::new(sites(4));
+        b.iter(|| {
+            for k in &ks {
+                black_box(p.owner(k));
+            }
+        })
+    });
+    for vnodes in [16usize, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("consistent_ring", vnodes),
+            &vnodes,
+            |b, &v| {
+                let p = ConsistentRing::new(sites(4), v);
+                b.iter(|| {
+                    for k in &ks {
+                        black_box(p.owner(k));
+                    }
+                })
+            },
+        );
+    }
+    for n in [4u16, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("rendezvous", n), &n, |b, &n| {
+            let p = Rendezvous::new(sites(n));
+            b.iter(|| {
+                for k in &ks {
+                    black_box(p.owner(k));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership_change(c: &mut Criterion) {
+    c.bench_function("ring_add_remove_site", |b| {
+        b.iter(|| {
+            let mut ring = ConsistentRing::new(sites(4), 128);
+            ring.add_site(SiteId(4));
+            ring.remove_site(SiteId(0));
+            black_box(ring.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = ablation_hash;
+    config = fast();
+    targets = bench_lookup, bench_membership_change
+}
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(ablation_hash);

@@ -1,0 +1,96 @@
+//! Ablation: lazy (batched) vs eager (per-entry) metadata propagation.
+//!
+//! Paper §III-D argues for "batches of updates for multiple files" over
+//! "file-level eager metadata updates across datacenters". The bench
+//! measures the batcher itself and prints the message-count saving — the
+//! quantity that turns into WAN round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geometa_core::entry::{FileLocation, RegistryEntry};
+use geometa_core::lazy::LazyBatcher;
+use geometa_sim::time::{SimDuration, SimTime};
+use geometa_sim::topology::SiteId;
+use std::hint::black_box;
+
+fn entry(i: u32) -> RegistryEntry {
+    RegistryEntry::new(
+        format!("f{i}"),
+        190 * 1024,
+        FileLocation {
+            site: SiteId(0),
+            node: i,
+        },
+        i as u64,
+    )
+}
+
+fn report_message_saving() {
+    let updates = 10_000u32;
+    for batch in [1usize, 16, 64, 256] {
+        let mut b = LazyBatcher::new(batch, SimDuration::from_millis(500));
+        let mut messages = 0u64;
+        for i in 0..updates {
+            for target in 1..4u16 {
+                if b
+                    .enqueue(SiteId(target), entry(i), SimTime(i as u64 * 1_000))
+                    .is_some()
+                {
+                    messages += 1;
+                }
+            }
+        }
+        messages += b.flush_all().len() as u64;
+        eprintln!(
+            "batch size {batch:>4}: {updates} updates x 3 sites -> {messages} WAN messages"
+        );
+    }
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    report_message_saving();
+    let mut group = c.benchmark_group("lazy_batcher_enqueue_10k");
+    for batch in [1usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut lb = LazyBatcher::new(batch, SimDuration::from_millis(100));
+                let mut out = 0usize;
+                for i in 0..10_000u32 {
+                    if let Some(ready) =
+                        lb.enqueue(SiteId((i % 3 + 1) as u16), entry(i), SimTime(i as u64))
+                    {
+                        out += ready.entries.len();
+                    }
+                }
+                out += lb.flush_all().iter().map(|r| r.entries.len()).sum::<usize>();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poll_expired(c: &mut Criterion) {
+    c.bench_function("lazy_batcher_poll_expired", |b| {
+        b.iter(|| {
+            let mut lb = LazyBatcher::new(usize::MAX, SimDuration::from_micros(50));
+            for i in 0..1_000u32 {
+                lb.enqueue(SiteId((i % 4) as u16), entry(i), SimTime(i as u64));
+            }
+            black_box(lb.poll_expired(SimTime(1_000_000)).len())
+        })
+    });
+}
+
+criterion_group! {
+    name = ablation_lazy;
+    config = fast();
+    targets = bench_batcher, bench_poll_expired
+}
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(ablation_lazy);

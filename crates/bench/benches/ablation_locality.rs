@@ -1,0 +1,114 @@
+//! Ablation: locality-aware vs round-robin vs random task placement.
+//!
+//! §VII-A's argument for the DR strategy rests on engines co-locating
+//! dependent tasks. This bench runs the same Montage workflow in the
+//! simulator under each placement policy (DR strategy) and prints the
+//! resulting makespans and co-location fractions; the benchmark itself
+//! measures the scheduler's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geometa_core::strategy::StrategyKind;
+use geometa_experiments::calibration::Calibration;
+use geometa_experiments::simbind::{run_workflow, SimConfig};
+use geometa_sim::time::SimDuration;
+use geometa_sim::topology::{SiteId, Topology};
+use geometa_workflow::apps::montage::{montage, MontageConfig};
+use geometa_workflow::provenance::provisioning_plan;
+use geometa_workflow::scheduler::{node_grid, schedule, SchedulerPolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn workflow() -> geometa_workflow::dag::Workflow {
+    montage(MontageConfig {
+        tiles: 24,
+        files_per_task: 8,
+        compute: SimDuration::from_millis(200),
+        ..MontageConfig::default()
+    })
+}
+
+fn policies() -> [(&'static str, SchedulerPolicy); 3] {
+    [
+        ("locality", SchedulerPolicy::LocalityAware),
+        ("round_robin", SchedulerPolicy::RoundRobin),
+        ("random", SchedulerPolicy::Random(7)),
+    ]
+}
+
+fn report_makespans() {
+    let w = workflow();
+    let nodes = node_grid(&(0..4).map(SiteId).collect::<Vec<_>>(), 8);
+    eprintln!("--- Montage under DR, by placement policy ---");
+    for (name, policy) in policies() {
+        let p = schedule(&w, &nodes, policy);
+        let cfg = SimConfig {
+            cal: Calibration::test_fast(),
+            kind: StrategyKind::DhtLocalReplica,
+            topology: Topology::azure_4dc(),
+            seed: 9,
+            centralized_home: None,
+        };
+        let out = run_workflow(&w, &p, &cfg);
+        eprintln!(
+            "{name:>12}: makespan {:>8.2}s  colocated edges {:>5.1}%  cross-site transfers {}",
+            out.makespan.as_secs_f64(),
+            p.colocated_edge_fraction(&w) * 100.0,
+            provisioning_plan(&w, &p).len()
+        );
+    }
+}
+
+fn bench_scheduler_cost(c: &mut Criterion) {
+    report_makespans();
+    let w = workflow();
+    let nodes = node_grid(&(0..4).map(SiteId).collect::<Vec<_>>(), 8);
+    let mut group = c.benchmark_group("scheduler_cost_montage24");
+    for (name, policy) in policies() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| black_box(schedule(&w, &nodes, policy)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_execution(c: &mut Criterion) {
+    let w = workflow();
+    let nodes = node_grid(&(0..4).map(SiteId).collect::<Vec<_>>(), 8);
+    let mut group = c.benchmark_group("sim_execution_by_policy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for (name, policy) in policies() {
+        let placement = schedule(&w, &nodes, policy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &placement,
+            |b, placement| {
+                let cfg = SimConfig {
+                    cal: Calibration::test_fast(),
+                    kind: StrategyKind::DhtLocalReplica,
+                    topology: Topology::azure_4dc(),
+                    seed: 9,
+                    centralized_home: None,
+                };
+                b.iter(|| black_box(run_workflow(&w, placement, &cfg).makespan))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation_locality;
+    config = fast();
+    targets = bench_scheduler_cost, bench_sim_execution
+}
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(ablation_locality);

@@ -1,0 +1,67 @@
+//! One benchmark per paper artifact: regenerating (a scaled-down instance
+//! of) each table/figure. Run the full-size tables with
+//! `cargo run --release -p geometa-experiments --bin repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geometa_experiments::{fig1, fig10, fig5, fig6, fig7, fig8};
+use std::time::Duration;
+
+fn settings() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_distance_hierarchy", |b| {
+        let cfg = fig1::Fig1Config::quick();
+        b.iter(|| {
+            let rows = fig1::run(&cfg);
+            assert!(rows[0].distant_region > rows[0].same_site);
+            rows
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_node_exec_time_sweep", |b| {
+        let cfg = fig5::Fig5Config::quick();
+        b.iter(|| fig5::run(&cfg))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_progress_curves", |b| {
+        let cfg = fig6::Fig6Config::quick();
+        b.iter(|| fig6::run(&cfg))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_throughput_scaling", |b| {
+        let cfg = fig7::Fig7Config::quick();
+        b.iter(|| fig7::run(&cfg))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_fixed_batch_completion", |b| {
+        let cfg = fig8::Fig8Config::quick();
+        b.iter(|| fig8::run(&cfg))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_workflow_makespans", |b| {
+        let cfg = fig10::Fig10Config::quick();
+        b.iter(|| fig10::run(&cfg))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = settings();
+    targets = bench_fig1, bench_fig5, bench_fig6, bench_fig7, bench_fig8, bench_fig10
+}
+criterion_main!(figures);

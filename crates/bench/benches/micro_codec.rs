@@ -1,0 +1,80 @@
+//! Microbenchmarks of the registry-entry binary codec: metadata entries
+//! are encoded/decoded on every operation, so this path sits on the
+//! middleware's critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geometa_core::entry::{FileLocation, RegistryEntry};
+use geometa_sim::topology::SiteId;
+use std::hint::black_box;
+
+fn entry_with_locations(n: usize) -> RegistryEntry {
+    let mut e = RegistryEntry::new(
+        "montage/projected/tile_0042_0017.fits",
+        1024 * 1024,
+        FileLocation {
+            site: SiteId(0),
+            node: 7,
+        },
+        123_456_789,
+    )
+    .with_producer("mProject-42");
+    for i in 1..n {
+        e.add_location(FileLocation {
+            site: SiteId((i % 4) as u16),
+            node: i as u32,
+        });
+    }
+    e
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entry_encode");
+    for locs in [1usize, 4, 32] {
+        let e = entry_with_locations(locs);
+        group.bench_with_input(BenchmarkId::from_parameter(locs), &e, |b, e| {
+            b.iter(|| black_box(e.to_bytes()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entry_decode");
+    for locs in [1usize, 4, 32] {
+        let bytes = entry_with_locations(locs).to_bytes();
+        group.bench_with_input(BenchmarkId::from_parameter(locs), &bytes, |b, bytes| {
+            b.iter(|| black_box(RegistryEntry::from_bytes(bytes.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip_and_merge(c: &mut Criterion) {
+    c.bench_function("entry_roundtrip", |b| {
+        let e = entry_with_locations(4);
+        b.iter(|| {
+            let bytes = e.to_bytes();
+            black_box(RegistryEntry::from_bytes(bytes).unwrap())
+        })
+    });
+    c.bench_function("merge_entries", |b| {
+        let a = entry_with_locations(4);
+        let mut other = entry_with_locations(2);
+        other.locations[0].site = SiteId(3);
+        b.iter(|| black_box(geometa_core::consistency::merge_entries(&a, &other)))
+    });
+}
+
+criterion_group! {
+    name = micro_codec;
+    config = fast();
+    targets = bench_encode, bench_decode, bench_roundtrip_and_merge
+}
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(micro_codec);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the DES kernel: raw event throughput determines how
+//! large an experiment the harness can sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geometa_sim::prelude::*;
+use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+enum Msg {
+    Ping(u32),
+    Pong(u32),
+}
+
+struct Pinger {
+    peer: ActorId,
+    rounds: u32,
+}
+impl Actor<Msg> for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        ctx.send(self.peer, Msg::Ping(self.rounds), 64);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        if let Msg::Pong(n) = env.msg {
+            if n > 0 {
+                ctx.send(self.peer, Msg::Ping(n - 1), 64);
+            }
+        }
+    }
+}
+
+struct Ponger;
+impl Actor<Msg> for Ponger {
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        if let Msg::Ping(n) = env.msg {
+            ctx.send(env.from, Msg::Pong(n), 64);
+        }
+    }
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    c.bench_function("engine_10k_round_trips", |b| {
+        b.iter(|| {
+            let mut engine: Engine<Msg> = Engine::new(Topology::azure_4dc(), 1);
+            let ponger = engine.add_actor(SiteId(2), Ponger);
+            engine.add_actor(SiteId(0), Pinger { peer: ponger, rounds: 10_000 });
+            black_box(engine.run().events_processed)
+        })
+    });
+}
+
+struct TimerStorm {
+    remaining: u32,
+}
+impl Actor<()> for TimerStorm {
+    fn on_start(&mut self, ctx: &mut Ctx<()>) {
+        for i in 0..self.remaining {
+            ctx.set_timer(SimDuration::from_micros(i as u64), i as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<()>, _id: TimerId, tag: u64) {
+        ctx.metrics().incr("fired", 1);
+        let _ = tag;
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<()>, _env: Envelope<()>) {}
+}
+
+fn bench_timer_storm(c: &mut Criterion) {
+    c.bench_function("engine_50k_timers", |b| {
+        b.iter(|| {
+            let mut engine: Engine<()> = Engine::new(Topology::single_site(), 1);
+            engine.add_actor(SiteId(0), TimerStorm { remaining: 50_000 });
+            let report = engine.run();
+            assert_eq!(engine.metrics().counter("fired"), 50_000);
+            black_box(report.events_processed)
+        })
+    });
+}
+
+fn bench_network_delay(c: &mut Criterion) {
+    c.bench_function("network_delay_computation", |b| {
+        let mut net = NetworkModel::new(Topology::azure_4dc(), 3);
+        b.iter(|| black_box(net.delay(SiteId(0), SiteId(3), 256)))
+    });
+}
+
+criterion_group! {
+    name = micro_sim;
+    config = fast();
+    targets = bench_ping_pong, bench_timer_storm, bench_network_delay
+}
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(micro_sim);

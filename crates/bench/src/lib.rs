@@ -1,0 +1,18 @@
+//! # geometa-bench — benchmark harnesses
+//!
+//! Criterion benchmarks for the geometa stack, in two families:
+//!
+//! * **Figure benches** (`benches/figures.rs`) — each benchmark runs a
+//!   scaled-down instance of one paper experiment (Figs. 1, 5, 6, 7, 8,
+//!   10), so `cargo bench` tracks the cost of regenerating every artifact.
+//!   The *full-size* tables come from the `repro` binary in
+//!   `geometa-experiments` (`cargo run --release -p geometa-experiments
+//!   --bin repro`).
+//! * **Ablation & micro benches** — the design choices DESIGN.md calls
+//!   out: hash placement schemes (`ablation_hash`), lazy vs eager update
+//!   propagation (`ablation_lazy`), locality-aware vs random scheduling
+//!   (`ablation_locality`), plus microbenchmarks of the cache store, the
+//!   entry codec, and the DES kernel.
+//!
+//! All harnesses live under `benches/`; this library crate intentionally
+//! exports nothing.

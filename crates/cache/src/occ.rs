@@ -1,0 +1,180 @@
+//! Optimistic-concurrency helpers: read-modify-write loops over the store.
+//!
+//! The registry's write path is "a look-up read operation to verify whether
+//! the entry already exists, followed by the actual write" (paper §IV).
+//! Under concurrency that sequence can race; [`OccCell`] packages the retry
+//! loop so callers express only the transformation.
+
+use crate::entry::{CacheError, PutCondition};
+use crate::store::ShardedStore;
+use bytes::Bytes;
+
+/// A single key viewed through optimistic read-modify-write operations.
+pub struct OccCell<'a> {
+    store: &'a ShardedStore,
+    key: &'a str,
+    max_retries: usize,
+}
+
+/// Outcome of one [`OccCell::update`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Version after the successful write.
+    pub version: u64,
+    /// How many optimistic attempts were rejected before success.
+    pub retries: u64,
+}
+
+impl<'a> OccCell<'a> {
+    /// View `key` in `store` through OCC operations.
+    pub fn new(store: &'a ShardedStore, key: &'a str) -> OccCell<'a> {
+        OccCell {
+            store,
+            key,
+            max_retries: 64,
+        }
+    }
+
+    /// Override the retry budget (default 64).
+    pub fn with_max_retries(mut self, n: usize) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Atomically transform the value: `f` maps the current value (None if
+    /// absent) to the next value. Retries on concurrent modification until
+    /// the retry budget is exhausted.
+    pub fn update<F>(&self, now: u64, mut f: F) -> Result<UpdateOutcome, CacheError>
+    where
+        F: FnMut(Option<&Bytes>) -> Bytes,
+    {
+        let mut retries = 0u64;
+        for _ in 0..=self.max_retries {
+            let current = match self.store.get(self.key) {
+                Ok(e) => Some(e),
+                Err(CacheError::NotFound) => None,
+                Err(e) => return Err(e),
+            };
+            let next = f(current.as_ref().map(|e| &e.value));
+            let cond = match &current {
+                Some(e) => PutCondition::VersionIs(e.version),
+                None => PutCondition::Absent,
+            };
+            match self.store.put_if(self.key, cond, next, now) {
+                Ok(version) => return Ok(UpdateOutcome { version, retries }),
+                Err(CacheError::VersionMismatch { .. }) | Err(CacheError::AlreadyExists { .. }) => {
+                    retries += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Budget exhausted; report the contention as a version mismatch.
+        Err(CacheError::VersionMismatch {
+            expected: 0,
+            actual: None,
+        })
+    }
+
+    /// Write only if the key is absent; returns Ok(true) if this call
+    /// created it, Ok(false) if it already existed.
+    pub fn create(&self, value: Bytes, now: u64) -> Result<bool, CacheError> {
+        match self.store.put_if(self.key, PutCondition::Absent, value, now) {
+            Ok(_) => Ok(true),
+            Err(CacheError::AlreadyExists { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn update_creates_when_absent() {
+        let store = ShardedStore::new(4);
+        let cell = OccCell::new(&store, "k");
+        let out = cell
+            .update(0, |cur| {
+                assert!(cur.is_none());
+                b("fresh")
+            })
+            .unwrap();
+        assert_eq!(out.version, 1);
+        assert_eq!(out.retries, 0);
+        assert_eq!(store.get("k").unwrap().value, b("fresh"));
+    }
+
+    #[test]
+    fn update_transforms_existing() {
+        let store = ShardedStore::new(4);
+        store.put("k", b("1"), 0).unwrap();
+        let out = OccCell::new(&store, "k")
+            .update(1, |cur| {
+                let n: u64 = std::str::from_utf8(cur.unwrap()).unwrap().parse().unwrap();
+                Bytes::from((n * 10).to_string().into_bytes())
+            })
+            .unwrap();
+        assert_eq!(out.version, 2);
+        assert_eq!(store.get("k").unwrap().value, b("10"));
+    }
+
+    #[test]
+    fn create_reports_existing() {
+        let store = ShardedStore::new(4);
+        let cell = OccCell::new(&store, "k");
+        assert!(cell.create(b("a"), 0).unwrap());
+        assert!(!cell.create(b("b"), 1).unwrap());
+        assert_eq!(store.get("k").unwrap().value, b("a"));
+    }
+
+    #[test]
+    fn unavailable_store_propagates() {
+        let store = ShardedStore::new(4);
+        store.fail();
+        let cell = OccCell::new(&store, "k");
+        assert_eq!(
+            cell.update(0, |_| b("x")),
+            Err(CacheError::Unavailable)
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_all_apply() {
+        let store = Arc::new(ShardedStore::new(4));
+        store.put("n", b("0"), 0).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        OccCell::new(&store, "n")
+                            .with_max_retries(10_000)
+                            .update(0, |cur| {
+                                let n: u64 = std::str::from_utf8(cur.unwrap())
+                                    .unwrap()
+                                    .parse()
+                                    .unwrap();
+                                Bytes::from((n + 1).to_string().into_bytes())
+                            })
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let n: u64 = std::str::from_utf8(&store.get("n").unwrap().value)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(n, 1000);
+    }
+}

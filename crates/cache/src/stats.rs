@@ -1,0 +1,112 @@
+//! Lock-free operation counters for cache instances.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl StatsCounters {
+    #[inline]
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of cache operation counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful reads.
+    pub hits: u64,
+    /// Reads of absent keys.
+    pub misses: u64,
+    /// Successful writes (including absorbed entries).
+    pub writes: u64,
+    /// Conditional writes rejected by the optimistic concurrency check.
+    pub conflicts: u64,
+}
+
+impl CacheStats {
+    /// Read hit ratio in `[0,1]`; 0 when no reads happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total read operations.
+    pub fn reads(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_empty() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            writes: 0,
+            conflicts: 0,
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.reads(), 4);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = StatsCounters::default();
+        c.hit();
+        c.hit();
+        c.miss();
+        c.write();
+        c.conflict();
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                writes: 1,
+                conflicts: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,578 @@
+//! The sharded concurrent store.
+//!
+//! Keys are hashed (FxHash) to one of `2^k` shards, each an independent
+//! `RwLock<HashMap>`. Reads take a shard read-lock; writes a shard write
+//! lock. No lock is ever held across two shards, so the store is deadlock
+//! free by construction. All cross-key snapshot operations are collected
+//! shard by shard and therefore see a *per-shard*-consistent state, which
+//! is exactly the consistency the paper's lazy synchronization needs.
+
+use crate::entry::{CacheEntry, CacheError, PutCondition};
+use crate::hash::{fx_hash_str, FxBuildHasher};
+use crate::stats::{CacheStats, StatsCounters};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+type Shard = RwLock<HashMap<String, CacheEntry, FxBuildHasher>>;
+
+/// A sharded, versioned, concurrent in-memory store.
+pub struct ShardedStore {
+    shards: Vec<Shard>,
+    mask: u64,
+    stats: StatsCounters,
+    failed: AtomicBool,
+}
+
+impl ShardedStore {
+    /// Create a store with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> ShardedStore {
+        let n = shards.max(1).next_power_of_two();
+        ShardedStore {
+            shards: (0..n).map(|_| RwLock::new(HashMap::default())).collect(),
+            mask: (n - 1) as u64,
+            stats: StatsCounters::default(),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Create a store with a sensible default shard count (64).
+    pub fn with_default_shards() -> ShardedStore {
+        ShardedStore::new(64)
+    }
+
+    #[inline]
+    fn shard_for(&self, key: &str) -> &Shard {
+        let h = fx_hash_str(key);
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    fn check_available(&self) -> Result<(), CacheError> {
+        if self.failed.load(Ordering::Acquire) {
+            Err(CacheError::Unavailable)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Mark the instance failed: every subsequent operation returns
+    /// [`CacheError::Unavailable`] until [`Self::revive`]. Failure injection
+    /// hook used by the HA pair and the tests.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Clear the failure flag.
+    pub fn revive(&self) {
+        self.failed.store(false, Ordering::Release);
+    }
+
+    /// Whether the instance is currently marked failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Read an entry.
+    pub fn get(&self, key: &str) -> Result<CacheEntry, CacheError> {
+        self.check_available()?;
+        let shard = self.shard_for(key).read();
+        match shard.get(key) {
+            Some(e) => {
+                self.stats.hit();
+                Ok(e.clone())
+            }
+            None => {
+                self.stats.miss();
+                Err(CacheError::NotFound)
+            }
+        }
+    }
+
+    /// Whether a key is present (does not count as hit/miss).
+    pub fn contains(&self, key: &str) -> bool {
+        if self.is_failed() {
+            return false;
+        }
+        self.shard_for(key).read().contains_key(key)
+    }
+
+    /// Unconditional put. Returns the new version (1 for a fresh key).
+    pub fn put(&self, key: &str, value: Bytes, now: u64) -> Result<u64, CacheError> {
+        self.put_if(key, PutCondition::Always, value, now)
+    }
+
+    /// Conditional put implementing the optimistic concurrency model.
+    pub fn put_if(
+        &self,
+        key: &str,
+        cond: PutCondition,
+        value: Bytes,
+        now: u64,
+    ) -> Result<u64, CacheError> {
+        self.check_available()?;
+        let mut shard = self.shard_for(key).write();
+        match shard.get_mut(key) {
+            Some(existing) => match cond {
+                PutCondition::Always => {
+                    existing.value = value;
+                    existing.version += 1;
+                    existing.modified_at = now;
+                    self.stats.write();
+                    Ok(existing.version)
+                }
+                PutCondition::Absent => {
+                    self.stats.conflict();
+                    Err(CacheError::AlreadyExists {
+                        version: existing.version,
+                    })
+                }
+                PutCondition::VersionIs(expected) => {
+                    if existing.version == expected {
+                        existing.value = value;
+                        existing.version += 1;
+                        existing.modified_at = now;
+                        self.stats.write();
+                        Ok(existing.version)
+                    } else {
+                        self.stats.conflict();
+                        Err(CacheError::VersionMismatch {
+                            expected,
+                            actual: Some(existing.version),
+                        })
+                    }
+                }
+            },
+            None => match cond {
+                PutCondition::Always | PutCondition::Absent => {
+                    shard.insert(
+                        key.to_string(),
+                        CacheEntry {
+                            value,
+                            version: 1,
+                            created_at: now,
+                            modified_at: now,
+                        },
+                    );
+                    self.stats.write();
+                    Ok(1)
+                }
+                PutCondition::VersionIs(expected) => {
+                    self.stats.conflict();
+                    Err(CacheError::VersionMismatch {
+                        expected,
+                        actual: None,
+                    })
+                }
+            },
+        }
+    }
+
+    /// Insert an entry verbatim (version and timestamps preserved). Used by
+    /// replica repopulation and sync propagation, where the *origin's*
+    /// version must win, not a locally bumped one. Overwrites only if the
+    /// incoming version is newer (last-writer-wins on version, then
+    /// timestamp).
+    pub fn absorb(&self, key: &str, entry: CacheEntry) -> Result<bool, CacheError> {
+        self.check_available()?;
+        let mut shard = self.shard_for(key).write();
+        match shard.get_mut(key) {
+            Some(existing) => {
+                let newer = (entry.version, entry.modified_at)
+                    > (existing.version, existing.modified_at);
+                if newer {
+                    *existing = entry;
+                    self.stats.write();
+                }
+                Ok(newer)
+            }
+            None => {
+                shard.insert(key.to_string(), entry);
+                self.stats.write();
+                Ok(true)
+            }
+        }
+    }
+
+    /// Remove an entry.
+    pub fn remove(&self, key: &str) -> Result<CacheEntry, CacheError> {
+        self.check_available()?;
+        let mut shard = self.shard_for(key).write();
+        shard.remove(key).ok_or(CacheError::NotFound)
+    }
+
+    /// Number of entries (sums shard sizes; racy but exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Remove all entries.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
+        }
+    }
+
+    /// Batch read: one result per key, in order.
+    pub fn multi_get(&self, keys: &[&str]) -> Vec<Result<CacheEntry, CacheError>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Batch unconditional put.
+    pub fn multi_put(
+        &self,
+        items: impl IntoIterator<Item = (String, Bytes)>,
+        now: u64,
+    ) -> Result<usize, CacheError> {
+        self.check_available()?;
+        let mut n = 0;
+        for (k, v) in items {
+            self.put(&k, v, now)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Snapshot of all entries modified strictly after `since` (logical
+    /// timestamp). This is the delta query the sync agent issues each cycle.
+    pub fn modified_since(&self, since: u64) -> Vec<(String, CacheEntry)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.read();
+            for (k, e) in shard.iter() {
+                if e.modified_at > since {
+                    out.push((k.clone(), e.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshot of every entry (per-shard consistent).
+    pub fn snapshot(&self) -> Vec<(String, CacheEntry)> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            let shard = s.read();
+            out.extend(shard.iter().map(|(k, e)| (k.clone(), e.clone())));
+        }
+        out
+    }
+
+    /// Snapshot of all keys.
+    pub fn keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.read().keys().cloned());
+        }
+        out
+    }
+
+    /// Operation statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of shards (for tests/benches).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Default for ShardedStore {
+    fn default() -> Self {
+        ShardedStore::with_default_shards()
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("failed", &self.is_failed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = ShardedStore::new(8);
+        assert_eq!(store.put("f", b("v1"), 10).unwrap(), 1);
+        let e = store.get("f").unwrap();
+        assert_eq!(e.value, b("v1"));
+        assert_eq!(e.version, 1);
+        assert_eq!(e.created_at, 10);
+        assert_eq!(e.modified_at, 10);
+    }
+
+    #[test]
+    fn versions_increment_monotonically() {
+        let store = ShardedStore::new(8);
+        for i in 1..=5u64 {
+            let v = store.put("f", b("x"), i).unwrap();
+            assert_eq!(v, i);
+        }
+        assert_eq!(store.get("f").unwrap().created_at, 1);
+        assert_eq!(store.get("f").unwrap().modified_at, 5);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let store = ShardedStore::new(8);
+        assert_eq!(store.get("nope"), Err(CacheError::NotFound));
+    }
+
+    #[test]
+    fn put_if_absent_semantics() {
+        let store = ShardedStore::new(8);
+        assert_eq!(store.put_if("f", PutCondition::Absent, b("a"), 0).unwrap(), 1);
+        let err = store.put_if("f", PutCondition::Absent, b("b"), 1);
+        assert_eq!(err, Err(CacheError::AlreadyExists { version: 1 }));
+        assert_eq!(store.get("f").unwrap().value, b("a"));
+    }
+
+    #[test]
+    fn put_if_version_accepts_exact_match_only() {
+        let store = ShardedStore::new(8);
+        store.put("f", b("a"), 0).unwrap();
+        // Correct expected version.
+        assert_eq!(
+            store.put_if("f", PutCondition::VersionIs(1), b("b"), 1).unwrap(),
+            2
+        );
+        // Stale expectation.
+        assert_eq!(
+            store.put_if("f", PutCondition::VersionIs(1), b("c"), 2),
+            Err(CacheError::VersionMismatch {
+                expected: 1,
+                actual: Some(2)
+            })
+        );
+        // Expecting a version on a missing key.
+        assert_eq!(
+            store.put_if("g", PutCondition::VersionIs(1), b("c"), 2),
+            Err(CacheError::VersionMismatch {
+                expected: 1,
+                actual: None
+            })
+        );
+    }
+
+    #[test]
+    fn absorb_is_last_writer_wins() {
+        let store = ShardedStore::new(8);
+        store.put("f", b("local"), 5).unwrap(); // version 1, t=5
+        // Older remote version loses.
+        let lost = store
+            .absorb(
+                "f",
+                CacheEntry {
+                    value: b("old"),
+                    version: 1,
+                    created_at: 1,
+                    modified_at: 1,
+                },
+            )
+            .unwrap();
+        assert!(!lost);
+        assert_eq!(store.get("f").unwrap().value, b("local"));
+        // Newer remote version wins.
+        let won = store
+            .absorb(
+                "f",
+                CacheEntry {
+                    value: b("new"),
+                    version: 7,
+                    created_at: 1,
+                    modified_at: 9,
+                },
+            )
+            .unwrap();
+        assert!(won);
+        let e = store.get("f").unwrap();
+        assert_eq!(e.value, b("new"));
+        assert_eq!(e.version, 7);
+    }
+
+    #[test]
+    fn absorb_tie_version_breaks_on_timestamp() {
+        let store = ShardedStore::new(8);
+        store
+            .absorb(
+                "f",
+                CacheEntry {
+                    value: b("a"),
+                    version: 3,
+                    created_at: 0,
+                    modified_at: 10,
+                },
+            )
+            .unwrap();
+        let won = store
+            .absorb(
+                "f",
+                CacheEntry {
+                    value: b("b"),
+                    version: 3,
+                    created_at: 0,
+                    modified_at: 20,
+                },
+            )
+            .unwrap();
+        assert!(won);
+        assert_eq!(store.get("f").unwrap().value, b("b"));
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let store = ShardedStore::new(8);
+        store.put("f", b("v"), 0).unwrap();
+        let e = store.remove("f").unwrap();
+        assert_eq!(e.value, b("v"));
+        assert_eq!(store.remove("f"), Err(CacheError::NotFound));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let store = ShardedStore::new(4);
+        for i in 0..100 {
+            store.put(&format!("k{i}"), b("v"), 0).unwrap();
+        }
+        assert_eq!(store.len(), 100);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn multi_ops() {
+        let store = ShardedStore::new(4);
+        store
+            .multi_put(vec![("a".to_string(), b("1")), ("b".to_string(), b("2"))], 0)
+            .unwrap();
+        let res = store.multi_get(&["a", "b", "c"]);
+        assert!(res[0].is_ok() && res[1].is_ok());
+        assert_eq!(res[2], Err(CacheError::NotFound));
+    }
+
+    #[test]
+    fn modified_since_returns_delta_only() {
+        let store = ShardedStore::new(4);
+        store.put("old", b("1"), 5).unwrap();
+        store.put("new1", b("2"), 15).unwrap();
+        store.put("new2", b("3"), 20).unwrap();
+        let mut delta = store.modified_since(10);
+        delta.sort_by(|a, b| a.0.cmp(&b.0));
+        let keys: Vec<&str> = delta.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["new1", "new2"]);
+    }
+
+    #[test]
+    fn failure_injection_blocks_everything() {
+        let store = ShardedStore::new(4);
+        store.put("f", b("v"), 0).unwrap();
+        store.fail();
+        assert_eq!(store.get("f"), Err(CacheError::Unavailable));
+        assert_eq!(store.put("g", b("v"), 0), Err(CacheError::Unavailable));
+        assert!(!store.contains("f"));
+        store.revive();
+        assert!(store.get("f").is_ok());
+    }
+
+    #[test]
+    fn stats_track_hits_misses_conflicts() {
+        let store = ShardedStore::new(4);
+        store.put("f", b("v"), 0).unwrap();
+        let _ = store.get("f");
+        let _ = store.get("missing");
+        let _ = store.put_if("f", PutCondition::VersionIs(99), b("x"), 1);
+        let s = store.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.conflicts, 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedStore::new(10).shard_count(), 16);
+        assert_eq!(ShardedStore::new(1).shard_count(), 1);
+        assert_eq!(ShardedStore::new(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        use std::sync::Arc;
+        let store = Arc::new(ShardedStore::new(16));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        store.put(&format!("t{t}-k{i}"), Bytes::from_static(b"v"), i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.len(), 8 * 1000);
+    }
+
+    #[test]
+    fn concurrent_cas_on_one_key_serializes() {
+        use std::sync::Arc;
+        let store = Arc::new(ShardedStore::new(16));
+        store.put("counter", Bytes::from_static(b"0"), 0).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut successes = 0u64;
+                    for _ in 0..500 {
+                        loop {
+                            let cur = store.get("counter").unwrap();
+                            let n: u64 =
+                                std::str::from_utf8(&cur.value).unwrap().parse().unwrap();
+                            let next = Bytes::from((n + 1).to_string().into_bytes());
+                            match store.put_if(
+                                "counter",
+                                PutCondition::VersionIs(cur.version),
+                                next,
+                                0,
+                            ) {
+                                Ok(_) => {
+                                    successes += 1;
+                                    break;
+                                }
+                                Err(CacheError::VersionMismatch { .. }) => continue,
+                                Err(e) => panic!("unexpected {e}"),
+                            }
+                        }
+                    }
+                    successes
+                })
+            })
+            .collect();
+        let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 2000);
+        let final_val = store.get("counter").unwrap();
+        let n: u64 = std::str::from_utf8(&final_val.value).unwrap().parse().unwrap();
+        assert_eq!(n, 2000, "every CAS increment must be preserved");
+        assert_eq!(final_val.version, 2001);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the cache tier: the sharded store must behave
+//! exactly like a sequential map under any operation sequence, optimistic
+//! concurrency must never lose acknowledged versions, and absorb-based
+//! replication must converge regardless of delivery order.
+
+use bytes::Bytes;
+use geometa_cache::{CacheEntry, CacheError, PutCondition, ShardedStore};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u8, u8),
+    PutIfAbsent(u8, u8),
+    PutIfVersion(u8, u64, u8),
+    Get(u8),
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 16, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::PutIfAbsent(k % 16, v)),
+        (any::<u8>(), 0..5u64, any::<u8>()).prop_map(|(k, ver, v)| Op::PutIfVersion(k % 16, ver, v)),
+        any::<u8>().prop_map(|k| Op::Get(k % 16)),
+        any::<u8>().prop_map(|k| Op::Remove(k % 16)),
+    ]
+}
+
+/// A trivially correct sequential model of the store.
+#[derive(Default)]
+struct Model {
+    map: HashMap<String, (Vec<u8>, u64)>, // key -> (value, version)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The sharded store agrees with a sequential HashMap model on every
+    /// operation outcome, for arbitrary operation sequences.
+    #[test]
+    fn store_matches_sequential_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let store = ShardedStore::new(8);
+        let mut model = Model::default();
+        for (i, op) in ops.iter().enumerate() {
+            let now = i as u64 + 1;
+            match op {
+                Op::Put(k, v) => {
+                    let key = format!("k{k}");
+                    let got = store.put(&key, Bytes::from(vec![*v]), now).unwrap();
+                    let e = model.map.entry(key).or_insert((vec![], 0));
+                    e.0 = vec![*v];
+                    e.1 += 1;
+                    prop_assert_eq!(got, e.1);
+                }
+                Op::PutIfAbsent(k, v) => {
+                    let key = format!("k{k}");
+                    let got = store.put_if(&key, PutCondition::Absent, Bytes::from(vec![*v]), now);
+                    match model.map.get(&key) {
+                        Some((_, ver)) => prop_assert_eq!(got, Err(CacheError::AlreadyExists { version: *ver })),
+                        None => {
+                            prop_assert_eq!(got, Ok(1));
+                            model.map.insert(key, (vec![*v], 1));
+                        }
+                    }
+                }
+                Op::PutIfVersion(k, expected, v) => {
+                    let key = format!("k{k}");
+                    let got = store.put_if(&key, PutCondition::VersionIs(*expected), Bytes::from(vec![*v]), now);
+                    match model.map.get_mut(&key) {
+                        Some((val, ver)) if *ver == *expected => {
+                            *val = vec![*v];
+                            *ver += 1;
+                            prop_assert_eq!(got, Ok(*ver));
+                        }
+                        Some((_, ver)) => prop_assert_eq!(got, Err(CacheError::VersionMismatch { expected: *expected, actual: Some(*ver) })),
+                        None => prop_assert_eq!(got, Err(CacheError::VersionMismatch { expected: *expected, actual: None })),
+                    }
+                }
+                Op::Get(k) => {
+                    let key = format!("k{k}");
+                    let got = store.get(&key);
+                    match model.map.get(&key) {
+                        Some((val, ver)) => {
+                            let e = got.unwrap();
+                            prop_assert_eq!(e.value.as_ref(), val.as_slice());
+                            prop_assert_eq!(e.version, *ver);
+                        }
+                        None => prop_assert_eq!(got.unwrap_err(), CacheError::NotFound),
+                    }
+                }
+                Op::Remove(k) => {
+                    let key = format!("k{k}");
+                    let got = store.remove(&key);
+                    match model.map.remove(&key) {
+                        Some(_) => prop_assert!(got.is_ok()),
+                        None => prop_assert_eq!(got.unwrap_err(), CacheError::NotFound),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(store.len(), model.map.len());
+    }
+
+    /// Absorbing the same set of entries in any order converges every
+    /// replica to the same state (last-writer-wins on version/timestamp).
+    ///
+    /// The value is derived from (key, version, timestamp): in the real
+    /// system optimistic concurrency makes a (key, version) pair identify a
+    /// unique write, so two distinct values can never share both version
+    /// and timestamp — the generator upholds that invariant.
+    #[test]
+    fn absorb_converges_under_any_delivery_order(
+        entries in prop::collection::vec((0..8u8, 1..20u64, 0..100u64), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let build = |order: &[usize]| {
+            let store = ShardedStore::new(4);
+            for &i in order {
+                let (k, ver, ts) = entries[i];
+                let v = (k as u64 ^ ver.wrapping_mul(31) ^ ts.wrapping_mul(7)) as u8;
+                store.absorb(&format!("k{k}"), CacheEntry {
+                    value: Bytes::from(vec![v]),
+                    version: ver,
+                    created_at: ts,
+                    modified_at: ts,
+                }).unwrap();
+            }
+            let mut snap = store.snapshot();
+            snap.sort_by(|a, b| a.0.cmp(&b.0));
+            snap
+        };
+        let order_a: Vec<usize> = (0..entries.len()).collect();
+        // A deterministic permutation derived from the seed.
+        let mut order_b = order_a.clone();
+        let mut s = seed;
+        for i in (1..order_b.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order_b.swap(i, (s as usize) % (i + 1));
+        }
+        prop_assert_eq!(build(&order_a), build(&order_b));
+    }
+
+    /// Versions only ever grow, under any single-threaded op sequence.
+    #[test]
+    fn versions_are_monotone(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let store = ShardedStore::new(4);
+        let mut last_seen: HashMap<String, u64> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let key = match op {
+                Op::Put(k, v) => { let key = format!("k{k}"); let _ = store.put(&key, Bytes::from(vec![*v]), i as u64); key }
+                Op::PutIfAbsent(k, v) => { let key = format!("k{k}"); let _ = store.put_if(&key, PutCondition::Absent, Bytes::from(vec![*v]), i as u64); key }
+                Op::PutIfVersion(k, ver, v) => { let key = format!("k{k}"); let _ = store.put_if(&key, PutCondition::VersionIs(*ver), Bytes::from(vec![*v]), i as u64); key }
+                Op::Get(k) => format!("k{k}"),
+                Op::Remove(k) => {
+                    // Removal resets version history; drop from tracking.
+                    let key = format!("k{k}");
+                    let _ = store.remove(&key);
+                    last_seen.remove(&key);
+                    continue;
+                }
+            };
+            if let Ok(e) = store.get(&key) {
+                let prev = last_seen.insert(key, e.version).unwrap_or(0);
+                prop_assert!(e.version >= prev, "version regressed: {} -> {}", prev, e.version);
+            }
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! The strategy-driven metadata client.
+//!
+//! A [`StrategyClient`] is the piece a workflow node embeds: it takes the
+//! active strategy from the [`ArchitectureController`], turns each
+//! operation into a plan, and executes the plan over a
+//! [`RegistryTransport`]. It implements the paper's operation semantics:
+//!
+//! * **publish** — write to every synchronous target (write completion),
+//!   then fire lazy propagation to the asynchronous targets;
+//! * **resolve** — probe the plan's sites in order (the two-step
+//!   hierarchical read of §IV-D falls out of the DR plan);
+//! * **resolve with retry** — under the replicated strategy a read may
+//!   legitimately miss until the sync agent propagates the entry; the
+//!   caller supplies the waiting policy.
+
+use crate::controller::ArchitectureController;
+use crate::entry::{FileLocation, RegistryEntry};
+use crate::metrics::OpStats;
+use crate::protocol::{RegistryRequest, RegistryResponse};
+use crate::transport::RegistryTransport;
+use crate::MetaError;
+use geometa_sim::topology::SiteId;
+use std::sync::Arc;
+
+/// Identity and tuning of one client.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Datacenter the client's node runs in.
+    pub site: SiteId,
+    /// Node index within the site (recorded in file locations).
+    pub node: u32,
+}
+
+/// A metadata client bound to a transport and a strategy controller.
+pub struct StrategyClient<T: RegistryTransport> {
+    transport: Arc<T>,
+    controller: Arc<ArchitectureController>,
+    config: ClientConfig,
+    stats: OpStats,
+}
+
+impl<T: RegistryTransport> StrategyClient<T> {
+    /// Create a client for the node described by `config`.
+    pub fn new(
+        transport: Arc<T>,
+        controller: Arc<ArchitectureController>,
+        config: ClientConfig,
+    ) -> StrategyClient<T> {
+        StrategyClient {
+            transport,
+            controller,
+            config,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// The client's site.
+    pub fn site(&self) -> SiteId {
+        self.config.site
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// Publish a file's metadata. Returns when every synchronous target has
+    /// acknowledged; asynchronous targets are updated lazily.
+    pub fn publish(&self, name: &str, size: u64) -> Result<(), MetaError> {
+        let entry = RegistryEntry::new(
+            name,
+            size,
+            FileLocation {
+                site: self.config.site,
+                node: self.config.node,
+            },
+            self.transport.now_micros(),
+        );
+        self.publish_entry(entry)
+    }
+
+    /// Publish a pre-built entry (callers set provenance etc.).
+    pub fn publish_entry(&self, entry: RegistryEntry) -> Result<(), MetaError> {
+        use std::sync::atomic::Ordering;
+        let strategy = self.controller.strategy();
+        let plan = strategy.write_plan(&entry.name, self.config.site);
+        for &target in &plan.sync_targets {
+            let resp = self.transport.call(
+                target,
+                RegistryRequest::Put {
+                    entry: entry.clone(),
+                },
+            );
+            resp.into_ack()?;
+            if target == self.config.site {
+                self.stats.local_writes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.remote_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for &target in &plan.async_targets {
+            self.transport.cast(
+                target,
+                RegistryRequest::Absorb {
+                    entries: vec![entry.clone()],
+                },
+            );
+            self.stats.async_pushes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Resolve a file's metadata, probing per the active strategy's plan.
+    pub fn resolve(&self, name: &str) -> Result<RegistryEntry, MetaError> {
+        use std::sync::atomic::Ordering;
+        let strategy = self.controller.strategy();
+        let plan = strategy.read_plan(name, self.config.site);
+        let mut last_err = MetaError::NotFound;
+        for (i, &target) in plan.probes.iter().enumerate() {
+            match self
+                .transport
+                .call(target, RegistryRequest::Get { key: name.to_string() })
+            {
+                RegistryResponse::Found { entry } => {
+                    if i == 0 && target == self.config.site {
+                        self.stats.local_read_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats.remote_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(entry);
+                }
+                RegistryResponse::Error { error: MetaError::NotFound } => {
+                    last_err = MetaError::NotFound;
+                    continue;
+                }
+                RegistryResponse::Error { error } => return Err(error),
+                other => {
+                    return Err(MetaError::Codec(format!("unexpected response {other:?}")))
+                }
+            }
+        }
+        self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
+        Err(last_err)
+    }
+
+    /// Resolve with retries, waiting via `wait(attempt)` between tries.
+    ///
+    /// Under eventual consistency a read can race propagation; the paper's
+    /// replicated strategy relies on the sync agent, so readers of
+    /// not-yet-synced entries must retry. `wait` receives the attempt index
+    /// (0-based) and blocks appropriately for the embedding (sleep in live
+    /// mode; virtual-time delay in the DES, which instead re-issues the op).
+    pub fn resolve_with_retry(
+        &self,
+        name: &str,
+        max_attempts: usize,
+        mut wait: impl FnMut(usize),
+    ) -> Result<RegistryEntry, MetaError> {
+        use std::sync::atomic::Ordering;
+        let mut attempt = 0;
+        loop {
+            match self.resolve(name) {
+                Ok(e) => return Ok(e),
+                Err(MetaError::NotFound) if attempt + 1 < max_attempts => {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    wait(attempt);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Remove a file's metadata from every site the write plan touches.
+    pub fn unpublish(&self, name: &str) -> Result<(), MetaError> {
+        let strategy = self.controller.strategy();
+        let plan = strategy.write_plan(name, self.config.site);
+        for target in plan.all_targets() {
+            match self
+                .transport
+                .call(target, RegistryRequest::Remove { key: name.to_string() })
+            {
+                RegistryResponse::Ack => {}
+                RegistryResponse::Error { error: MetaError::NotFound } => {}
+                RegistryResponse::Error { error } => return Err(error),
+                other => {
+                    return Err(MetaError::Codec(format!("unexpected response {other:?}")))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use crate::transport::InProcessTransport;
+
+    fn setup(kind: StrategyKind) -> (Arc<InProcessTransport>, Arc<ArchitectureController>) {
+        let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+        let transport = Arc::new(InProcessTransport::new(&sites, 8));
+        let controller = Arc::new(ArchitectureController::with_kind(kind, sites));
+        (transport, controller)
+    }
+
+    fn client(
+        t: &Arc<InProcessTransport>,
+        c: &Arc<ArchitectureController>,
+        site: u16,
+    ) -> StrategyClient<InProcessTransport> {
+        StrategyClient::new(
+            Arc::clone(t),
+            Arc::clone(c),
+            ClientConfig {
+                site: SiteId(site),
+                node: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn centralized_publish_resolve_across_sites() {
+        let (t, c) = setup(StrategyKind::Centralized);
+        let writer = client(&t, &c, 2);
+        let reader = client(&t, &c, 3);
+        writer.publish("f", 100).unwrap();
+        let e = reader.resolve("f").unwrap();
+        assert_eq!(e.name, "f");
+        assert!(e.available_at(SiteId(2)));
+        // Everything lives at site 0 (the home).
+        assert_eq!(t.registry(SiteId(0)).unwrap().len(), 1);
+        assert_eq!(t.registry(SiteId(2)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn dht_nonreplicated_partitions_entries() {
+        let (t, c) = setup(StrategyKind::DhtNonReplicated);
+        let w = client(&t, &c, 0);
+        for i in 0..100 {
+            w.publish(&format!("f{i}"), 1).unwrap();
+        }
+        let total: usize = (0..4).map(|s| t.registry(SiteId(s)).unwrap().len()).sum();
+        assert_eq!(total, 100, "each entry lives at exactly one site");
+        // No site holds everything.
+        for s in 0..4 {
+            assert!(t.registry(SiteId(s)).unwrap().len() < 100);
+        }
+        let r = client(&t, &c, 3);
+        for i in 0..100 {
+            assert!(r.resolve(&format!("f{i}")).is_ok());
+        }
+    }
+
+    #[test]
+    fn dht_local_replica_keeps_local_copy() {
+        let (t, c) = setup(StrategyKind::DhtLocalReplica);
+        let w = client(&t, &c, 1);
+        for i in 0..100 {
+            w.publish(&format!("g{i}"), 1).unwrap();
+        }
+        // Local site has every entry (its replica); owners have theirs.
+        assert_eq!(t.registry(SiteId(1)).unwrap().len(), 100);
+        // A same-site reader resolves all of them locally.
+        let r = client(&t, &c, 1);
+        for i in 0..100 {
+            r.resolve(&format!("g{i}")).unwrap();
+        }
+        let snap = r.stats().snapshot();
+        assert_eq!(snap.local_read_hits, 100);
+        assert_eq!(snap.remote_reads, 0);
+    }
+
+    #[test]
+    fn dht_local_replica_remote_reader_follows_hash() {
+        let (t, c) = setup(StrategyKind::DhtLocalReplica);
+        let w = client(&t, &c, 1);
+        w.publish("lonely", 1).unwrap();
+        // A reader in another site must still find it via the hash owner
+        // (unless the owner IS the reader's site — then it's local).
+        let r = client(&t, &c, 2);
+        let e = r.resolve("lonely").unwrap();
+        assert!(e.available_at(SiteId(1)));
+    }
+
+    #[test]
+    fn replicated_reads_are_local_and_miss_before_sync() {
+        let (t, c) = setup(StrategyKind::Replicated);
+        let w = client(&t, &c, 0);
+        w.publish("f", 1).unwrap();
+        // Before any sync cycle, a remote reader misses (eventual
+        // consistency window).
+        let r = client(&t, &c, 3);
+        assert_eq!(r.resolve("f"), Err(MetaError::NotFound));
+        // Simulate the sync agent pushing the delta.
+        let delta = t.registry(SiteId(0)).unwrap().delta_since(0);
+        t.registry(SiteId(3)).unwrap().absorb_batch(&delta).unwrap();
+        assert!(r.resolve("f").is_ok());
+    }
+
+    #[test]
+    fn resolve_with_retry_waits_until_visible() {
+        let (t, c) = setup(StrategyKind::Replicated);
+        let w = client(&t, &c, 0);
+        w.publish("slow", 1).unwrap();
+        let r = client(&t, &c, 2);
+        let mut waits = 0;
+        let res = r.resolve_with_retry("slow", 5, |_attempt| {
+            waits += 1;
+            if waits == 2 {
+                // Propagation arrives during the second wait.
+                let delta = t.registry(SiteId(0)).unwrap().delta_since(0);
+                t.registry(SiteId(2)).unwrap().absorb_batch(&delta).unwrap();
+            }
+        });
+        assert!(res.is_ok());
+        assert_eq!(waits, 2);
+        assert_eq!(r.stats().snapshot().retries, 2);
+    }
+
+    #[test]
+    fn resolve_with_retry_gives_up() {
+        let (t, c) = setup(StrategyKind::Replicated);
+        let r = client(&t, &c, 2);
+        let res = r.resolve_with_retry("ghost", 3, |_| {});
+        assert_eq!(res, Err(MetaError::NotFound));
+        assert_eq!(r.stats().snapshot().retries, 2);
+    }
+
+    #[test]
+    fn unpublish_removes_everywhere_the_plan_wrote() {
+        let (t, c) = setup(StrategyKind::DhtLocalReplica);
+        let w = client(&t, &c, 1);
+        w.publish("doomed", 1).unwrap();
+        w.unpublish("doomed").unwrap();
+        for s in 0..4 {
+            assert_eq!(t.registry(SiteId(s)).unwrap().len(), 0, "site {s} still has it");
+        }
+    }
+
+    #[test]
+    fn stats_distinguish_local_and_remote_writes() {
+        let (t, c) = setup(StrategyKind::Centralized);
+        let local = client(&t, &c, 0); // same site as the home registry
+        let remote = client(&t, &c, 2);
+        local.publish("a", 1).unwrap();
+        remote.publish("b", 1).unwrap();
+        assert_eq!(local.stats().snapshot().local_writes, 1);
+        assert_eq!(remote.stats().snapshot().remote_writes, 1);
+    }
+
+    #[test]
+    fn strategy_switch_mid_stream_changes_routing() {
+        let (t, c) = setup(StrategyKind::Centralized);
+        let w = client(&t, &c, 2);
+        w.publish("before", 1).unwrap();
+        assert_eq!(t.registry(SiteId(0)).unwrap().len(), 1);
+        c.switch_kind(StrategyKind::DhtLocalReplica, (0..4).map(SiteId).collect());
+        w.publish("after", 1).unwrap();
+        // "after" committed at the writer's local site.
+        assert!(t.registry(SiteId(2)).unwrap().get("after").is_ok());
+    }
+}

@@ -1,0 +1,211 @@
+//! Eventual-consistency machinery: entry merging and inconsistency-window
+//! measurement.
+//!
+//! The middleware favours availability: writes complete locally and
+//! propagate lazily (paper §III-D). When the same key is written at two
+//! sites, replicas must still converge — we merge entries with a
+//! deterministic, commutative, associative rule (location-set union plus
+//! last-writer-wins on scalar fields), so the final state is independent of
+//! delivery order.
+//!
+//! [`InconsistencyTracker`] measures the paper's "inconsistent window": the
+//! lag between a write completing at its origin and becoming visible at
+//! every other site.
+
+use crate::entry::RegistryEntry;
+use geometa_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Merge two versions of the same entry into their least upper bound.
+///
+/// Every field is joined independently, so the merge is a true join
+/// semilattice — commutative, associative, idempotent (verified by
+/// property tests) — which is what lets replicas absorb updates in any
+/// delivery order and still converge:
+///
+/// * locations: set union (a file gains replicas, never silently loses
+///   them);
+/// * `created_at`: the earliest creation, preserving provenance;
+/// * size / producer: per-field maximum. Workflow files are write-once
+///   (paper §II-A), so two writes of one key normally only differ in
+///   their location; a genuine scalar conflict is exceptional and any
+///   deterministic order-independent rule is acceptable — max is the
+///   simplest one that stays a semilattice.
+pub fn merge_entries(existing: &RegistryEntry, incoming: &RegistryEntry) -> RegistryEntry {
+    debug_assert_eq!(existing.name, incoming.name, "merging different keys");
+    let mut merged = RegistryEntry {
+        name: existing.name.clone(),
+        size: existing.size.max(incoming.size),
+        locations: existing.locations.clone(),
+        producer: existing.producer.clone().max(incoming.producer.clone()),
+        created_at: existing.created_at.min(incoming.created_at),
+    };
+    for loc in &incoming.locations {
+        merged.add_location(*loc);
+    }
+    merged.locations.sort();
+    merged
+}
+
+/// Tracks how long writes take to become visible everywhere.
+#[derive(Debug, Default)]
+pub struct InconsistencyTracker {
+    /// key -> (write completion time at origin, sites still missing it).
+    pending: HashMap<String, (SimTime, usize)>,
+    windows: Vec<SimDuration>,
+}
+
+impl InconsistencyTracker {
+    /// New tracker.
+    pub fn new() -> InconsistencyTracker {
+        InconsistencyTracker::default()
+    }
+
+    /// A write of `key` completed at its origin at `at`; it must still
+    /// reach `remote_sites` other sites.
+    pub fn write_completed(&mut self, key: &str, at: SimTime, remote_sites: usize) {
+        if remote_sites == 0 {
+            self.windows.push(SimDuration::ZERO);
+            return;
+        }
+        self.pending.insert(key.to_string(), (at, remote_sites));
+    }
+
+    /// The entry for `key` became visible at one more remote site at `at`.
+    /// When the last site is covered, the window is recorded.
+    pub fn propagated(&mut self, key: &str, at: SimTime) {
+        if let Some((start, remaining)) = self.pending.get_mut(key) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                let start = *start;
+                self.pending.remove(key);
+                self.windows.push(at.since(start));
+            }
+        }
+    }
+
+    /// Number of fully propagated writes.
+    pub fn closed(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Number of writes still propagating.
+    pub fn open(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Mean inconsistency window over closed writes.
+    pub fn mean_window(&self) -> SimDuration {
+        if self.windows.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u64 = self.windows.iter().map(|w| w.as_micros()).sum();
+        SimDuration::from_micros(sum / self.windows.len() as u64)
+    }
+
+    /// Maximum inconsistency window observed.
+    pub fn max_window(&self) -> SimDuration {
+        self.windows.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::FileLocation;
+    use geometa_sim::topology::SiteId;
+
+    fn entry(name: &str, site: u16, node: u32, at: u64) -> RegistryEntry {
+        RegistryEntry::new(
+            name,
+            100,
+            FileLocation {
+                site: SiteId(site),
+                node,
+            },
+            at,
+        )
+    }
+
+    #[test]
+    fn merge_unions_locations() {
+        let a = entry("f", 0, 1, 10);
+        let b = entry("f", 2, 5, 20);
+        let m = merge_entries(&a, &b);
+        assert_eq!(m.locations.len(), 2);
+        assert!(m.available_at(SiteId(0)));
+        assert!(m.available_at(SiteId(2)));
+        assert_eq!(m.created_at, 10, "earliest creation wins");
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = entry("f", 0, 1, 10).with_producer("t1");
+        let b = entry("f", 2, 5, 20).with_producer("t2");
+        let ab = merge_entries(&a, &b);
+        let ba = merge_entries(&b, &a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = entry("f", 0, 1, 10);
+        let b = entry("f", 1, 2, 20);
+        let c = entry("f", 2, 3, 30);
+        let left = merge_entries(&merge_entries(&a, &b), &c);
+        let right = merge_entries(&a, &merge_entries(&b, &c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let a = entry("f", 0, 1, 10).with_producer("t");
+        let m = merge_entries(&a, &a);
+        assert_eq!(m, {
+            let mut x = a.clone();
+            x.locations.sort();
+            x
+        });
+    }
+
+    #[test]
+    fn newer_write_wins_scalars() {
+        let mut old = entry("f", 0, 1, 10);
+        old.size = 100;
+        let mut new = entry("f", 1, 2, 20);
+        new.size = 999;
+        let m = merge_entries(&old, &new);
+        assert_eq!(m.size, 999);
+        let m2 = merge_entries(&new, &old);
+        assert_eq!(m2.size, 999);
+    }
+
+    #[test]
+    fn tracker_measures_windows() {
+        let mut t = InconsistencyTracker::new();
+        t.write_completed("k", SimTime(1_000_000), 2);
+        assert_eq!(t.open(), 1);
+        t.propagated("k", SimTime(1_500_000));
+        assert_eq!(t.closed(), 0, "still one site missing");
+        t.propagated("k", SimTime(2_000_000));
+        assert_eq!(t.closed(), 1);
+        assert_eq!(t.open(), 0);
+        assert_eq!(t.mean_window(), SimDuration::from_secs(1));
+        assert_eq!(t.max_window(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn tracker_zero_remote_sites_closes_immediately() {
+        let mut t = InconsistencyTracker::new();
+        t.write_completed("k", SimTime(5), 0);
+        assert_eq!(t.closed(), 1);
+        assert_eq!(t.mean_window(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tracker_ignores_unknown_keys() {
+        let mut t = InconsistencyTracker::new();
+        t.propagated("ghost", SimTime(1));
+        assert_eq!(t.closed(), 0);
+    }
+}

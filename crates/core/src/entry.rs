@@ -1,0 +1,269 @@
+//! The registry entry: minimal per-file metadata, plus its binary codec.
+//!
+//! Following the paper (§III-B), an entry stores only what is needed to
+//! locate a file — no POSIX permissions or ownership, which scientific
+//! workflows never consult during execution. The paper's base case is "a
+//! file uniquely identified by its name and containing a set of its
+//! locations within the network"; we add the size and producing task, which
+//! the provisioning layer (§III-C) uses to plan data movement.
+//!
+//! Entries are serialized with a small hand-rolled length-prefixed binary
+//! codec (`bytes`-based) so the cache tier stores opaque `Bytes` and the
+//! network model charges realistic message sizes.
+
+use crate::MetaError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use geometa_sim::topology::SiteId;
+
+/// Where one replica of a file's data lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileLocation {
+    /// Datacenter holding the data.
+    pub site: SiteId,
+    /// Node within the datacenter (execution-node index).
+    pub node: u32,
+}
+
+/// Metadata for one workflow file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// Unique file name (the registry key).
+    pub name: String,
+    /// File size in bytes (workflow files are typically small; §II-A).
+    pub size: u64,
+    /// All known locations of the file's data.
+    pub locations: Vec<FileLocation>,
+    /// Name of the task that produced the file, if known (provenance).
+    pub producer: Option<String>,
+    /// Logical creation timestamp (microseconds).
+    pub created_at: u64,
+}
+
+impl RegistryEntry {
+    /// A new entry with a single location.
+    pub fn new(name: impl Into<String>, size: u64, location: FileLocation, now: u64) -> Self {
+        RegistryEntry {
+            name: name.into(),
+            size,
+            locations: vec![location],
+            producer: None,
+            created_at: now,
+        }
+    }
+
+    /// Attach the producing task (builder-style).
+    pub fn with_producer(mut self, producer: impl Into<String>) -> Self {
+        self.producer = Some(producer.into());
+        self
+    }
+
+    /// Add a location if not already present; returns true if added.
+    pub fn add_location(&mut self, loc: FileLocation) -> bool {
+        if self.locations.contains(&loc) {
+            false
+        } else {
+            self.locations.push(loc);
+            true
+        }
+    }
+
+    /// Whether any replica of the data lives at `site`.
+    pub fn available_at(&self, site: SiteId) -> bool {
+        self.locations.iter().any(|l| l.site == site)
+    }
+
+    /// Serialize to the wire/cache representation.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        put_str(&mut buf, &self.name);
+        buf.put_u64_le(self.size);
+        buf.put_u32_le(self.locations.len() as u32);
+        for loc in &self.locations {
+            buf.put_u16_le(loc.site.0);
+            buf.put_u32_le(loc.node);
+        }
+        match &self.producer {
+            Some(p) => {
+                buf.put_u8(1);
+                put_str(&mut buf, p);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64_le(self.created_at);
+        buf.freeze()
+    }
+
+    /// Deserialize from the wire/cache representation.
+    pub fn from_bytes(mut buf: Bytes) -> Result<RegistryEntry, MetaError> {
+        let name = get_str(&mut buf)?;
+        if buf.remaining() < 8 + 4 {
+            return Err(MetaError::Codec("truncated entry header".into()));
+        }
+        let size = buf.get_u64_le();
+        let n_locs = buf.get_u32_le() as usize;
+        if n_locs > 1_000_000 {
+            return Err(MetaError::Codec(format!("implausible location count {n_locs}")));
+        }
+        if buf.remaining() < n_locs * 6 {
+            return Err(MetaError::Codec("truncated locations".into()));
+        }
+        let mut locations = Vec::with_capacity(n_locs);
+        for _ in 0..n_locs {
+            let site = SiteId(buf.get_u16_le());
+            let node = buf.get_u32_le();
+            locations.push(FileLocation { site, node });
+        }
+        if buf.remaining() < 1 {
+            return Err(MetaError::Codec("truncated producer flag".into()));
+        }
+        let producer = match buf.get_u8() {
+            0 => None,
+            1 => Some(get_str(&mut buf)?),
+            other => return Err(MetaError::Codec(format!("bad producer tag {other}"))),
+        };
+        if buf.remaining() < 8 {
+            return Err(MetaError::Codec("truncated timestamp".into()));
+        }
+        let created_at = buf.get_u64_le();
+        Ok(RegistryEntry {
+            name,
+            size,
+            locations,
+            producer,
+            created_at,
+        })
+    }
+
+    /// Exact serialized size in bytes (used by the network model).
+    pub fn encoded_len(&self) -> usize {
+        4 + self.name.len()
+            + 8
+            + 4
+            + self.locations.len() * 6
+            + 1
+            + self.producer.as_ref().map_or(0, |p| 4 + p.len())
+            + 8
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, MetaError> {
+    if buf.remaining() < 4 {
+        return Err(MetaError::Codec("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > 16 * 1024 * 1024 {
+        return Err(MetaError::Codec(format!("implausible string length {len}")));
+    }
+    if buf.remaining() < len {
+        return Err(MetaError::Codec("truncated string body".into()));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|e| MetaError::Codec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RegistryEntry {
+        RegistryEntry {
+            name: "montage/proj_0042.fits".to_string(),
+            size: 190 * 1024,
+            locations: vec![
+                FileLocation { site: SiteId(0), node: 7 },
+                FileLocation { site: SiteId(2), node: 19 },
+            ],
+            producer: Some("mProject-42".to_string()),
+            created_at: 123_456_789,
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_entry() {
+        let e = sample();
+        let b = e.to_bytes();
+        assert_eq!(b.len(), e.encoded_len());
+        let back = RegistryEntry::from_bytes(b).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn roundtrip_minimal_entry() {
+        let e = RegistryEntry::new("f", 0, FileLocation { site: SiteId(3), node: 0 }, 0);
+        let back = RegistryEntry::from_bytes(e.to_bytes()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.producer, None);
+    }
+
+    #[test]
+    fn roundtrip_empty_locations() {
+        let mut e = sample();
+        e.locations.clear();
+        let back = RegistryEntry::from_bytes(e.to_bytes()).unwrap();
+        assert!(back.locations.is_empty());
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        let full = sample().to_bytes();
+        for cut in 0..full.len() {
+            let sliced = full.slice(0..cut);
+            let res = RegistryEntry::from_bytes(sliced);
+            assert!(res.is_err(), "truncation at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn garbage_payload_errors() {
+        let garbage = Bytes::from(vec![0xFFu8; 64]);
+        assert!(RegistryEntry::from_bytes(garbage).is_err());
+    }
+
+    #[test]
+    fn add_location_dedups() {
+        let mut e = sample();
+        let loc = FileLocation { site: SiteId(0), node: 7 };
+        assert!(!e.add_location(loc), "existing location should not duplicate");
+        assert_eq!(e.locations.len(), 2);
+        assert!(e.add_location(FileLocation { site: SiteId(1), node: 1 }));
+        assert_eq!(e.locations.len(), 3);
+    }
+
+    #[test]
+    fn availability_by_site() {
+        let e = sample();
+        assert!(e.available_at(SiteId(0)));
+        assert!(e.available_at(SiteId(2)));
+        assert!(!e.available_at(SiteId(1)));
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_many_shapes() {
+        for n_locs in [0usize, 1, 5, 50] {
+            for producer in [None, Some("task".to_string())] {
+                let e = RegistryEntry {
+                    name: "x".repeat(n_locs + 1),
+                    size: 42,
+                    locations: (0..n_locs)
+                        .map(|i| FileLocation { site: SiteId(i as u16), node: i as u32 })
+                        .collect(),
+                    producer: producer.clone(),
+                    created_at: 7,
+                };
+                assert_eq!(e.to_bytes().len(), e.encoded_len());
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_small_like_the_paper_says() {
+        // Metadata must stay tiny relative to even "small" files.
+        let e = sample();
+        assert!(e.encoded_len() < 128, "entry unexpectedly large: {}", e.encoded_len());
+    }
+}

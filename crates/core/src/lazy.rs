@@ -1,0 +1,239 @@
+//! Lazy update batching: asynchronous, batched metadata propagation.
+//!
+//! "Rather than using file-level eager metadata updates across datacenters,
+//! we favor the creation of batches of updates for multiple files. We
+//! denote this approach *lazy metadata updates*" (paper §III-D). A
+//! [`LazyBatcher`] accumulates per-destination queues of entries and
+//! releases a batch when it reaches `max_batch` entries or its oldest entry
+//! exceeds `max_age`.
+
+use crate::entry::RegistryEntry;
+use geometa_sim::time::{SimDuration, SimTime};
+use geometa_sim::topology::SiteId;
+use std::collections::HashMap;
+
+/// A batch ready to be shipped to a destination registry instance.
+#[derive(Clone, Debug)]
+pub struct ReadyBatch {
+    /// Destination registry site.
+    pub target: SiteId,
+    /// Entries to absorb there.
+    pub entries: Vec<RegistryEntry>,
+}
+
+/// Accumulates lazy updates per destination and decides when to flush.
+#[derive(Debug)]
+pub struct LazyBatcher {
+    max_batch: usize,
+    max_age: SimDuration,
+    queues: HashMap<SiteId, (SimTime, Vec<RegistryEntry>)>,
+    enqueued: u64,
+    flushed_batches: u64,
+}
+
+impl LazyBatcher {
+    /// Flush when a destination queue reaches `max_batch` entries or its
+    /// oldest entry is older than `max_age`.
+    pub fn new(max_batch: usize, max_age: SimDuration) -> LazyBatcher {
+        assert!(max_batch > 0, "batch size must be positive");
+        LazyBatcher {
+            max_batch,
+            max_age,
+            queues: HashMap::new(),
+            enqueued: 0,
+            flushed_batches: 0,
+        }
+    }
+
+    /// An eager batcher: every enqueue immediately yields a single-entry
+    /// batch. Baseline for the `ablation_lazy` bench.
+    pub fn eager() -> LazyBatcher {
+        LazyBatcher::new(1, SimDuration::ZERO)
+    }
+
+    /// Queue `entry` for `target`. Returns a batch if the size threshold
+    /// tripped.
+    pub fn enqueue(
+        &mut self,
+        target: SiteId,
+        entry: RegistryEntry,
+        now: SimTime,
+    ) -> Option<ReadyBatch> {
+        self.enqueued += 1;
+        let (first_at, queue) = self
+            .queues
+            .entry(target)
+            .or_insert_with(|| (now, Vec::new()));
+        if queue.is_empty() {
+            *first_at = now;
+        }
+        queue.push(entry);
+        if queue.len() >= self.max_batch {
+            let entries = std::mem::take(queue);
+            self.flushed_batches += 1;
+            Some(ReadyBatch { target, entries })
+        } else {
+            None
+        }
+    }
+
+    /// Collect batches whose oldest entry exceeded `max_age` at `now`.
+    /// Call periodically (timer-driven).
+    pub fn poll_expired(&mut self, now: SimTime) -> Vec<ReadyBatch> {
+        let mut out = Vec::new();
+        for (&target, (first_at, queue)) in self.queues.iter_mut() {
+            if !queue.is_empty() && now.since(*first_at) >= self.max_age {
+                out.push(ReadyBatch {
+                    target,
+                    entries: std::mem::take(queue),
+                });
+                self.flushed_batches += 1;
+            }
+        }
+        // Deterministic order regardless of HashMap iteration.
+        out.sort_by_key(|b| b.target);
+        out
+    }
+
+    /// Flush everything unconditionally (shutdown / drain).
+    pub fn flush_all(&mut self) -> Vec<ReadyBatch> {
+        let mut out = Vec::new();
+        for (&target, (_, queue)) in self.queues.iter_mut() {
+            if !queue.is_empty() {
+                out.push(ReadyBatch {
+                    target,
+                    entries: std::mem::take(queue),
+                });
+                self.flushed_batches += 1;
+            }
+        }
+        out.sort_by_key(|b| b.target);
+        out
+    }
+
+    /// Entries currently waiting.
+    pub fn pending(&self) -> usize {
+        self.queues.values().map(|(_, q)| q.len()).sum()
+    }
+
+    /// When the earliest pending entry was enqueued (None if empty). Used
+    /// to schedule the next age-based flush.
+    pub fn oldest_pending(&self) -> Option<SimTime> {
+        self.queues
+            .values()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(t, _)| *t)
+            .min()
+    }
+
+    /// (entries enqueued, batches flushed) — the batching ratio is the
+    /// message-saving the lazy scheme buys.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.enqueued, self.flushed_batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::FileLocation;
+
+    fn entry(i: u32) -> RegistryEntry {
+        RegistryEntry::new(
+            format!("f{i}"),
+            1,
+            FileLocation {
+                site: SiteId(0),
+                node: i,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn size_threshold_flushes() {
+        let mut b = LazyBatcher::new(3, SimDuration::from_secs(10));
+        assert!(b.enqueue(SiteId(1), entry(0), SimTime(0)).is_none());
+        assert!(b.enqueue(SiteId(1), entry(1), SimTime(1)).is_none());
+        let batch = b.enqueue(SiteId(1), entry(2), SimTime(2)).unwrap();
+        assert_eq!(batch.target, SiteId(1));
+        assert_eq!(batch.entries.len(), 3);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn destinations_batch_independently() {
+        let mut b = LazyBatcher::new(2, SimDuration::from_secs(10));
+        assert!(b.enqueue(SiteId(1), entry(0), SimTime(0)).is_none());
+        assert!(b.enqueue(SiteId(2), entry(1), SimTime(0)).is_none());
+        assert!(b.enqueue(SiteId(1), entry(2), SimTime(0)).is_some());
+        assert_eq!(b.pending(), 1, "site 2's entry still queued");
+    }
+
+    #[test]
+    fn age_threshold_flushes_on_poll() {
+        let mut b = LazyBatcher::new(100, SimDuration::from_millis(50));
+        b.enqueue(SiteId(1), entry(0), SimTime(0));
+        assert!(b.poll_expired(SimTime(40_000)).is_empty(), "not old enough");
+        let expired = b.poll_expired(SimTime(60_000));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].entries.len(), 1);
+    }
+
+    #[test]
+    fn age_clock_resets_after_flush() {
+        let mut b = LazyBatcher::new(100, SimDuration::from_millis(50));
+        b.enqueue(SiteId(1), entry(0), SimTime(0));
+        let _ = b.poll_expired(SimTime(60_000));
+        // New entry enqueued at t=60ms must NOT be flushed at t=70ms.
+        b.enqueue(SiteId(1), entry(1), SimTime(60_000));
+        assert!(b.poll_expired(SimTime(70_000)).is_empty());
+        assert_eq!(b.poll_expired(SimTime(120_000)).len(), 1);
+    }
+
+    #[test]
+    fn eager_batcher_emits_immediately() {
+        let mut b = LazyBatcher::eager();
+        let batch = b.enqueue(SiteId(3), entry(0), SimTime(0)).unwrap();
+        assert_eq!(batch.entries.len(), 1);
+    }
+
+    #[test]
+    fn flush_all_drains_in_site_order() {
+        let mut b = LazyBatcher::new(100, SimDuration::from_secs(10));
+        b.enqueue(SiteId(2), entry(0), SimTime(0));
+        b.enqueue(SiteId(0), entry(1), SimTime(0));
+        b.enqueue(SiteId(1), entry(2), SimTime(0));
+        let all = b.flush_all();
+        let order: Vec<u16> = all.iter().map(|x| x.target.0).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn stats_expose_batching_ratio() {
+        let mut b = LazyBatcher::new(10, SimDuration::from_secs(10));
+        for i in 0..25 {
+            b.enqueue(SiteId(1), entry(i), SimTime(i as u64));
+        }
+        let _ = b.flush_all();
+        let (enqueued, batches) = b.stats();
+        assert_eq!(enqueued, 25);
+        assert_eq!(batches, 3, "2 full batches + 1 flush_all remainder");
+    }
+
+    #[test]
+    fn oldest_pending_tracks_head_of_line() {
+        let mut b = LazyBatcher::new(10, SimDuration::from_secs(1));
+        assert_eq!(b.oldest_pending(), None);
+        b.enqueue(SiteId(1), entry(0), SimTime(500));
+        b.enqueue(SiteId(2), entry(1), SimTime(300));
+        assert_eq!(b.oldest_pending(), Some(SimTime(300)));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = LazyBatcher::new(0, SimDuration::ZERO);
+    }
+}

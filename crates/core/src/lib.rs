@@ -1,0 +1,91 @@
+//! # geometa-core — multi-site metadata management strategies
+//!
+//! The primary contribution of the reproduced paper (Pineda-Morales,
+//! Costan, Antoniu: *Towards Multi-site Metadata Management for
+//! Geographically Distributed Cloud Workflows*, CLUSTER 2015): a metadata
+//! registry middleware for workflows that span several cloud datacenters,
+//! with four interchangeable management strategies:
+//!
+//! | Strategy | Write | Read |
+//! |---|---|---|
+//! | [`strategy::Centralized`] | single home registry | home registry |
+//! | [`strategy::Replicated`] | local registry, propagated by a [`sync_agent::SyncAgentState`]-driven agent | local registry |
+//! | [`strategy::DhtNonReplicated`] | hash-owner registry | hash-owner registry |
+//! | [`strategy::DhtLocalReplica`] | local registry + lazy copy to hash owner | local first, then hash owner |
+//!
+//! Supporting machinery:
+//!
+//! * [`entry::RegistryEntry`] — minimal per-file metadata (no POSIX
+//!   permissions; paper §III-B) with a compact binary codec;
+//! * [`hash`] — uniform hashing, consistent-hash ring and rendezvous
+//!   hashing for site placement;
+//! * [`registry::RegistryInstance`] — one site's registry service on top of
+//!   the high-availability cache tier from `geometa-cache`;
+//! * [`lazy::LazyBatcher`] — batched, asynchronous ("lazy") metadata
+//!   propagation giving eventual consistency (paper §III-D);
+//! * [`sync_agent`] — the replicated strategy's synchronization agent;
+//! * [`consistency`] — last-writer-wins merging and inconsistency-window
+//!   measurement;
+//! * [`controller::ArchitectureController`] — runtime strategy switching
+//!   (paper §V, "plug-and-play");
+//! * [`advisor`] — the §VII "which strategy fits what workload" analysis
+//!   as a programmatic recommendation;
+//! * [`rebalance`] — elastic metadata migration when sites join/leave
+//!   (the §VIII "server volatility" problem);
+//! * [`client`] + [`transport`] — strategy-driven client logic over an
+//!   abstract transport;
+//! * [`live`] — a real multi-threaded deployment: per-site registry service
+//!   threads, WAN-delay injection, a background sync agent, usable from any
+//!   thread.
+
+pub mod advisor;
+pub mod client;
+pub mod consistency;
+pub mod controller;
+pub mod entry;
+pub mod hash;
+pub mod lazy;
+pub mod live;
+pub mod metrics;
+pub mod plan;
+pub mod protocol;
+pub mod rebalance;
+pub mod registry;
+pub mod strategy;
+pub mod sync_agent;
+pub mod transport;
+
+pub use client::{ClientConfig, StrategyClient};
+pub use controller::ArchitectureController;
+pub use entry::{FileLocation, RegistryEntry};
+pub use plan::{ReadPlan, WritePlan};
+pub use registry::RegistryInstance;
+pub use strategy::{
+    Centralized, DhtLocalReplica, DhtNonReplicated, MetadataStrategy, Replicated, StrategyKind,
+};
+
+/// Errors surfaced by the metadata middleware.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetaError {
+    /// The entry does not exist in any probed registry instance.
+    NotFound,
+    /// A registry instance could not be reached / is failed.
+    Unavailable,
+    /// Optimistic concurrency conflict that exhausted its retry budget.
+    Contention,
+    /// Malformed wire payload.
+    Codec(String),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::NotFound => write!(f, "metadata entry not found"),
+            MetaError::Unavailable => write!(f, "registry instance unavailable"),
+            MetaError::Contention => write!(f, "optimistic concurrency retry budget exhausted"),
+            MetaError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}

@@ -1,0 +1,577 @@
+//! A real multi-threaded deployment of the metadata middleware.
+//!
+//! Where `geometa-experiments` *simulates* the paper's testbed in virtual
+//! time, this module actually runs it: one service thread per site's
+//! registry instance, clients on arbitrary threads, WAN latency injected by
+//! sleeping (scaled down so tests finish quickly), asynchronous propagation
+//! through a delay line, and — for the replicated strategy — a background
+//! synchronization agent thread.
+//!
+//! A downstream user replaces the channel transport with real sockets and
+//! the latency scale with 1.0; nothing else changes.
+//!
+//! ```
+//! use geometa_core::live::{LiveCluster, LiveConfig};
+//! use geometa_core::strategy::StrategyKind;
+//! use geometa_sim::topology::{SiteId, Topology};
+//!
+//! let cluster = LiveCluster::start(LiveConfig {
+//!     topology: Topology::azure_4dc(),
+//!     kind: StrategyKind::DhtLocalReplica,
+//!     latency_scale: 0.001, // 1000x compressed WAN latencies
+//!     ..LiveConfig::default()
+//! });
+//! let client = cluster.client(SiteId(0), 0);
+//! client.publish("quick.dat", 4096).unwrap();
+//! let entry = client.resolve("quick.dat").unwrap();
+//! assert_eq!(entry.size, 4096);
+//! cluster.shutdown();
+//! ```
+
+use crate::controller::ArchitectureController;
+use crate::protocol::{RegistryRequest, RegistryResponse};
+use crate::registry::RegistryInstance;
+use crate::strategy::StrategyKind;
+use crate::sync_agent::SyncAgentState;
+use crate::transport::{InProcessTransport, RegistryTransport};
+use crate::client::{ClientConfig, StrategyClient};
+use crate::MetaError;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use geometa_sim::topology::{SiteId, Topology};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a live cluster.
+#[derive(Clone)]
+pub struct LiveConfig {
+    /// Site layout and latency matrix.
+    pub topology: Topology,
+    /// Which of the four strategies to run.
+    pub kind: StrategyKind,
+    /// Multiplier applied to topology latencies before sleeping. 1.0 =
+    /// realistic; tests use small values to compress time.
+    pub latency_scale: f64,
+    /// Shards per registry cache.
+    pub shards: usize,
+    /// Real-time interval between sync-agent cycles (replicated strategy).
+    pub sync_interval: Duration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            topology: Topology::azure_4dc(),
+            kind: StrategyKind::DhtLocalReplica,
+            latency_scale: 0.001,
+            shards: 16,
+            sync_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+enum ServiceMsg {
+    Request {
+        req: RegistryRequest,
+        reply: Sender<RegistryResponse>,
+    },
+    Cast {
+        req: RegistryRequest,
+    },
+    Shutdown,
+}
+
+/// A deferred job executed by the delay line.
+struct DelayedJob {
+    due: Instant,
+    seq: u64,
+    job: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for DelayedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedJob {}
+impl PartialOrd for DelayedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (due, seq).
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Executes closures at deadlines; the asynchronous-propagation spine.
+pub struct DelayLine {
+    heap: Mutex<BinaryHeap<DelayedJob>>,
+    cond: Condvar,
+    seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl DelayLine {
+    fn new() -> Arc<DelayLine> {
+        Arc::new(DelayLine {
+            heap: Mutex::new(BinaryHeap::new()),
+            cond: Condvar::new(),
+            seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Schedule `job` to run after `delay`.
+    pub fn schedule(&self, delay: Duration, job: Box<dyn FnOnce() + Send>) {
+        let due = Instant::now() + delay;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.heap.lock().push(DelayedJob { due, seq, job });
+        self.cond.notify_one();
+    }
+
+    fn run_worker(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut heap = self.heap.lock();
+                loop {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match heap.peek() {
+                        None => {
+                            self.cond.wait(&mut heap);
+                        }
+                        Some(top) => {
+                            let now = Instant::now();
+                            if top.due <= now {
+                                break heap.pop().expect("peeked job exists");
+                            }
+                            let due = top.due;
+                            self.cond.wait_until(&mut heap, due);
+                        }
+                    }
+                }
+            };
+            (job.job)();
+        }
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+}
+
+/// Per-client transport: channels + injected latency.
+pub struct LiveTransport {
+    site: SiteId,
+    senders: HashMap<SiteId, Sender<ServiceMsg>>,
+    topology: Arc<Topology>,
+    scale: f64,
+    delay: Arc<DelayLine>,
+    epoch: Instant,
+}
+
+impl LiveTransport {
+    fn one_way(&self, to: SiteId) -> Duration {
+        let micros = self.topology.one_way_latency(self.site, to).as_micros();
+        Duration::from_nanos((micros as f64 * 1_000.0 * self.scale) as u64)
+    }
+}
+
+impl RegistryTransport for LiveTransport {
+    fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+        let Some(sender) = self.senders.get(&target) else {
+            return RegistryResponse::Error {
+                error: MetaError::Unavailable,
+            };
+        };
+        let lat = self.one_way(target);
+        std::thread::sleep(lat); // request flight
+        let (reply_tx, reply_rx) = bounded(1);
+        if sender
+            .send(ServiceMsg::Request {
+                req,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return RegistryResponse::Error {
+                error: MetaError::Unavailable,
+            };
+        }
+        let resp = match reply_rx.recv() {
+            Ok(r) => r,
+            Err(_) => {
+                return RegistryResponse::Error {
+                    error: MetaError::Unavailable,
+                }
+            }
+        };
+        std::thread::sleep(lat); // response flight
+        resp
+    }
+
+    fn cast(&self, target: SiteId, req: RegistryRequest) {
+        let Some(sender) = self.senders.get(&target) else {
+            return;
+        };
+        let sender = sender.clone();
+        let lat = self.one_way(target);
+        self.delay.schedule(
+            lat,
+            Box::new(move || {
+                let _ = sender.send(ServiceMsg::Cast { req });
+            }),
+        );
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn sites(&self) -> Vec<SiteId> {
+        let mut s: Vec<SiteId> = self.senders.keys().copied().collect();
+        s.sort();
+        s
+    }
+}
+
+/// A running live deployment: registry service threads, delay line, and
+/// (for the replicated strategy) a sync-agent thread.
+pub struct LiveCluster {
+    config: LiveConfig,
+    topology: Arc<Topology>,
+    registries: HashMap<SiteId, Arc<RegistryInstance>>,
+    senders: HashMap<SiteId, Sender<ServiceMsg>>,
+    controller: Arc<ArchitectureController>,
+    delay: Arc<DelayLine>,
+    threads: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    epoch: Instant,
+}
+
+impl LiveCluster {
+    /// Start service threads for every site and, if needed, the sync agent.
+    pub fn start(config: LiveConfig) -> LiveCluster {
+        let topology = Arc::new(config.topology.clone());
+        let sites: Vec<SiteId> = topology.site_ids().collect();
+        let controller = Arc::new(ArchitectureController::with_kind(config.kind, sites.clone()));
+        let epoch = Instant::now();
+        let delay = DelayLine::new();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut registries = HashMap::new();
+        let mut senders = HashMap::new();
+        let mut threads = Vec::new();
+
+        for &site in &sites {
+            let registry = Arc::new(RegistryInstance::new(site, config.shards));
+            let (tx, rx): (Sender<ServiceMsg>, Receiver<ServiceMsg>) = unbounded();
+            registries.insert(site, Arc::clone(&registry));
+            senders.insert(site, tx);
+            let epoch_c = epoch;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("registry-{site}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                ServiceMsg::Request { req, reply } => {
+                                    let now = epoch_c.elapsed().as_micros() as u64;
+                                    let resp = InProcessTransport::serve(&registry, req, now);
+                                    let _ = reply.send(resp);
+                                }
+                                ServiceMsg::Cast { req } => {
+                                    let now = epoch_c.elapsed().as_micros() as u64;
+                                    let _ = InProcessTransport::serve(&registry, req, now);
+                                }
+                                ServiceMsg::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawn registry thread"),
+            );
+        }
+
+        // Delay-line worker.
+        {
+            let delay = Arc::clone(&delay);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("delay-line".into())
+                    .spawn(move || delay.run_worker())
+                    .expect("spawn delay line"),
+            );
+        }
+
+        let mut cluster = LiveCluster {
+            config,
+            topology,
+            registries,
+            senders,
+            controller,
+            delay,
+            threads,
+            shutdown,
+            epoch,
+        };
+        if cluster.config.kind == StrategyKind::Replicated {
+            cluster.spawn_sync_agent();
+        }
+        cluster
+    }
+
+    fn spawn_sync_agent(&mut self) {
+        let sites: Vec<SiteId> = self.topology.site_ids().collect();
+        let agent_site = sites[0];
+        let senders = self.senders.clone();
+        let topology = Arc::clone(&self.topology);
+        let scale = self.config.latency_scale;
+        let interval = self.config.sync_interval;
+        let shutdown = Arc::clone(&self.shutdown);
+        let epoch = self.epoch;
+        self.threads.push(
+            std::thread::Builder::new()
+                .name("sync-agent".into())
+                .spawn(move || {
+                    let mut state = SyncAgentState::new(sites.clone());
+                    let one_way = |to: SiteId| {
+                        let us = topology.one_way_latency(agent_site, to).as_micros();
+                        Duration::from_nanos((us as f64 * 1_000.0 * scale) as u64)
+                    };
+                    while !shutdown.load(Ordering::Acquire) {
+                        for &site in &sites.clone() {
+                            if shutdown.load(Ordering::Acquire) {
+                                return;
+                            }
+                            let Some(tx) = senders.get(&site) else { continue };
+                            let lat = one_way(site);
+                            std::thread::sleep(lat);
+                            let pull_time = epoch.elapsed().as_micros() as u64;
+                            let (reply_tx, reply_rx) = bounded(1);
+                            if tx
+                                .send(ServiceMsg::Request {
+                                    req: RegistryRequest::DeltaPull {
+                                        since: state.watermark(site),
+                                    },
+                                    reply: reply_tx,
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                            let Ok(resp) = reply_rx.recv() else { return };
+                            std::thread::sleep(lat);
+                            let delta = match resp {
+                                RegistryResponse::Delta { entries } => entries,
+                                _ => Vec::new(),
+                            };
+                            // Back the watermark off by 1us so same-tick
+                            // writes are re-pulled (absorb is idempotent).
+                            let pushes =
+                                state.integrate(site, delta, pull_time.saturating_sub(1));
+                            for push in pushes {
+                                if let Some(dst) = senders.get(&push.target) {
+                                    std::thread::sleep(one_way(push.target));
+                                    let _ = dst.send(ServiceMsg::Cast {
+                                        req: RegistryRequest::Absorb {
+                                            entries: push.entries,
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                        state.cycle_done();
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("spawn sync agent"),
+        );
+    }
+
+    /// Create a client for a node at `site`.
+    pub fn client(&self, site: SiteId, node: u32) -> StrategyClient<LiveTransport> {
+        let transport = LiveTransport {
+            site,
+            senders: self.senders.clone(),
+            topology: Arc::clone(&self.topology),
+            scale: self.config.latency_scale,
+            delay: Arc::clone(&self.delay),
+            epoch: self.epoch,
+        };
+        StrategyClient::new(
+            Arc::new(transport),
+            Arc::clone(&self.controller),
+            ClientConfig { site, node },
+        )
+    }
+
+    /// The strategy controller (for runtime switching).
+    pub fn controller(&self) -> &Arc<ArchitectureController> {
+        &self.controller
+    }
+
+    /// Direct handle to a site's registry (diagnostics/tests).
+    pub fn registry(&self, site: SiteId) -> Option<&Arc<RegistryInstance>> {
+        self.registries.get(&site)
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Stop all threads and drain. Idempotent.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.delay.stop();
+        for tx in self.senders.values() {
+            let _ = tx.send(ServiceMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LiveCluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(kind: StrategyKind) -> LiveConfig {
+        LiveConfig {
+            topology: Topology::azure_4dc(),
+            kind,
+            latency_scale: 0.0005, // 2000x compression: 100 ms RTT -> 50 us
+            shards: 8,
+            sync_interval: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn centralized_end_to_end() {
+        let cluster = LiveCluster::start(fast_config(StrategyKind::Centralized));
+        let w = cluster.client(SiteId(1), 0);
+        let r = cluster.client(SiteId(3), 0);
+        for i in 0..50 {
+            w.publish(&format!("f{i}"), 10).unwrap();
+        }
+        for i in 0..50 {
+            assert!(r.resolve(&format!("f{i}")).is_ok());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn dht_local_replica_end_to_end_with_lazy_propagation() {
+        let cluster = LiveCluster::start(fast_config(StrategyKind::DhtLocalReplica));
+        let w = cluster.client(SiteId(0), 0);
+        for i in 0..50 {
+            w.publish(&format!("g{i}"), 10).unwrap();
+        }
+        // Local replica is immediately visible.
+        let local = cluster.client(SiteId(0), 1);
+        for i in 0..50 {
+            assert!(local.resolve(&format!("g{i}")).is_ok());
+        }
+        // Remote readers may need the lazy push to land.
+        let remote = cluster.client(SiteId(2), 0);
+        for i in 0..50 {
+            let res = remote.resolve_with_retry(&format!("g{i}"), 50, |_| {
+                std::thread::sleep(Duration::from_millis(1))
+            });
+            assert!(res.is_ok(), "g{i} never became visible remotely");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicated_sync_agent_propagates() {
+        let cluster = LiveCluster::start(fast_config(StrategyKind::Replicated));
+        let w = cluster.client(SiteId(1), 0);
+        for i in 0..20 {
+            w.publish(&format!("r{i}"), 10).unwrap();
+        }
+        let r = cluster.client(SiteId(3), 0);
+        for i in 0..20 {
+            let res = r.resolve_with_retry(&format!("r{i}"), 200, |_| {
+                std::thread::sleep(Duration::from_millis(2))
+            });
+            assert!(res.is_ok(), "r{i} never synced");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_many_sites() {
+        let cluster = Arc::new(LiveCluster::start(fast_config(StrategyKind::DhtNonReplicated)));
+        let mut handles = Vec::new();
+        for site in 0..4u16 {
+            let cluster = Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                let c = cluster.client(SiteId(site), 0);
+                for i in 0..25 {
+                    c.publish(&format!("s{site}-f{i}"), 1).unwrap();
+                }
+                for i in 0..25 {
+                    c.resolve(&format!("s{site}-f{i}")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = (0..4)
+            .map(|s| cluster.registry(SiteId(s)).unwrap().len())
+            .sum();
+        assert_eq!(total, 100, "DHT partitioning stores each entry once");
+        Arc::try_unwrap(cluster).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent_via_drop() {
+        let cluster = LiveCluster::start(fast_config(StrategyKind::Replicated));
+        let c = cluster.client(SiteId(0), 0);
+        c.publish("x", 1).unwrap();
+        drop(cluster); // Drop path must join all threads without hanging.
+    }
+
+    #[test]
+    fn delay_line_executes_in_deadline_order() {
+        let delay = DelayLine::new();
+        let d2 = Arc::clone(&delay);
+        let worker = std::thread::spawn(move || d2.run_worker());
+        let (tx, rx) = unbounded();
+        let t1 = tx.clone();
+        let t2 = tx.clone();
+        delay.schedule(Duration::from_millis(20), Box::new(move || {
+            let _ = t1.send(2u32);
+        }));
+        delay.schedule(Duration::from_millis(5), Box::new(move || {
+            let _ = t2.send(1u32);
+        }));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+        delay.stop();
+        worker.join().unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! Registry RPC protocol: the messages exchanged between clients, registry
+//! instances and the synchronization agent.
+//!
+//! Both executors (the DES binding and the live threaded cluster) speak
+//! this protocol. Messages know their wire size so the network model can
+//! charge realistic transfer costs.
+
+use crate::entry::RegistryEntry;
+use crate::MetaError;
+
+/// Fixed per-message framing overhead (headers, request ids) charged by the
+/// network model on top of the payload.
+pub const FRAME_OVERHEAD: usize = 48;
+
+/// A request to a registry instance.
+#[derive(Clone, Debug)]
+pub enum RegistryRequest {
+    /// Read one entry by key.
+    Get { key: String },
+    /// Publish one entry (lookup + write semantics).
+    Put { entry: RegistryEntry },
+    /// Propagated entry from another instance (lazy update path). Absorbed
+    /// with merge semantics; not counted as client load.
+    Absorb { entries: Vec<RegistryEntry> },
+    /// Remove one entry.
+    Remove { key: String },
+    /// Sync agent: give me everything modified after `since`.
+    DeltaPull { since: u64 },
+}
+
+impl RegistryRequest {
+    /// Approximate size on the wire, bytes.
+    pub fn wire_size(&self) -> u64 {
+        let payload = match self {
+            RegistryRequest::Get { key } => key.len(),
+            RegistryRequest::Put { entry } => entry.encoded_len(),
+            RegistryRequest::Absorb { entries } => {
+                entries.iter().map(|e| e.encoded_len()).sum::<usize>()
+            }
+            RegistryRequest::Remove { key } => key.len(),
+            RegistryRequest::DeltaPull { .. } => 8,
+        };
+        (FRAME_OVERHEAD + payload) as u64
+    }
+
+    /// Whether the request mutates registry state.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            RegistryRequest::Put { .. }
+                | RegistryRequest::Absorb { .. }
+                | RegistryRequest::Remove { .. }
+        )
+    }
+}
+
+/// A registry instance's response.
+#[derive(Clone, Debug)]
+pub enum RegistryResponse {
+    /// Entry found.
+    Found { entry: RegistryEntry },
+    /// Write/absorb/remove acknowledged.
+    Ack,
+    /// Delta pull result.
+    Delta { entries: Vec<RegistryEntry> },
+    /// Operation failed.
+    Error { error: MetaError },
+}
+
+impl RegistryResponse {
+    /// Approximate size on the wire, bytes.
+    pub fn wire_size(&self) -> u64 {
+        let payload = match self {
+            RegistryResponse::Found { entry } => entry.encoded_len(),
+            RegistryResponse::Ack => 1,
+            RegistryResponse::Delta { entries } => {
+                entries.iter().map(|e| e.encoded_len()).sum::<usize>()
+            }
+            RegistryResponse::Error { .. } => 16,
+        };
+        (FRAME_OVERHEAD + payload) as u64
+    }
+
+    /// Unwrap into a found entry or an error.
+    pub fn into_entry(self) -> Result<RegistryEntry, MetaError> {
+        match self {
+            RegistryResponse::Found { entry } => Ok(entry),
+            RegistryResponse::Error { error } => Err(error),
+            other => Err(MetaError::Codec(format!(
+                "expected Found, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Unwrap an acknowledgement.
+    pub fn into_ack(self) -> Result<(), MetaError> {
+        match self {
+            RegistryResponse::Ack => Ok(()),
+            RegistryResponse::Error { error } => Err(error),
+            other => Err(MetaError::Codec(format!("expected Ack, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::FileLocation;
+    use geometa_sim::topology::SiteId;
+
+    fn entry(name: &str) -> RegistryEntry {
+        RegistryEntry::new(
+            name,
+            10,
+            FileLocation {
+                site: SiteId(0),
+                node: 0,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = RegistryRequest::Get { key: "k".into() };
+        let put = RegistryRequest::Put { entry: entry("a-much-longer-file-name") };
+        assert!(put.wire_size() > small.wire_size());
+        let batch = RegistryRequest::Absorb {
+            entries: (0..10).map(|i| entry(&format!("f{i}"))).collect(),
+        };
+        // One frame overhead amortized over ten entries: much bigger than a
+        // single put, far smaller than ten framed puts.
+        assert!(batch.wire_size() > put.wire_size());
+        let single = RegistryRequest::Absorb { entries: vec![entry("f0")] };
+        assert!(batch.wire_size() < single.wire_size() * 10);
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(RegistryRequest::Put { entry: entry("f") }.is_write());
+        assert!(RegistryRequest::Remove { key: "f".into() }.is_write());
+        assert!(RegistryRequest::Absorb { entries: vec![] }.is_write());
+        assert!(!RegistryRequest::Get { key: "f".into() }.is_write());
+        assert!(!RegistryRequest::DeltaPull { since: 0 }.is_write());
+    }
+
+    #[test]
+    fn response_unwrapping() {
+        let e = entry("f");
+        assert_eq!(
+            RegistryResponse::Found { entry: e.clone() }.into_entry().unwrap(),
+            e
+        );
+        assert!(RegistryResponse::Ack.into_ack().is_ok());
+        assert_eq!(
+            RegistryResponse::Error { error: MetaError::NotFound }.into_entry(),
+            Err(MetaError::NotFound)
+        );
+        assert!(RegistryResponse::Ack.into_entry().is_err());
+        assert!(RegistryResponse::Found { entry: e }.into_ack().is_err());
+    }
+}

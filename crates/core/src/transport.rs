@@ -1,0 +1,208 @@
+//! Transport abstraction between metadata clients and registry instances.
+//!
+//! The strategy layer produces *plans*; a transport executes individual
+//! RPCs. Three transports exist in the project:
+//!
+//! * [`InProcessTransport`] (here) — direct function calls into registry
+//!   instances, zero latency. Used by unit tests, examples and as the
+//!   building block of the others.
+//! * `geometa_core::live` — real threads and channels with injected WAN
+//!   delay.
+//! * `geometa_experiments::simbind` — the discrete-event simulation
+//!   binding.
+
+use crate::protocol::{RegistryRequest, RegistryResponse};
+use crate::registry::RegistryInstance;
+use crate::MetaError;
+use geometa_sim::topology::SiteId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Synchronous request/response transport to registry instances.
+pub trait RegistryTransport: Send + Sync {
+    /// Blocking RPC to the registry instance at `target`.
+    fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse;
+
+    /// Fire-and-forget send (the lazy propagation path). Default: a
+    /// blocking call whose response is dropped.
+    fn cast(&self, target: SiteId, req: RegistryRequest) {
+        let _ = self.call(target, req);
+    }
+
+    /// Monotonic logical clock in microseconds (stamped onto writes).
+    fn now_micros(&self) -> u64;
+
+    /// Sites reachable through this transport.
+    fn sites(&self) -> Vec<SiteId>;
+}
+
+/// Zero-latency transport: registry instances in the same process.
+pub struct InProcessTransport {
+    registries: HashMap<SiteId, Arc<RegistryInstance>>,
+    clock: AtomicU64,
+}
+
+impl InProcessTransport {
+    /// Create registry instances for every given site.
+    pub fn new(sites: &[SiteId], shards: usize) -> InProcessTransport {
+        InProcessTransport {
+            registries: sites
+                .iter()
+                .map(|&s| (s, Arc::new(RegistryInstance::new(s, shards))))
+                .collect(),
+            clock: AtomicU64::new(1),
+        }
+    }
+
+    /// Direct handle to a site's registry instance.
+    pub fn registry(&self, site: SiteId) -> Option<&Arc<RegistryInstance>> {
+        self.registries.get(&site)
+    }
+
+    /// Serve one request against one instance — shared by every transport
+    /// implementation so registry semantics live in exactly one place.
+    pub fn serve(
+        registry: &RegistryInstance,
+        req: RegistryRequest,
+        now: u64,
+    ) -> RegistryResponse {
+        match req {
+            RegistryRequest::Get { key } => match registry.get(&key) {
+                Ok(entry) => RegistryResponse::Found { entry },
+                Err(error) => RegistryResponse::Error { error },
+            },
+            RegistryRequest::Put { entry } => match registry.put(&entry, now) {
+                Ok(_) => RegistryResponse::Ack,
+                Err(error) => RegistryResponse::Error { error },
+            },
+            RegistryRequest::Absorb { entries } => match registry.absorb_batch(&entries) {
+                Ok(_) => RegistryResponse::Ack,
+                Err(error) => RegistryResponse::Error { error },
+            },
+            RegistryRequest::Remove { key } => match registry.remove(&key) {
+                Ok(()) => RegistryResponse::Ack,
+                Err(error) => RegistryResponse::Error { error },
+            },
+            RegistryRequest::DeltaPull { since } => RegistryResponse::Delta {
+                entries: registry.delta_since(since),
+            },
+        }
+    }
+}
+
+impl RegistryTransport for InProcessTransport {
+    fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+        let now = self.now_micros();
+        match self.registries.get(&target) {
+            Some(r) => Self::serve(r, req, now),
+            None => RegistryResponse::Error {
+                error: MetaError::Unavailable,
+            },
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn sites(&self) -> Vec<SiteId> {
+        let mut s: Vec<SiteId> = self.registries.keys().copied().collect();
+        s.sort();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{FileLocation, RegistryEntry};
+
+    fn transport() -> InProcessTransport {
+        let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+        InProcessTransport::new(&sites, 8)
+    }
+
+    fn entry(name: &str) -> RegistryEntry {
+        RegistryEntry::new(
+            name,
+            10,
+            FileLocation {
+                site: SiteId(0),
+                node: 0,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn put_and_get_through_transport() {
+        let t = transport();
+        let resp = t.call(SiteId(1), RegistryRequest::Put { entry: entry("f") });
+        resp.into_ack().unwrap();
+        let found = t
+            .call(SiteId(1), RegistryRequest::Get { key: "f".into() })
+            .into_entry()
+            .unwrap();
+        assert_eq!(found.name, "f");
+        // Other sites don't have it — partitioned by construction.
+        let miss = t.call(SiteId(2), RegistryRequest::Get { key: "f".into() });
+        assert_eq!(miss.into_entry(), Err(MetaError::NotFound));
+    }
+
+    #[test]
+    fn unknown_site_is_unavailable() {
+        let t = transport();
+        let resp = t.call(SiteId(9), RegistryRequest::Get { key: "f".into() });
+        assert_eq!(resp.into_entry(), Err(MetaError::Unavailable));
+    }
+
+    #[test]
+    fn delta_pull_round_trip() {
+        let t = transport();
+        t.call(SiteId(0), RegistryRequest::Put { entry: entry("a") })
+            .into_ack()
+            .unwrap();
+        t.call(SiteId(0), RegistryRequest::Put { entry: entry("b") })
+            .into_ack()
+            .unwrap();
+        match t.call(SiteId(0), RegistryRequest::DeltaPull { since: 0 }) {
+            RegistryResponse::Delta { entries } => assert_eq!(entries.len(), 2),
+            other => panic!("expected delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorb_merges_remotely() {
+        let t = transport();
+        t.call(SiteId(3), RegistryRequest::Absorb { entries: vec![entry("f")] })
+            .into_ack()
+            .unwrap();
+        let found = t
+            .call(SiteId(3), RegistryRequest::Get { key: "f".into() })
+            .into_entry()
+            .unwrap();
+        assert_eq!(found.name, "f");
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let t = transport();
+        let a = t.now_micros();
+        let b = t.now_micros();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn remove_via_transport() {
+        let t = transport();
+        t.call(SiteId(0), RegistryRequest::Put { entry: entry("f") })
+            .into_ack()
+            .unwrap();
+        t.call(SiteId(0), RegistryRequest::Remove { key: "f".into() })
+            .into_ack()
+            .unwrap();
+        let miss = t.call(SiteId(0), RegistryRequest::Get { key: "f".into() });
+        assert_eq!(miss.into_entry(), Err(MetaError::NotFound));
+    }
+}

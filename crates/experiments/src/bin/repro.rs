@@ -1,0 +1,86 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro                 # run everything at full scale
+//! repro fig1 fig7       # run a subset
+//! repro --quick         # reduced sizes (seconds instead of minutes)
+//! repro --csv fig5      # CSV output instead of ASCII tables
+//! ```
+
+use geometa_experiments::{fig1, fig10, fig5, fig6, fig7, fig8};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+    let emit = |t: geometa_experiments::table::Table| {
+        if csv {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+
+    let t0 = Instant::now();
+    if want("fig1") {
+        let cfg = if quick { fig1::Fig1Config::quick() } else { fig1::Fig1Config::default() };
+        eprintln!("[repro] fig1 ...");
+        emit(fig1::render(&fig1::run(&cfg)));
+    }
+    if want("fig5") {
+        let cfg = if quick { fig5::Fig5Config::quick() } else { fig5::Fig5Config::default() };
+        eprintln!("[repro] fig5 ...");
+        let rows = fig5::run(&cfg);
+        emit(fig5::render(&rows));
+        println!(
+            "headline: best decentralized gain over centralized at the largest point = {:.0}%\n",
+            fig5::headline_gain(&rows) * 100.0
+        );
+    }
+    if want("fig6") {
+        let cfg = if quick { fig6::Fig6Config::quick() } else { fig6::Fig6Config::default() };
+        eprintln!("[repro] fig6 ...");
+        let out = fig6::run(&cfg);
+        emit(fig6::render(&out));
+        emit(fig6::render_centrality(&out));
+        println!(
+            "headline: DR speedup over DN in the 20-70% band = {:.2}x\n",
+            fig6::midband_speedup(&out)
+        );
+    }
+    if want("fig7") {
+        let cfg = if quick { fig7::Fig7Config::quick() } else { fig7::Fig7Config::default() };
+        eprintln!("[repro] fig7 ...");
+        emit(fig7::render(&fig7::run(&cfg)));
+    }
+    if want("fig8") {
+        let cfg = if quick { fig8::Fig8Config::quick() } else { fig8::Fig8Config::default() };
+        eprintln!("[repro] fig8 ...");
+        emit(fig8::render(&fig8::run(&cfg)));
+    }
+    if want("fig10") {
+        let cfg = if quick { fig10::Fig10Config::quick() } else { fig10::Fig10Config::default() };
+        eprintln!("[repro] fig10 ...");
+        let rows = fig10::run(&cfg);
+        emit(fig10::render(&rows));
+        for r in rows
+            .iter()
+            .filter(|r| r.scenario == geometa_workflow::apps::synthetic::Scenario::MetadataIntensive)
+        {
+            println!(
+                "headline: {} MI decentralized gain = {:.0}%",
+                r.app.label(),
+                fig10::decentralized_gain(r) * 100.0
+            );
+        }
+        println!();
+    }
+    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}

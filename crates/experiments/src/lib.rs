@@ -1,0 +1,34 @@
+//! # geometa-experiments — reproducing the paper's evaluation
+//!
+//! One module per figure/table of *Towards Multi-site Metadata Management
+//! for Geographically Distributed Cloud Workflows* (CLUSTER 2015):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`]  | Fig. 1 — metadata op time vs registry distance |
+//! | [`fig5`]  | Fig. 5 — node execution time vs ops/node, 4 strategies |
+//! | [`fig6`]  | Fig. 6 — progress curves + the site-centrality analysis |
+//! | [`fig7`]  | Fig. 7 — throughput vs node count |
+//! | [`fig8`]  | Fig. 8 — fixed 32k-op batch completion vs node count |
+//! | [`fig10`] | Fig. 10 — BuzzFlow/Montage makespans, Table I scenarios |
+//!
+//! [`simbind`] binds the real middleware (`geometa-core` registry
+//! instances, strategies, sync-agent state machine) into the
+//! discrete-event simulator — the *same* registry code that runs in the
+//! live threaded cluster serves requests inside the simulation.
+//! [`calibration`] holds the latency/service constants and their
+//! rationale. The `repro` binary runs everything and prints paper-style
+//! tables.
+
+pub mod calibration;
+pub mod fig1;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod simbind;
+pub mod table;
+
+pub use calibration::Calibration;
+pub use simbind::{run_synthetic, run_workflow, SimConfig, SyntheticOutcome, WorkflowOutcome};

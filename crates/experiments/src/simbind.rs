@@ -1,0 +1,1135 @@
+//! Binding the metadata middleware into the discrete-event simulator.
+//!
+//! The registry actors wrap **real** [`RegistryInstance`]s — the same code
+//! that serves the live threaded cluster — behind a FIFO service queue, so
+//! merge semantics, OCC and delta queries in the simulation are the
+//! genuine article, while timing (WAN latency, service time, congestion)
+//! is modeled.
+//!
+//! Three kinds of actors:
+//! * [`RegistryActor`] — one per registry site; serves requests after
+//!   queueing + congestion-inflated service time;
+//! * [`SyntheticClientActor`] — a §VI-B benchmark node (writer or reader);
+//! * [`WorkflowNodeActor`] — an execution node running its share of a
+//!   workflow DAG, resolving inputs through the registry (with polling
+//!   retries) and publishing outputs;
+//!
+//! plus [`SyncAgentActor`], the replicated strategy's synchronization
+//! agent driven by the transport-agnostic [`SyncAgentState`].
+
+use crate::calibration::Calibration;
+use geometa_core::controller::build_strategy;
+use geometa_core::entry::{FileLocation, RegistryEntry};
+use geometa_core::protocol::{RegistryRequest, RegistryResponse};
+use geometa_core::registry::RegistryInstance;
+use geometa_core::strategy::{MetadataStrategy, StrategyKind};
+use geometa_core::sync_agent::{SyncAgentState, SyncPush};
+use geometa_core::transport::InProcessTransport;
+use geometa_core::MetaError;
+use geometa_sim::prelude::*;
+use geometa_sim::server::ServiceTime;
+use geometa_workflow::apps::synthetic::{Role, SyntheticSpec};
+use geometa_workflow::dag::Workflow;
+use geometa_workflow::scheduler::Placement;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Marker op-id for fire-and-forget requests (no response expected).
+pub const CAST_OP: u64 = u64::MAX;
+
+const TAG_NEXT_OP: u64 = 1;
+const TAG_RETRY: u64 = 2;
+const TAG_AGENT_CYCLE: u64 = 3;
+const TAG_COMPUTE: u64 = 4;
+const TAG_AGENT_PROCESS: u64 = 5;
+
+/// Messages exchanged in the simulated deployment.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Client/agent → registry.
+    Req {
+        /// Correlation id ([`CAST_OP`] = no response wanted).
+        op: u64,
+        /// The request.
+        req: RegistryRequest,
+    },
+    /// Registry → requester.
+    Resp {
+        /// Correlation id of the request.
+        op: u64,
+        /// The response.
+        resp: RegistryResponse,
+    },
+}
+
+/// Simulation-wide configuration.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Strategy under test.
+    pub kind: StrategyKind,
+    /// Site layout.
+    pub topology: Topology,
+    /// Master seed.
+    pub seed: u64,
+    /// Testbed constants.
+    pub cal: Calibration,
+    /// Override for the centralized strategy's home site (defaults to the
+    /// first site). Fig. 1 moves the registry between distance classes.
+    pub centralized_home: Option<SiteId>,
+}
+
+impl SimConfig {
+    /// Standard config: Azure 4-DC topology, default calibration.
+    pub fn new(kind: StrategyKind, seed: u64) -> SimConfig {
+        SimConfig {
+            kind,
+            topology: Topology::azure_4dc(),
+            seed,
+            cal: Calibration::default(),
+            centralized_home: None,
+        }
+    }
+}
+
+/// Which site a synthetic-benchmark node runs in: writer/reader pairs are
+/// dealt round-robin across sites, so each site gets an even mix of both
+/// roles ("32 nodes evenly distributed in our datacenters").
+pub fn site_of_node(node: usize, n_sites: usize) -> SiteId {
+    SiteId(((node / 2) % n_sites) as u16)
+}
+
+// ---------------------------------------------------------------------
+// Registry actor
+// ---------------------------------------------------------------------
+
+/// One site's registry service inside the simulation.
+pub struct RegistryActor {
+    instance: Arc<RegistryInstance>,
+    queue: ServiceQueue,
+    cal: Calibration,
+}
+
+impl RegistryActor {
+    fn new(instance: Arc<RegistryInstance>, cal: Calibration, seed: u64) -> RegistryActor {
+        RegistryActor {
+            instance,
+            queue: ServiceQueue::new(ServiceTime::Exponential(cal.registry_service), seed),
+            cal,
+        }
+    }
+}
+
+impl Actor<Msg> for RegistryActor {
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        let Msg::Req { op, req } = env.msg else {
+            return;
+        };
+        let now = ctx.now();
+        // Batched absorbs are cheap per entry; everything else is one unit.
+        let weight = match &req {
+            RegistryRequest::Absorb { entries } => {
+                (entries.len() as f64 * self.cal.absorb_weight).max(self.cal.absorb_weight)
+            }
+            _ => 1.0,
+        };
+        // Congestion: service inflates with the backlog (the paper's
+        // "near-exponential" overload behaviour of the shared instance).
+        let base = self.queue.base_service_time().as_micros().max(1) as f64;
+        let outstanding =
+            (self.queue.backlog(now).as_micros() as f64 / base).min(self.cal.congestion_cap);
+        let factor = weight * (1.0 + self.cal.congestion_alpha * outstanding);
+        let done = self.queue.admit_scaled(now, factor);
+        // Serve against the real registry, stamped with the completion time.
+        let resp = InProcessTransport::serve(&self.instance, req, done.as_micros());
+        ctx.metrics().incr("registry_ops", 1);
+        if op != CAST_OP {
+            let size = resp.wire_size();
+            ctx.send_delayed(env.from, Msg::Resp { op, resp }, size, done - now);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synthetic benchmark client
+// ---------------------------------------------------------------------
+
+enum ClientPhase {
+    Idle,
+    Write {
+        async_targets: Vec<SiteId>,
+        entry: RegistryEntry,
+    },
+    Read {
+        key: String,
+        probes: Vec<SiteId>,
+        probe_idx: usize,
+        retries: usize,
+    },
+}
+
+/// A §VI-B benchmark node: a writer posting consecutive entries or a
+/// reader fetching random ones, in a closed loop with per-op overhead.
+pub struct SyntheticClientActor {
+    spec: SyntheticSpec,
+    node: usize,
+    site: SiteId,
+    role: Role,
+    strategy: Arc<dyn MetadataStrategy>,
+    registries: Arc<HashMap<SiteId, ActorId>>,
+    cal: Calibration,
+    ops_done: usize,
+    op_seq: u64,
+    op_started: SimTime,
+    phase: ClientPhase,
+    key_rng: geometa_sim::rng::SplitMix64,
+}
+
+impl SyntheticClientActor {
+    fn begin_op(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.ops_done >= self.spec.ops_per_node {
+            let now = ctx.now();
+            ctx.metrics().incr("clients_done", 1);
+            ctx.metrics().complete("node_done", now);
+            ctx.metrics()
+                .complete(&format!("node_done_site{}", self.site.0), now);
+            return;
+        }
+        self.op_started = ctx.now();
+        self.op_seq += 1;
+        match self.role {
+            Role::Writer => {
+                let key = self.spec.writer_key(self.node, self.ops_done);
+                let entry = RegistryEntry::new(
+                    &key,
+                    0, // empty files, like the paper's benchmark
+                    FileLocation {
+                        site: self.site,
+                        node: self.node as u32,
+                    },
+                    ctx.now().as_micros(),
+                );
+                let plan = self.strategy.write_plan(&key, self.site);
+                let target = plan.sync_targets[0];
+                self.phase = ClientPhase::Write {
+                    async_targets: plan.async_targets,
+                    entry: entry.clone(),
+                };
+                let req = RegistryRequest::Put { entry };
+                let size = req.wire_size();
+                ctx.send(self.registries[&target], Msg::Req { op: self.op_seq, req }, size);
+            }
+            Role::Reader => {
+                let key = self.spec.reader_key(self.node, self.ops_done, &mut self.key_rng);
+                let plan = self.strategy.read_plan(&key, self.site);
+                self.phase = ClientPhase::Read {
+                    key: key.clone(),
+                    probes: plan.probes,
+                    probe_idx: 0,
+                    retries: 0,
+                };
+                self.send_probe(ctx);
+            }
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<Msg>) {
+        let ClientPhase::Read { key, probes, probe_idx, .. } = &self.phase else {
+            return;
+        };
+        let target = probes[*probe_idx];
+        let req = RegistryRequest::Get { key: key.clone() };
+        let size = req.wire_size();
+        ctx.send(self.registries[&target], Msg::Req { op: self.op_seq, req }, size);
+    }
+
+    fn complete_op(&mut self, ctx: &mut Ctx<Msg>, missed: bool) {
+        let now = ctx.now();
+        ctx.metrics().complete("ops", now);
+        ctx.metrics().complete(&format!("ops_site{}", self.site.0), now);
+        ctx.metrics().observe("op_latency", now.since(self.op_started));
+        if missed {
+            ctx.metrics().incr("read_miss", 1);
+        }
+        self.ops_done += 1;
+        self.phase = ClientPhase::Idle;
+        // Closed loop: client-side overhead (±10% jitter so nodes don't
+        // march in lockstep) plus any modeled computation.
+        let jitter = 1.0 + ctx.rng().jitter(0.1);
+        let pause = self.cal.client_overhead.mul_f64(jitter) + self.spec.compute_per_op;
+        ctx.set_timer(pause, TAG_NEXT_OP);
+    }
+}
+
+impl Actor<Msg> for SyntheticClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        // Staggered start within one overhead period.
+        let stagger = self
+            .cal
+            .client_overhead
+            .mul_f64(ctx.rng().uniform_f64())
+            + SimDuration::from_micros(ctx.rng().range_u64(1_000));
+        ctx.set_timer(stagger, TAG_NEXT_OP);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _id: TimerId, tag: u64) {
+        match tag {
+            TAG_NEXT_OP => self.begin_op(ctx),
+            TAG_RETRY => {
+                if let ClientPhase::Read { probe_idx, .. } = &mut self.phase {
+                    *probe_idx = 0;
+                    self.send_probe(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        let Msg::Resp { op, resp } = env.msg else {
+            return;
+        };
+        if op != self.op_seq {
+            return; // stale response from an abandoned probe
+        }
+        match std::mem::replace(&mut self.phase, ClientPhase::Idle) {
+            ClientPhase::Write { async_targets, entry } => {
+                // Write completed locally; fire lazy propagation.
+                for t in async_targets {
+                    let req = RegistryRequest::Absorb {
+                        entries: vec![entry.clone()],
+                    };
+                    let size = req.wire_size();
+                    ctx.send(self.registries[&t], Msg::Req { op: CAST_OP, req }, size);
+                    ctx.metrics().incr("async_pushes", 1);
+                }
+                self.complete_op(ctx, false);
+            }
+            ClientPhase::Read {
+                key,
+                probes,
+                probe_idx,
+                retries,
+            } => match resp {
+                RegistryResponse::Found { .. } => {
+                    if probe_idx == 0 && probes[0] == self.site {
+                        ctx.metrics().incr("local_read_hits", 1);
+                    } else {
+                        ctx.metrics().incr("remote_reads", 1);
+                    }
+                    self.complete_op(ctx, false);
+                }
+                RegistryResponse::Error {
+                    error: MetaError::NotFound,
+                } => {
+                    if probe_idx + 1 < probes.len() {
+                        self.phase = ClientPhase::Read {
+                            key,
+                            probes,
+                            probe_idx: probe_idx + 1,
+                            retries,
+                        };
+                        self.send_probe(ctx);
+                    } else if retries < self.cal.max_read_retries {
+                        ctx.metrics().incr("read_retries", 1);
+                        self.phase = ClientPhase::Read {
+                            key,
+                            probes,
+                            probe_idx: 0,
+                            retries: retries + 1,
+                        };
+                        ctx.set_timer(self.cal.read_retry_backoff, TAG_RETRY);
+                    } else {
+                        self.complete_op(ctx, true);
+                    }
+                }
+                _ => self.complete_op(ctx, true),
+            },
+            ClientPhase::Idle => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sync agent actor (replicated strategy)
+// ---------------------------------------------------------------------
+
+/// The replicated strategy's synchronization agent: sequentially pulls
+/// deltas from every instance and pushes them to the others, one push at a
+/// time ("it sequentially queries the instances for updates and propagates
+/// them to the rest of the set"). The serial pull→process→push cycle is
+/// precisely why the single agent saturates under metadata-intensive load
+/// (paper Fig. 7, >32 nodes).
+pub struct SyncAgentActor {
+    state: SyncAgentState,
+    registries: Arc<HashMap<SiteId, ActorId>>,
+    order: Vec<SiteId>,
+    idx: usize,
+    cal: Calibration,
+    n_clients: u64,
+    pull_sent_at: SimTime,
+    pending_pushes: Vec<SyncPush>,
+    awaiting_push_ack: bool,
+    draining: bool,
+    op_seq: u64,
+}
+
+impl SyncAgentActor {
+    fn send_pull(&mut self, ctx: &mut Ctx<Msg>) {
+        let site = self.order[self.idx];
+        let since = self.state.watermark(site);
+        self.pull_sent_at = ctx.now();
+        self.op_seq += 1;
+        let req = RegistryRequest::DeltaPull { since };
+        let size = req.wire_size();
+        ctx.send(self.registries[&site], Msg::Req { op: self.op_seq, req }, size);
+    }
+
+    /// Ship the next pending push synchronously, or move to the next site.
+    fn next_push_or_advance(&mut self, ctx: &mut Ctx<Msg>) {
+        if let Some(push) = self.pending_pushes.pop() {
+            self.op_seq += 1;
+            self.awaiting_push_ack = true;
+            let req = RegistryRequest::Absorb {
+                entries: push.entries,
+            };
+            let size = req.wire_size();
+            ctx.send(
+                self.registries[&push.target],
+                Msg::Req {
+                    op: self.op_seq,
+                    req,
+                },
+                size,
+            );
+            return;
+        }
+        self.awaiting_push_ack = false;
+        self.advance(ctx);
+    }
+
+    fn advance(&mut self, ctx: &mut Ctx<Msg>) {
+        self.idx += 1;
+        if self.idx < self.order.len() {
+            self.send_pull(ctx);
+            return;
+        }
+        self.state.cycle_done();
+        ctx.metrics().incr("sync_cycles", 1);
+        let all_done = ctx.metrics().counter("clients_done") >= self.n_clients;
+        if all_done {
+            if self.draining {
+                return; // final drain cycle finished; stop scheduling
+            }
+            self.draining = true;
+        }
+        let pause = if self.draining {
+            SimDuration::ZERO
+        } else {
+            self.cal.agent_interval
+        };
+        self.idx = 0;
+        ctx.set_timer(pause, TAG_AGENT_CYCLE);
+    }
+}
+
+impl Actor<Msg> for SyncAgentActor {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        self.send_pull(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _id: TimerId, tag: u64) {
+        match tag {
+            TAG_AGENT_CYCLE => self.send_pull(ctx),
+            TAG_AGENT_PROCESS => {
+                self.next_push_or_advance(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        let Msg::Resp { op, resp } = env.msg else {
+            return;
+        };
+        if op != self.op_seq {
+            return;
+        }
+        if self.awaiting_push_ack {
+            // A push was acknowledged; ship the next one.
+            self.next_push_or_advance(ctx);
+            return;
+        }
+        let entries = match resp {
+            RegistryResponse::Delta { entries } => entries,
+            _ => Vec::new(),
+        };
+        let n = entries.len();
+        ctx.metrics().incr("sync_entries", n as u64);
+        let site = self.order[self.idx];
+        // Watermark: everything modified before the pull was sent is
+        // definitely covered; back off 1 µs for same-tick writes (absorb
+        // is idempotent, so overlap is harmless).
+        let up_to = self.pull_sent_at.as_micros().saturating_sub(1);
+        self.pending_pushes = self.state.integrate(site, entries, up_to);
+        // Serial per-entry processing — the agent's scaling bottleneck.
+        let cost = self.cal.agent_per_entry * (n as u64);
+        ctx.set_timer(cost, TAG_AGENT_PROCESS);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workflow node actor
+// ---------------------------------------------------------------------
+
+struct NodeTask {
+    inputs: Vec<String>,
+    outputs: Vec<(String, u64)>,
+    compute: SimDuration,
+}
+
+enum WfPhase {
+    Idle,
+    Resolving {
+        input_idx: usize,
+        probes: Vec<SiteId>,
+        probe_idx: usize,
+        retries: usize,
+    },
+    Publishing {
+        out_idx: usize,
+        async_targets: Vec<SiteId>,
+        entry: RegistryEntry,
+    },
+}
+
+/// An execution node running its queue of workflow tasks: resolve inputs
+/// (polling the registry until they appear), compute, publish outputs.
+pub struct WorkflowNodeActor {
+    tasks: Vec<NodeTask>,
+    site: SiteId,
+    node_idx: u32,
+    strategy: Arc<dyn MetadataStrategy>,
+    registries: Arc<HashMap<SiteId, ActorId>>,
+    cal: Calibration,
+    cursor: usize,
+    phase: WfPhase,
+    op_seq: u64,
+}
+
+impl WorkflowNodeActor {
+    fn step(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.cursor >= self.tasks.len() {
+            let now = ctx.now();
+            ctx.metrics().incr("clients_done", 1);
+            ctx.metrics().complete("node_done", now);
+            return;
+        }
+        let task = &self.tasks[self.cursor];
+        match std::mem::replace(&mut self.phase, WfPhase::Idle) {
+            WfPhase::Idle => {
+                if task.inputs.is_empty() {
+                    ctx.set_timer(task.compute, TAG_COMPUTE);
+                } else {
+                    self.start_resolve(ctx, 0, 0);
+                }
+            }
+            other => self.phase = other,
+        }
+    }
+
+    fn start_resolve(&mut self, ctx: &mut Ctx<Msg>, input_idx: usize, retries: usize) {
+        let key = self.tasks[self.cursor].inputs[input_idx].clone();
+        let plan = self.strategy.read_plan(&key, self.site);
+        self.phase = WfPhase::Resolving {
+            input_idx,
+            probes: plan.probes,
+            probe_idx: 0,
+            retries,
+        };
+        self.send_read(ctx, input_idx, 0);
+    }
+
+    fn send_read(&mut self, ctx: &mut Ctx<Msg>, input_idx: usize, probe_idx: usize) {
+        let key = self.tasks[self.cursor].inputs[input_idx].clone();
+        let WfPhase::Resolving { probes, .. } = &self.phase else {
+            return;
+        };
+        let target = probes[probe_idx];
+        self.op_seq += 1;
+        let req = RegistryRequest::Get { key };
+        let size = req.wire_size();
+        ctx.send(self.registries[&target], Msg::Req { op: self.op_seq, req }, size);
+    }
+
+    fn start_publish(&mut self, ctx: &mut Ctx<Msg>, out_idx: usize) {
+        let task = &self.tasks[self.cursor];
+        if out_idx >= task.outputs.len() {
+            // Task finished.
+            self.cursor += 1;
+            self.phase = WfPhase::Idle;
+            ctx.metrics().incr("wf_tasks_done", 1);
+            let pause = self.op_pause(ctx);
+                        ctx.set_timer(pause, TAG_NEXT_OP);
+            return;
+        }
+        let (name, bytes) = task.outputs[out_idx].clone();
+        let entry = RegistryEntry::new(
+            &name,
+            bytes,
+            FileLocation {
+                site: self.site,
+                node: self.node_idx,
+            },
+            ctx.now().as_micros(),
+        );
+        let plan = self.strategy.write_plan(&name, self.site);
+        self.op_seq += 1;
+        self.phase = WfPhase::Publishing {
+            out_idx,
+            async_targets: plan.async_targets,
+            entry: entry.clone(),
+        };
+        let req = RegistryRequest::Put { entry };
+        let size = req.wire_size();
+        ctx.send(
+            self.registries[&plan.sync_targets[0]],
+            Msg::Req { op: self.op_seq, req },
+            size,
+        );
+    }
+
+    fn op_pause(&self, ctx: &mut Ctx<Msg>) -> SimDuration {
+        let jitter = 1.0 + ctx.rng().jitter(0.1);
+        self.cal.client_overhead.mul_f64(jitter)
+    }
+
+    fn complete_meta_op(&mut self, ctx: &mut Ctx<Msg>) {
+        let now = ctx.now();
+        ctx.metrics().complete("ops", now);
+    }
+}
+
+impl Actor<Msg> for WorkflowNodeActor {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        let stagger = self.cal.client_overhead.mul_f64(ctx.rng().uniform_f64());
+        ctx.set_timer(stagger, TAG_NEXT_OP);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _id: TimerId, tag: u64) {
+        match tag {
+            TAG_NEXT_OP => match std::mem::replace(&mut self.phase, WfPhase::Idle) {
+                WfPhase::Idle => self.step(ctx),
+                WfPhase::Resolving {
+                    input_idx, retries, ..
+                } => {
+                    // Continue with the next input after the per-op pause.
+                    self.start_resolve(ctx, input_idx, retries);
+                }
+                WfPhase::Publishing { out_idx, .. } => {
+                    self.start_publish(ctx, out_idx);
+                }
+            },
+            TAG_RETRY => {
+                if let WfPhase::Resolving {
+                    input_idx,
+                    probe_idx,
+                    ..
+                } = &mut self.phase
+                {
+                    let (i, _) = (*input_idx, *probe_idx);
+                    if let WfPhase::Resolving { probe_idx, .. } = &mut self.phase {
+                        *probe_idx = 0;
+                    }
+                    self.send_read(ctx, i, 0);
+                }
+            }
+            TAG_COMPUTE => {
+                // Compute finished; publish outputs.
+                self.phase = WfPhase::Publishing {
+                    out_idx: 0,
+                    async_targets: Vec::new(),
+                    entry: RegistryEntry::new(
+                        "",
+                        0,
+                        FileLocation {
+                            site: self.site,
+                            node: self.node_idx,
+                        },
+                        0,
+                    ),
+                };
+                self.start_publish(ctx, 0);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        let Msg::Resp { op, resp } = env.msg else {
+            return;
+        };
+        if op != self.op_seq {
+            return;
+        }
+        match std::mem::replace(&mut self.phase, WfPhase::Idle) {
+            WfPhase::Resolving {
+                input_idx,
+                probes,
+                probe_idx,
+                retries,
+            } => match resp {
+                RegistryResponse::Found { .. } => {
+                    self.complete_meta_op(ctx);
+                    let task = &self.tasks[self.cursor];
+                    if input_idx + 1 < task.inputs.len() {
+                        // Pause, then resolve the next input.
+                        self.phase = WfPhase::Resolving {
+                            input_idx: input_idx + 1,
+                            probes: Vec::new(),
+                            probe_idx: 0,
+                            retries: 0,
+                        };
+                        let pause = self.op_pause(ctx);
+                        ctx.set_timer(pause, TAG_NEXT_OP);
+                    } else {
+                        ctx.set_timer(task.compute, TAG_COMPUTE);
+                    }
+                }
+                RegistryResponse::Error {
+                    error: MetaError::NotFound,
+                } => {
+                    if probe_idx + 1 < probes.len() {
+                        self.phase = WfPhase::Resolving {
+                            input_idx,
+                            probes,
+                            probe_idx: probe_idx + 1,
+                            retries,
+                        };
+                        self.send_read(ctx, input_idx, probe_idx + 1);
+                    } else {
+                        // Input not produced yet: poll again after backoff.
+                        ctx.metrics().incr("wf_input_polls", 1);
+                        self.phase = WfPhase::Resolving {
+                            input_idx,
+                            probes,
+                            probe_idx: 0,
+                            retries: retries + 1,
+                        };
+                        ctx.set_timer(self.cal.read_retry_backoff, TAG_RETRY);
+                    }
+                }
+                _ => {
+                    // Hard error: count and skip the input.
+                    ctx.metrics().incr("wf_input_errors", 1);
+                    self.phase = WfPhase::Resolving {
+                        input_idx,
+                        probes,
+                        probe_idx: 0,
+                        retries,
+                    };
+                    ctx.set_timer(self.cal.read_retry_backoff, TAG_RETRY);
+                }
+            },
+            WfPhase::Publishing {
+                out_idx,
+                async_targets,
+                entry,
+            } => {
+                self.complete_meta_op(ctx);
+                for t in async_targets {
+                    let req = RegistryRequest::Absorb {
+                        entries: vec![entry.clone()],
+                    };
+                    let size = req.wire_size();
+                    ctx.send(self.registries[&t], Msg::Req { op: CAST_OP, req }, size);
+                }
+                self.phase = WfPhase::Publishing {
+                    out_idx: out_idx + 1,
+                    async_targets: Vec::new(),
+                    entry: RegistryEntry::new(
+                        "",
+                        0,
+                        FileLocation {
+                            site: self.site,
+                            node: self.node_idx,
+                        },
+                        0,
+                    ),
+                };
+                let pause = self.op_pause(ctx);
+                        ctx.set_timer(pause, TAG_NEXT_OP);
+            }
+            WfPhase::Idle => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------
+
+struct Deployment {
+    engine: Engine<Msg>,
+    registries: Arc<HashMap<SiteId, ActorId>>,
+    instances: HashMap<SiteId, Arc<RegistryInstance>>,
+    strategy: Arc<dyn MetadataStrategy>,
+    sites: Vec<SiteId>,
+}
+
+fn deploy(cfg: &SimConfig) -> Deployment {
+    let sites: Vec<SiteId> = cfg.topology.site_ids().collect();
+    let strategy: Arc<dyn MetadataStrategy> = match (cfg.kind, cfg.centralized_home) {
+        (StrategyKind::Centralized, Some(home)) => {
+            Arc::new(geometa_core::strategy::Centralized::new(home))
+        }
+        _ => build_strategy(cfg.kind, sites.clone()),
+    };
+    let mut engine: Engine<Msg> = Engine::new(cfg.topology.clone(), cfg.seed);
+    let mut registries = HashMap::new();
+    let mut instances = HashMap::new();
+    for &site in &strategy.registry_sites() {
+        let instance = Arc::new(RegistryInstance::new(site, cfg.cal.shards));
+        let actor = engine.add_actor(
+            site,
+            RegistryActor::new(Arc::clone(&instance), cfg.cal, cfg.seed ^ (site.0 as u64)),
+        );
+        registries.insert(site, actor);
+        instances.insert(site, instance);
+    }
+    Deployment {
+        engine,
+        registries: Arc::new(registries),
+        instances,
+        strategy,
+        sites,
+    }
+}
+
+fn add_sync_agent(dep: &mut Deployment, cfg: &SimConfig, n_clients: u64) {
+    if cfg.kind != StrategyKind::Replicated {
+        return;
+    }
+    let order: Vec<SiteId> = dep.strategy.registry_sites();
+    let agent_site = order[0];
+    dep.engine.add_actor(
+        agent_site,
+        SyncAgentActor {
+            state: SyncAgentState::new(order.clone()),
+            registries: Arc::clone(&dep.registries),
+            order,
+            idx: 0,
+            cal: cfg.cal,
+            n_clients,
+            pull_sent_at: SimTime::ZERO,
+            pending_pushes: Vec::new(),
+            awaiting_push_ack: false,
+            draining: false,
+            op_seq: 0,
+        },
+    );
+}
+
+/// Results of one synthetic-benchmark run.
+#[derive(Clone, Debug)]
+pub struct SyntheticOutcome {
+    /// Mean node completion time — Fig. 5's y-axis.
+    pub avg_node_completion: SimDuration,
+    /// Time when the last operation finished (run makespan).
+    pub makespan: SimDuration,
+    /// Aggregate throughput, ops/second — Fig. 7's y-axis.
+    pub throughput: f64,
+    /// Total client operations completed.
+    pub total_ops: usize,
+    /// (fraction completed, time) points — Fig. 6's curves.
+    pub progress: Vec<(f64, SimDuration)>,
+    /// Per-site mean node completion (site name, time) — the centrality
+    /// analysis of §VI-B.
+    pub per_site: Vec<(String, SimDuration)>,
+    /// Reads that exhausted their retry budget.
+    pub read_misses: u64,
+    /// Reader retries (staleness pressure under eventual consistency).
+    pub read_retries: u64,
+    /// Messages that crossed datacenter boundaries.
+    pub wan_messages: u64,
+    /// Fraction of successful reads answered by the first, local probe.
+    pub local_read_fraction: f64,
+}
+
+/// Run the §VI-B synthetic benchmark under one strategy.
+pub fn run_synthetic(spec: &SyntheticSpec, cfg: &SimConfig) -> SyntheticOutcome {
+    let mut dep = deploy(cfg);
+    let n_sites = dep.sites.len();
+    add_sync_agent(&mut dep, cfg, spec.nodes as u64);
+    for node in 0..spec.nodes {
+        let site = site_of_node(node, n_sites);
+        dep.engine.add_actor(
+            site,
+            SyntheticClientActor {
+                spec: *spec,
+                node,
+                site,
+                role: spec.role(node),
+                strategy: Arc::clone(&dep.strategy),
+                registries: Arc::clone(&dep.registries),
+                cal: cfg.cal,
+                ops_done: 0,
+                op_seq: 0,
+                op_started: SimTime::ZERO,
+                phase: ClientPhase::Idle,
+                key_rng: spec.node_rng(node),
+            },
+        );
+    }
+    dep.engine.set_event_limit(500_000_000);
+    let report = dep.engine.run();
+    assert!(
+        !report.hit_event_limit,
+        "synthetic run exceeded the event safety limit"
+    );
+    collect_synthetic(&mut dep, cfg)
+}
+
+fn collect_synthetic(dep: &mut Deployment, cfg: &SimConfig) -> SyntheticOutcome {
+    let wan_messages = dep.engine.network().wan_messages();
+    let read_misses = dep.engine.metrics().counter("read_miss");
+    let read_retries = dep.engine.metrics().counter("read_retries");
+    let local_hits = dep.engine.metrics().counter("local_read_hits");
+    let remote_reads = dep.engine.metrics().counter("remote_reads");
+    let local_read_fraction = if local_hits + remote_reads > 0 {
+        local_hits as f64 / (local_hits + remote_reads) as f64
+    } else {
+        0.0
+    };
+    let per_site: Vec<(String, SimDuration)> = cfg
+        .topology
+        .site_ids()
+        .map(|s| {
+            let name = cfg.topology.site(s).name.clone();
+            let mean = dep
+                .engine
+                .metrics_mut()
+                .completions_mut(&format!("node_done_site{}", s.0))
+                .mean_time();
+            (name, SimDuration::from_micros(mean.as_micros()))
+        })
+        .collect();
+    let avg_node = dep.engine.metrics_mut().completions_mut("node_done").mean_time();
+    let ops = dep.engine.metrics_mut().completions_mut("ops");
+    let total_ops = ops.count();
+    let makespan = ops.last();
+    let throughput = ops.throughput();
+    let progress: Vec<(f64, SimDuration)> = (1..=10)
+        .map(|i| {
+            let frac = i as f64 / 10.0;
+            (
+                frac,
+                SimDuration::from_micros(ops.time_at_fraction(frac).as_micros()),
+            )
+        })
+        .collect();
+    SyntheticOutcome {
+        avg_node_completion: SimDuration::from_micros(avg_node.as_micros()),
+        makespan: SimDuration::from_micros(makespan.as_micros()),
+        throughput,
+        total_ops,
+        progress,
+        per_site,
+        read_misses,
+        read_retries,
+        wan_messages,
+        local_read_fraction,
+    }
+}
+
+/// Results of one workflow run.
+#[derive(Clone, Debug)]
+pub struct WorkflowOutcome {
+    /// End-to-end makespan (last node finished) — Fig. 10's y-axis.
+    pub makespan: SimDuration,
+    /// Metadata operations completed.
+    pub total_ops: usize,
+    /// Input polls that found the file not yet published (stall pressure).
+    pub input_polls: u64,
+    /// Messages that crossed datacenter boundaries.
+    pub wan_messages: u64,
+}
+
+/// Execute a workflow DAG under one strategy: nodes resolve inputs through
+/// the registry, compute, and publish outputs (§VI-D / Fig. 10).
+pub fn run_workflow(
+    workflow: &Workflow,
+    placement: &Placement,
+    cfg: &SimConfig,
+) -> WorkflowOutcome {
+    let mut dep = deploy(cfg);
+    // External inputs pre-exist everywhere (the paper stages input data
+    // before execution).
+    for ext in workflow.external_inputs() {
+        let entry = RegistryEntry::new(
+            &ext,
+            1024,
+            FileLocation {
+                site: dep.sites[0],
+                node: 0,
+            },
+            0,
+        );
+        for inst in dep.instances.values() {
+            inst.absorb(&entry).expect("preload cannot fail");
+        }
+    }
+    // Build per-node task queues.
+    let queues = placement.per_node_queues(workflow);
+    let n_clients = queues.len() as u64;
+    add_sync_agent(&mut dep, cfg, n_clients);
+    for (node, queue) in &queues {
+        let tasks: Vec<NodeTask> = queue
+            .iter()
+            .map(|&tid| {
+                let t = workflow.task(tid);
+                NodeTask {
+                    inputs: t.inputs.clone(),
+                    outputs: t.outputs.iter().map(|f| (f.name.clone(), f.size)).collect(),
+                    compute: t.compute,
+                }
+            })
+            .collect();
+        dep.engine.add_actor(
+            node.site,
+            WorkflowNodeActor {
+                tasks,
+                site: node.site,
+                node_idx: node.index,
+                strategy: Arc::clone(&dep.strategy),
+                registries: Arc::clone(&dep.registries),
+                cal: cfg.cal,
+                cursor: 0,
+                phase: WfPhase::Idle,
+                op_seq: 0,
+            },
+        );
+    }
+    dep.engine.set_event_limit(500_000_000);
+    let report = dep.engine.run();
+    if report.hit_event_limit {
+        panic!(
+            "workflow run exceeded the event safety limit: now={} ops={} polls={} clients_done={} sync_cycles={}",
+            dep.engine.now(),
+            dep.engine.metrics().counter("registry_ops"),
+            dep.engine.metrics().counter("wf_input_polls"),
+            dep.engine.metrics().counter("clients_done"),
+            dep.engine.metrics().counter("sync_cycles"),
+        );
+    }
+    let input_polls = dep.engine.metrics().counter("wf_input_polls");
+    let wan_messages = dep.engine.network().wan_messages();
+    let makespan = dep.engine.metrics_mut().completions_mut("node_done").last();
+    let total_ops = dep.engine.metrics_mut().completions_mut("ops").count();
+    WorkflowOutcome {
+        makespan: SimDuration::from_micros(makespan.as_micros()),
+        total_ops,
+        input_polls,
+        wan_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometa_workflow::patterns::{pipeline, PatternConfig};
+    use geometa_workflow::scheduler::{node_grid, schedule, SchedulerPolicy};
+
+    fn cfg(kind: StrategyKind) -> SimConfig {
+        SimConfig {
+            kind,
+            topology: Topology::azure_4dc(),
+            seed: 42,
+            cal: Calibration::test_fast(),
+            centralized_home: None,
+        }
+    }
+
+    #[test]
+    fn synthetic_runs_all_strategies_to_completion() {
+        let spec = SyntheticSpec::scaling(8, 30);
+        for kind in StrategyKind::all() {
+            let out = run_synthetic(&spec, &cfg(kind));
+            assert_eq!(out.total_ops, 8 * 30, "{kind:?} lost operations");
+            assert!(out.makespan > SimDuration::ZERO);
+            assert!(out.throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = SyntheticSpec::scaling(8, 20);
+        let a = run_synthetic(&spec, &cfg(StrategyKind::DhtLocalReplica));
+        let b = run_synthetic(&spec, &cfg(StrategyKind::DhtLocalReplica));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.wan_messages, b.wan_messages);
+        assert_eq!(a.read_misses, b.read_misses);
+    }
+
+    #[test]
+    fn dht_local_replica_reads_mostly_local() {
+        // DR's two-step read: roughly 1/4 + 3/4·1/4 ≈ 44% of reads should
+        // resolve at the first (local) probe, about twice DN's ~25%.
+        let spec = SyntheticSpec::scaling(16, 100);
+        let dr = run_synthetic(&spec, &cfg(StrategyKind::DhtLocalReplica));
+        let dn = run_synthetic(&spec, &cfg(StrategyKind::DhtNonReplicated));
+        assert!(
+            dr.local_read_fraction > dn.local_read_fraction + 0.1,
+            "DR {} vs DN {}",
+            dr.local_read_fraction,
+            dn.local_read_fraction
+        );
+    }
+
+    #[test]
+    fn replicated_eventually_serves_all_reads() {
+        let spec = SyntheticSpec::scaling(8, 40);
+        let out = run_synthetic(&spec, &cfg(StrategyKind::Replicated));
+        assert_eq!(out.total_ops, 8 * 40);
+        // Retries happen (eventual consistency) but reads succeed.
+        assert_eq!(out.read_misses, 0, "sync agent should make all reads succeed");
+    }
+
+    #[test]
+    fn centralized_has_more_wan_traffic_than_dr() {
+        let spec = SyntheticSpec::scaling(16, 50);
+        let c = run_synthetic(&spec, &cfg(StrategyKind::Centralized));
+        let dr = run_synthetic(&spec, &cfg(StrategyKind::DhtLocalReplica));
+        // 3/4 of centralized ops cross the WAN; DR's sync path is local
+        // with lazy single-message propagation.
+        assert!(c.wan_messages > dr.wan_messages / 2, "c={} dr={}", c.wan_messages, dr.wan_messages);
+    }
+
+    #[test]
+    fn workflow_pipeline_runs_under_all_strategies() {
+        let w = pipeline("p", 6, PatternConfig {
+            compute: SimDuration::from_millis(10),
+            ..PatternConfig::default()
+        });
+        let nodes = node_grid(&(0..4).map(SiteId).collect::<Vec<_>>(), 2);
+        let placement = schedule(&w, &nodes, SchedulerPolicy::LocalityAware);
+        for kind in StrategyKind::all() {
+            let out = run_workflow(&w, &placement, &cfg(kind));
+            assert_eq!(out.total_ops, w.total_metadata_ops(), "{kind:?}");
+            assert!(out.makespan >= SimDuration::from_millis(60), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn workflow_cross_site_dependency_resolves_via_polling() {
+        // Round-robin placement guarantees cross-site producer/consumer
+        // pairs; DR must resolve them through lazy propagation + polling.
+        let w = pipeline("p", 8, PatternConfig {
+            compute: SimDuration::from_millis(5),
+            ..PatternConfig::default()
+        });
+        let nodes = node_grid(&(0..4).map(SiteId).collect::<Vec<_>>(), 2);
+        let placement = schedule(&w, &nodes, SchedulerPolicy::RoundRobin);
+        let out = run_workflow(&w, &placement, &cfg(StrategyKind::DhtLocalReplica));
+        assert_eq!(out.total_ops, w.total_metadata_ops());
+    }
+}

@@ -1,0 +1,143 @@
+//! The event queue at the heart of the DES engine.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number is a
+//! monotonically increasing tie-breaker, so two events scheduled for the
+//! same instant fire in scheduling order. This makes runs deterministic —
+//! there is never heap-order nondeterminism to leak into results.
+
+use crate::engine::{ActorId, Envelope, TimerId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+pub(crate) enum EventKind<M> {
+    /// Deliver a message envelope to an actor.
+    Deliver { dst: ActorId, env: Envelope<M> },
+    /// Fire a timer on an actor.
+    Timer {
+        actor: ActorId,
+        id: TimerId,
+        tag: u64,
+    },
+}
+
+pub(crate) struct ScheduledEvent<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for ScheduledEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for ScheduledEvent<M> {}
+
+impl<M> PartialOrd for ScheduledEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for ScheduledEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-queue of scheduled events with stable tie-breaking.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<ScheduledEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ActorId;
+
+    fn timer_event(actor: u32, tag: u64) -> EventKind<()> {
+        EventKind::Timer {
+            actor: ActorId(actor),
+            id: TimerId(tag),
+            tag,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(SimTime(30), timer_event(0, 0));
+        q.push(SimTime(10), timer_event(0, 1));
+        q.push(SimTime(20), timer_event(0, 2));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for tag in 0..5 {
+            q.push(SimTime(7), timer_event(0, tag));
+        }
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(42), timer_event(0, 0));
+        q.push(SimTime(5), timer_event(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Network model: message delays and per-link accounting.
+//!
+//! A message from site A to site B experiences
+//! `one-way latency(A,B) + size / bandwidth(A,B) ± jitter`.
+//! Jitter is a uniform relative perturbation of the latency term drawn from
+//! a deterministic RNG stream, so runs stay reproducible.
+//!
+//! Metadata messages are tiny (hundreds of bytes); the latency term
+//! dominates, exactly as in the paper, whose Figure 1 experiment posts
+//! empty files "to hinder other factors such as caching effects and disk
+//! contention". Bandwidth matters only when this substrate is reused to
+//! model bulk file movement.
+
+use crate::rng::SplitMix64;
+use crate::time::SimDuration;
+use crate::topology::{SiteId, Topology};
+use std::collections::BTreeMap;
+
+/// Per-ordered-pair traffic statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages delivered over this link.
+    pub messages: u64,
+    /// Payload bytes delivered over this link.
+    pub bytes: u64,
+}
+
+/// Computes message delays over a [`Topology`] and accounts traffic.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    topology: Topology,
+    rng: SplitMix64,
+    stats: BTreeMap<(SiteId, SiteId), LinkStats>,
+}
+
+impl NetworkModel {
+    /// Build a network model over a topology. `seed` controls jitter.
+    pub fn new(topology: Topology, seed: u64) -> NetworkModel {
+        NetworkModel {
+            topology,
+            rng: SplitMix64::new(seed).split(NET_RNG_STREAM),
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Delay for a `size_bytes` message from `from` to `to`, including
+    /// jitter; also records the traffic.
+    pub fn delay(&mut self, from: SiteId, to: SiteId, size_bytes: u64) -> SimDuration {
+        let base = self.topology.one_way_latency(from, to);
+        let bw = self.topology.bandwidth(from, to);
+        let transfer = SimDuration::from_micros(
+            size_bytes.saturating_mul(1_000_000).checked_div(bw).unwrap_or(0),
+        );
+        let jitter_frac = self.topology.jitter_frac();
+        let jittered = if jitter_frac > 0.0 {
+            let j = self.rng.jitter(jitter_frac);
+            base.mul_f64((1.0 + j).max(0.0))
+        } else {
+            base
+        };
+        let entry = self.stats.entry((from, to)).or_default();
+        entry.messages += 1;
+        entry.bytes += size_bytes;
+        jittered + transfer
+    }
+
+    /// Delay without jitter or accounting (for analytical estimates).
+    pub fn nominal_delay(&self, from: SiteId, to: SiteId, size_bytes: u64) -> SimDuration {
+        let base = self.topology.one_way_latency(from, to);
+        let bw = self.topology.bandwidth(from, to);
+        let transfer = SimDuration::from_micros(
+            size_bytes.saturating_mul(1_000_000).checked_div(bw).unwrap_or(0),
+        );
+        base + transfer
+    }
+
+    /// Stats for one ordered pair.
+    pub fn link_stats(&self, from: SiteId, to: SiteId) -> LinkStats {
+        self.stats.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Total bytes that crossed datacenter boundaries (WAN traffic).
+    pub fn wan_bytes(&self) -> u64 {
+        self.stats
+            .iter()
+            .filter(|((a, b), _)| a != b)
+            .map(|(_, s)| s.bytes)
+            .sum()
+    }
+
+    /// Total messages that crossed datacenter boundaries.
+    pub fn wan_messages(&self) -> u64 {
+        self.stats
+            .iter()
+            .filter(|((a, b), _)| a != b)
+            .map(|(_, s)| s.messages)
+            .sum()
+    }
+}
+
+/// RNG stream index reserved for network jitter ("network" in ASCII).
+const NET_RNG_STREAM: u64 = 0x006E_6574_776F_726B;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NetworkModel {
+        NetworkModel::new(Topology::azure_4dc(), 1)
+    }
+
+    #[test]
+    fn local_faster_than_remote() {
+        let m = model();
+        let local = m.nominal_delay(SiteId(0), SiteId(0), 256);
+        let remote = m.nominal_delay(SiteId(0), SiteId(3), 256);
+        assert!(remote > local * 10);
+    }
+
+    #[test]
+    fn size_increases_delay() {
+        let m = model();
+        let small = m.nominal_delay(SiteId(0), SiteId(2), 1_000);
+        let large = m.nominal_delay(SiteId(0), SiteId(2), 100 * 1024 * 1024);
+        assert!(large > small);
+        // 100 MiB at 50 MiB/s ≈ 2 s of transfer time.
+        assert!(large.as_secs_f64() > 1.5);
+    }
+
+    #[test]
+    fn jitter_stays_within_spread() {
+        let mut m = model();
+        let base = m.topology().one_way_latency(SiteId(0), SiteId(2));
+        let frac = m.topology().jitter_frac();
+        for _ in 0..1_000 {
+            let d = m.delay(SiteId(0), SiteId(2), 0);
+            let lo = base.mul_f64(1.0 - frac - 1e-9);
+            let hi = base.mul_f64(1.0 + frac + 1e-9);
+            assert!(d >= lo && d <= hi, "delay {d} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn delay_is_deterministic_per_seed() {
+        let mut a = NetworkModel::new(Topology::azure_4dc(), 9);
+        let mut b = NetworkModel::new(Topology::azure_4dc(), 9);
+        for _ in 0..50 {
+            assert_eq!(a.delay(SiteId(1), SiteId(2), 128), b.delay(SiteId(1), SiteId(2), 128));
+        }
+    }
+
+    #[test]
+    fn accounting_tracks_wan_and_lan_separately() {
+        let mut m = model();
+        m.delay(SiteId(0), SiteId(0), 100); // LAN
+        m.delay(SiteId(0), SiteId(1), 200); // WAN
+        m.delay(SiteId(0), SiteId(1), 300); // WAN
+        assert_eq!(m.link_stats(SiteId(0), SiteId(0)).messages, 1);
+        assert_eq!(m.link_stats(SiteId(0), SiteId(1)).messages, 2);
+        assert_eq!(m.wan_messages(), 2);
+        assert_eq!(m.wan_bytes(), 500);
+    }
+}

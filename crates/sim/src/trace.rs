@@ -1,0 +1,142 @@
+//! Bounded event tracing for debugging simulations.
+//!
+//! Disabled by default (zero cost beyond a branch); when enabled, the last
+//! `capacity` message sends are kept in a ring buffer that can be dumped
+//! when a run misbehaves.
+
+use crate::engine::ActorId;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One traced message send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the message was sent.
+    pub sent_at: SimTime,
+    /// Sender.
+    pub from: ActorId,
+    /// Receiver.
+    pub to: ActorId,
+    /// Scheduled delivery instant.
+    pub deliver_at: SimTime,
+}
+
+/// A bounded ring buffer of trace entries.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Trace {
+        Trace {
+            entries: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A trace keeping the most recent `capacity` sends.
+    pub fn bounded(capacity: usize) -> Trace {
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record a message send (no-op when disabled).
+    pub fn message(&mut self, sent_at: SimTime, from: ActorId, to: ActorId, deliver_at: SimTime) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            sent_at,
+            from,
+            to,
+            deliver_at,
+        });
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the trace as human-readable lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} {} -> {} (deliver {})\n",
+                e.sent_at, e.from, e.to, e.deliver_at
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... ({} earlier entries dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.message(SimTime(1), ActorId(0), ActorId(1), SimTime(2));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest() {
+        let mut t = Trace::bounded(2);
+        for i in 0..5u64 {
+            t.message(SimTime(i), ActorId(0), ActorId(1), SimTime(i + 1));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let sent: Vec<u64> = t.entries().map(|e| e.sent_at.0).collect();
+        assert_eq!(sent, vec![3, 4]);
+    }
+
+    #[test]
+    fn render_mentions_drops() {
+        let mut t = Trace::bounded(1);
+        t.message(SimTime(1), ActorId(0), ActorId(1), SimTime(2));
+        t.message(SimTime(3), ActorId(1), ActorId(0), SimTime(4));
+        let s = t.render();
+        assert!(s.contains("actor1 -> actor0"));
+        assert!(s.contains("1 earlier entries dropped"));
+    }
+}

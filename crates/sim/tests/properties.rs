@@ -1,0 +1,142 @@
+//! Property-based tests for the simulation kernel: deterministic RNG
+//! bounds, topology invariants, service-queue work conservation, and
+//! engine-level event ordering.
+
+use geometa_sim::prelude::*;
+use geometa_sim::server::{ServiceQueue, ServiceTime};
+use geometa_sim::topology::Region;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// range_u64 stays in bounds for arbitrary seeds and bounds.
+    #[test]
+    fn rng_range_in_bounds(seed in any::<u64>(), bound in 1..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.range_u64(bound) < bound);
+        }
+    }
+
+    /// uniform_f64 stays in [0, 1).
+    #[test]
+    fn rng_uniform_in_unit(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let x = rng.uniform_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// Split streams never collide with the parent stream on a prefix.
+    #[test]
+    fn rng_split_streams_differ(seed in any::<u64>(), idx in 0..1000u64) {
+        let root = SplitMix64::new(seed);
+        let mut a = root.split(idx);
+        let mut b = root.split(idx + 1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(same < 2, "streams {idx} and {} overlap", idx + 1);
+    }
+
+    /// Random topologies keep symmetric latency and consistent distance
+    /// classes.
+    #[test]
+    fn topology_symmetry(
+        n_sites in 1..10usize,
+        n_regions in 1..4u16,
+        local_us in 100..5_000u64,
+        region_us in 5_000..30_000u64,
+        geo_us in 30_000..150_000u64,
+    ) {
+        let mut b = Topology::builder()
+            .local_latency(SimDuration::from_micros(local_us))
+            .same_region_latency(SimDuration::from_micros(region_us))
+            .geo_distant_latency(SimDuration::from_micros(geo_us));
+        for i in 0..n_sites {
+            b = b.site(&format!("s{i}"), Region(i as u16 % n_regions));
+        }
+        let t = b.build();
+        for a in t.site_ids() {
+            for c in t.site_ids() {
+                prop_assert_eq!(t.one_way_latency(a, c), t.one_way_latency(c, a));
+                prop_assert_eq!(t.distance(a, c), t.distance(c, a));
+                if a == c {
+                    prop_assert_eq!(t.one_way_latency(a, c), SimDuration::from_micros(local_us));
+                }
+            }
+        }
+        // Latency hierarchy holds whenever both classes exist.
+        prop_assert!(local_us < region_us && region_us < geo_us);
+    }
+
+    /// The service queue is work-conserving and FIFO: completions are
+    /// monotone, never precede arrival + service, and total busy time is
+    /// bounded by the span.
+    #[test]
+    fn service_queue_work_conservation(arrivals in prop::collection::vec(0..1_000_000u64, 1..100), svc_us in 1..10_000u64) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut q = ServiceQueue::new(ServiceTime::Fixed(SimDuration::from_micros(svc_us)), 0);
+        let mut last_done = SimTime::ZERO;
+        for &a in &sorted {
+            let at = SimTime(a);
+            let done = q.admit(at);
+            prop_assert!(done >= at + SimDuration::from_micros(svc_us));
+            prop_assert!(done >= last_done, "FIFO completions must be monotone");
+            // Work conservation: an idle server starts immediately.
+            if at >= last_done {
+                prop_assert_eq!(done, at + SimDuration::from_micros(svc_us));
+            }
+            last_done = done;
+        }
+        prop_assert_eq!(q.served(), sorted.len() as u64);
+        prop_assert_eq!(q.busy_time(), SimDuration::from_micros(svc_us * sorted.len() as u64));
+    }
+}
+
+/// Engine-level property: messages sent with arbitrary delays are received
+/// in nondecreasing time order, and every message is delivered exactly once.
+#[derive(Clone, Debug)]
+enum Note {
+    Tick(u32),
+}
+
+struct Sender {
+    peer: ActorId,
+    delays: Vec<u64>,
+}
+impl Actor<Note> for Sender {
+    fn on_start(&mut self, ctx: &mut Ctx<Note>) {
+        for (i, &d) in self.delays.iter().enumerate() {
+            ctx.send_delayed(self.peer, Note::Tick(i as u32), 16, SimDuration::from_micros(d));
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<Note>, _env: Envelope<Note>) {}
+}
+
+struct Receiver {
+    seen: Vec<(u64, u32)>,
+}
+impl Actor<Note> for Receiver {
+    fn on_message(&mut self, ctx: &mut Ctx<Note>, env: Envelope<Note>) {
+        let Note::Tick(i) = env.msg;
+        self.seen.push((ctx.now().as_micros(), i));
+        ctx.metrics().incr("received", 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_delivers_everything_in_time_order(delays in prop::collection::vec(0..1_000_000u64, 1..60), seed in any::<u64>()) {
+        let mut engine: Engine<Note> = Engine::new(Topology::azure_4dc(), seed);
+        let receiver = engine.add_actor(SiteId(2), Receiver { seen: Vec::new() });
+        engine.add_actor(SiteId(0), Sender { peer: receiver, delays: delays.clone() });
+        let report = engine.run();
+        prop_assert_eq!(report.events_processed as usize, delays.len());
+        prop_assert_eq!(engine.metrics().counter("received"), delays.len() as u64);
+        prop_assert!(engine.now() >= SimTime::ZERO + SimDuration::from_micros(delays.iter().copied().max().unwrap_or(0)));
+    }
+}

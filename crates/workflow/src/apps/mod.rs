@@ -1,0 +1,17 @@
+//! Application workload generators: the paper's two real-life workflows
+//! and the synthetic reader/writer benchmark.
+//!
+//! * [`montage`] — the astronomy mosaic pipeline (paper Fig. 9b): a split,
+//!   a wide band of parallel re-projection/background jobs, and a final
+//!   merge. "A parallel, geo-distributed application."
+//! * [`buzzflow`] — trend analysis over publication databases (Fig. 9a):
+//!   a near-pipelined chain of stages with modest fan-in. "A near-pipeline
+//!   workflow."
+//! * [`synthetic`] — the §VI-B concurrent metadata benchmark (half
+//!   writers, half readers) and the Table I scenario presets.
+
+pub mod buzzflow;
+pub mod montage;
+pub mod synthetic;
+
+pub use synthetic::{Scenario, SyntheticSpec};

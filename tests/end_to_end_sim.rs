@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the paper's qualitative claims, asserted
+//! on moderate-size simulated runs with the real calibration.
+//!
+//! These are the "does the reproduction reproduce" tests: each assertion
+//! corresponds to a sentence in the paper's evaluation (§VI) or discussion
+//! (§VII). Sizes are chosen so the whole file runs in a few seconds in CI.
+
+use geometa::core::strategy::StrategyKind;
+use geometa::experiments::simbind::{run_synthetic, SimConfig};
+use geometa::sim::time::SimDuration;
+use geometa::sim::topology::Topology;
+use geometa::workflow::apps::synthetic::SyntheticSpec;
+
+fn outcome(kind: StrategyKind, nodes: usize, ops: usize) -> geometa::experiments::SyntheticOutcome {
+    run_synthetic(&SyntheticSpec::scaling(nodes, ops), &SimConfig::new(kind, 2024))
+}
+
+/// §VI-B / Fig. 5: at a metadata-intensive scale the decentralized
+/// strategies clearly beat the centralized baseline.
+#[test]
+fn decentralized_beats_centralized_at_scale() {
+    let c = outcome(StrategyKind::Centralized, 32, 500);
+    let dr = outcome(StrategyKind::DhtLocalReplica, 32, 500);
+    let dn = outcome(StrategyKind::DhtNonReplicated, 32, 500);
+    let gain = 1.0 - dr.avg_node_completion.as_secs_f64() / c.avg_node_completion.as_secs_f64();
+    assert!(
+        gain > 0.3,
+        "DR should gain >30% over centralized at 32x500 ops (got {:.0}%)",
+        gain * 100.0
+    );
+    assert!(dn.avg_node_completion < c.avg_node_completion);
+}
+
+/// §VI-C / Fig. 7: decentralized throughput grows near-linearly with node
+/// count; centralized flattens.
+#[test]
+fn throughput_scaling_shapes() {
+    let dr_8 = outcome(StrategyKind::DhtLocalReplica, 8, 300).throughput;
+    let dr_32 = outcome(StrategyKind::DhtLocalReplica, 32, 300).throughput;
+    assert!(
+        dr_32 > dr_8 * 3.0,
+        "DR should scale ~linearly 8->32 nodes ({dr_8:.0} -> {dr_32:.0})"
+    );
+    let c_32 = outcome(StrategyKind::Centralized, 32, 300).throughput;
+    let c_64 = outcome(StrategyKind::Centralized, 64, 300).throughput;
+    assert!(
+        c_64 < c_32 * 1.9,
+        "centralized must be sub-linear 32->64 nodes ({c_32:.0} -> {c_64:.0})"
+    );
+    assert!(dr_32 > c_32, "decentralized wins at 32 nodes");
+}
+
+/// §IV-D: local replication roughly doubles the local-read probability of
+/// the plain DHT (1/n -> ~2/n with n = 4 sites).
+#[test]
+fn local_replica_doubles_local_reads() {
+    let dn = outcome(StrategyKind::DhtNonReplicated, 16, 400);
+    let dr = outcome(StrategyKind::DhtLocalReplica, 16, 400);
+    assert!((0.17..0.33).contains(&dn.local_read_fraction), "DN {}", dn.local_read_fraction);
+    assert!((0.36..0.55).contains(&dr.local_read_fraction), "DR {}", dr.local_read_fraction);
+    assert!(dr.local_read_fraction > 1.6 * dn.local_read_fraction);
+}
+
+/// §III-D: the replicated strategy's reads are eventually consistent — all
+/// reads succeed (via retries), none are permanently lost.
+#[test]
+fn replicated_is_eventually_consistent() {
+    let r = outcome(StrategyKind::Replicated, 16, 300);
+    assert_eq!(r.total_ops, 16 * 300, "every op completes");
+    assert_eq!(r.read_misses, 0, "no read should exhaust its retry budget");
+    assert_eq!(r.local_read_fraction, 1.0, "replicated reads are always local");
+}
+
+/// WAN economics: the replicated strategy concentrates WAN traffic in the
+/// sync agent (few batched messages), the centralized baseline pays per-op
+/// WAN messages.
+#[test]
+fn wan_traffic_ordering() {
+    let c = outcome(StrategyKind::Centralized, 16, 300);
+    let r = outcome(StrategyKind::Replicated, 16, 300);
+    assert!(
+        r.wan_messages * 10 < c.wan_messages,
+        "batched sync ({}) should use far fewer WAN messages than per-op \
+         centralized access ({})",
+        r.wan_messages,
+        c.wan_messages
+    );
+}
+
+/// Determinism: the whole stack (strategies, DES, RNG) is reproducible.
+#[test]
+fn identical_seeds_identical_results() {
+    for kind in StrategyKind::all() {
+        let a = outcome(kind, 8, 100);
+        let b = outcome(kind, 8, 100);
+        assert_eq!(a.makespan, b.makespan, "{kind:?}");
+        assert_eq!(a.wan_messages, b.wan_messages, "{kind:?}");
+        assert_eq!(a.read_retries, b.read_retries, "{kind:?}");
+    }
+}
+
+/// Different seeds genuinely perturb the run (jitter active).
+#[test]
+fn different_seeds_differ() {
+    let a = run_synthetic(
+        &SyntheticSpec::scaling(8, 100),
+        &SimConfig::new(StrategyKind::DhtLocalReplica, 1),
+    );
+    let b = run_synthetic(
+        &SyntheticSpec::scaling(8, 100),
+        &SimConfig::new(StrategyKind::DhtLocalReplica, 2),
+    );
+    assert_ne!(a.makespan, b.makespan);
+}
+
+/// Fig. 1's latency hierarchy, end to end through the simulated stack.
+#[test]
+fn fig1_distance_hierarchy() {
+    use geometa::experiments::fig1;
+    let rows = fig1::run(&fig1::Fig1Config {
+        file_counts: vec![200],
+        seed: 3,
+    });
+    let r = &rows[0];
+    assert!(r.same_region.as_secs_f64() > 4.0 * r.same_site.as_secs_f64());
+    assert!(r.distant_region.as_secs_f64() > 20.0 * r.same_site.as_secs_f64());
+}
+
+/// The topology preset matches the paper's geography.
+#[test]
+fn topology_is_paper_shaped() {
+    let t = Topology::azure_4dc();
+    assert_eq!(t.num_sites(), 4);
+    let order = t.sites_by_centrality();
+    assert_eq!(t.site(order[0]).name, "East US");
+    assert_eq!(t.site(order[3]).name, "South Central US");
+    // Same-region pairs exist on both continents.
+    let we = t.site_by_name("West Europe").unwrap();
+    let ne = t.site_by_name("North Europe").unwrap();
+    assert!(t.rtt(we, ne) < SimDuration::from_millis(30));
+}
