@@ -7,9 +7,7 @@
 //! (printed once at startup) the key-migration fraction when a site joins.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use geometa_core::hash::{
-    migration_fraction, ConsistentRing, Rendezvous, SitePlacer, UniformHash,
-};
+use geometa_core::hash::{migration_fraction, ConsistentRing, Rendezvous, SitePlacer, UniformHash};
 use geometa_sim::topology::SiteId;
 use std::hint::black_box;
 
@@ -18,7 +16,9 @@ fn sites(n: u16) -> Vec<SiteId> {
 }
 
 fn keys(n: usize) -> Vec<String> {
-    (0..n).map(|i| format!("bench/w{}/file{}", i % 16, i)).collect()
+    (0..n)
+        .map(|i| format!("bench/w{}/file{}", i % 16, i))
+        .collect()
 }
 
 fn report_migration() {

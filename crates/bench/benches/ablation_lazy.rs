@@ -31,8 +31,7 @@ fn report_message_saving() {
         let mut messages = 0u64;
         for i in 0..updates {
             for target in 1..4u16 {
-                if b
-                    .enqueue(SiteId(target), entry(i), SimTime(i as u64 * 1_000))
+                if b.enqueue(SiteId(target), entry(i), SimTime(i as u64 * 1_000))
                     .is_some()
                 {
                     messages += 1;
@@ -40,9 +39,7 @@ fn report_message_saving() {
             }
         }
         messages += b.flush_all().len() as u64;
-        eprintln!(
-            "batch size {batch:>4}: {updates} updates x 3 sites -> {messages} WAN messages"
-        );
+        eprintln!("batch size {batch:>4}: {updates} updates x 3 sites -> {messages} WAN messages");
     }
 }
 
@@ -61,7 +58,11 @@ fn bench_batcher(c: &mut Criterion) {
                         out += ready.entries.len();
                     }
                 }
-                out += lb.flush_all().iter().map(|r| r.entries.len()).sum::<usize>();
+                out += lb
+                    .flush_all()
+                    .iter()
+                    .map(|r| r.entries.len())
+                    .sum::<usize>();
                 black_box(out)
             })
         });

@@ -11,7 +11,9 @@ fn bench_store_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_store");
     let store = ShardedStore::new(64);
     for i in 0..10_000 {
-        store.put(&format!("k{i}"), Bytes::from_static(b"value"), 0).unwrap();
+        store
+            .put(&format!("k{i}"), Bytes::from_static(b"value"), 0)
+            .unwrap();
     }
     group.bench_function("get_hit", |b| {
         let mut i = 0u64;
@@ -35,7 +37,12 @@ fn bench_store_ops(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 store
-                    .put_if("occ", PutCondition::VersionIs(0), Bytes::from_static(b"x"), 1)
+                    .put_if(
+                        "occ",
+                        PutCondition::VersionIs(0),
+                        Bytes::from_static(b"x"),
+                        1,
+                    )
                     .is_err(),
             )
         })
@@ -46,25 +53,33 @@ fn bench_store_ops(c: &mut Criterion) {
 fn bench_shard_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("contended_put_8_threads");
     for shards in [1usize, 16, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
-            b.iter_custom(|iters| {
-                let store = Arc::new(ShardedStore::new(shards));
-                let start = std::time::Instant::now();
-                std::thread::scope(|scope| {
-                    for t in 0..8u64 {
-                        let store = Arc::clone(&store);
-                        scope.spawn(move || {
-                            for i in 0..iters {
-                                store
-                                    .put(&format!("t{t}-k{}", i % 512), Bytes::from_static(b"v"), i)
-                                    .unwrap();
-                            }
-                        });
-                    }
-                });
-                start.elapsed()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter_custom(|iters| {
+                    let store = Arc::new(ShardedStore::new(shards));
+                    let start = std::time::Instant::now();
+                    std::thread::scope(|scope| {
+                        for t in 0..8u64 {
+                            let store = Arc::clone(&store);
+                            scope.spawn(move || {
+                                for i in 0..iters {
+                                    store
+                                        .put(
+                                            &format!("t{t}-k{}", i % 512),
+                                            Bytes::from_static(b"v"),
+                                            i,
+                                        )
+                                        .unwrap();
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -97,7 +112,8 @@ fn bench_ha_pair(c: &mut Criterion) {
             for _ in 0..iters {
                 let ha = HaCache::new(16);
                 for i in 0..10_000u64 {
-                    ha.put(&format!("k{i}"), Bytes::from_static(b"v"), i).unwrap();
+                    ha.put(&format!("k{i}"), Bytes::from_static(b"v"), i)
+                        .unwrap();
                 }
                 ha.fail_primary();
                 let start = std::time::Instant::now();

@@ -42,7 +42,13 @@ fn bench_ping_pong(c: &mut Criterion) {
         b.iter(|| {
             let mut engine: Engine<Msg> = Engine::new(Topology::azure_4dc(), 1);
             let ponger = engine.add_actor(SiteId(2), Ponger);
-            engine.add_actor(SiteId(0), Pinger { peer: ponger, rounds: 10_000 });
+            engine.add_actor(
+                SiteId(0),
+                Pinger {
+                    peer: ponger,
+                    rounds: 10_000,
+                },
+            );
             black_box(engine.run().events_processed)
         })
     });

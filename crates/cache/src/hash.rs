@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(fx_hash_str("montage_0001.fits"), fx_hash_str("montage_0001.fits"));
+        assert_eq!(
+            fx_hash_str("montage_0001.fits"),
+            fx_hash_str("montage_0001.fits")
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl<'a> OccCell<'a> {
     /// Write only if the key is absent; returns Ok(true) if this call
     /// created it, Ok(false) if it already existed.
     pub fn create(&self, value: Bytes, now: u64) -> Result<bool, CacheError> {
-        match self.store.put_if(self.key, PutCondition::Absent, value, now) {
+        match self
+            .store
+            .put_if(self.key, PutCondition::Absent, value, now)
+        {
             Ok(_) => Ok(true),
             Err(CacheError::AlreadyExists { .. }) => Ok(false),
             Err(e) => Err(e),
@@ -139,10 +142,7 @@ mod tests {
         let store = ShardedStore::new(4);
         store.fail();
         let cell = OccCell::new(&store, "k");
-        assert_eq!(
-            cell.update(0, |_| b("x")),
-            Err(CacheError::Unavailable)
-        );
+        assert_eq!(cell.update(0, |_| b("x")), Err(CacheError::Unavailable));
     }
 
     #[test]
@@ -157,10 +157,8 @@ mod tests {
                         OccCell::new(&store, "n")
                             .with_max_retries(10_000)
                             .update(0, |cur| {
-                                let n: u64 = std::str::from_utf8(cur.unwrap())
-                                    .unwrap()
-                                    .parse()
-                                    .unwrap();
+                                let n: u64 =
+                                    std::str::from_utf8(cur.unwrap()).unwrap().parse().unwrap();
                                 Bytes::from((n + 1).to_string().into_bytes())
                             })
                             .unwrap();

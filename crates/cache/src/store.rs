@@ -178,8 +178,8 @@ impl ShardedStore {
         let mut shard = self.shard_for(key).write();
         match shard.get_mut(key) {
             Some(existing) => {
-                let newer = (entry.version, entry.modified_at)
-                    > (existing.version, existing.modified_at);
+                let newer =
+                    (entry.version, entry.modified_at) > (existing.version, existing.modified_at);
                 if newer {
                     *existing = entry;
                     self.stats.write();
@@ -338,7 +338,10 @@ mod tests {
     #[test]
     fn put_if_absent_semantics() {
         let store = ShardedStore::new(8);
-        assert_eq!(store.put_if("f", PutCondition::Absent, b("a"), 0).unwrap(), 1);
+        assert_eq!(
+            store.put_if("f", PutCondition::Absent, b("a"), 0).unwrap(),
+            1
+        );
         let err = store.put_if("f", PutCondition::Absent, b("b"), 1);
         assert_eq!(err, Err(CacheError::AlreadyExists { version: 1 }));
         assert_eq!(store.get("f").unwrap().value, b("a"));
@@ -350,7 +353,9 @@ mod tests {
         store.put("f", b("a"), 0).unwrap();
         // Correct expected version.
         assert_eq!(
-            store.put_if("f", PutCondition::VersionIs(1), b("b"), 1).unwrap(),
+            store
+                .put_if("f", PutCondition::VersionIs(1), b("b"), 1)
+                .unwrap(),
             2
         );
         // Stale expectation.
@@ -375,7 +380,7 @@ mod tests {
     fn absorb_is_last_writer_wins() {
         let store = ShardedStore::new(8);
         store.put("f", b("local"), 5).unwrap(); // version 1, t=5
-        // Older remote version loses.
+                                                // Older remote version loses.
         let lost = store
             .absorb(
                 "f",
@@ -461,7 +466,10 @@ mod tests {
     fn multi_ops() {
         let store = ShardedStore::new(4);
         store
-            .multi_put(vec![("a".to_string(), b("1")), ("b".to_string(), b("2"))], 0)
+            .multi_put(
+                vec![("a".to_string(), b("1")), ("b".to_string(), b("2"))],
+                0,
+            )
             .unwrap();
         let res = store.multi_get(&["a", "b", "c"]);
         assert!(res[0].is_ok() && res[1].is_ok());
@@ -522,7 +530,9 @@ mod tests {
                 let store = Arc::clone(&store);
                 std::thread::spawn(move || {
                     for i in 0..1000 {
-                        store.put(&format!("t{t}-k{i}"), Bytes::from_static(b"v"), i).unwrap();
+                        store
+                            .put(&format!("t{t}-k{i}"), Bytes::from_static(b"v"), i)
+                            .unwrap();
                     }
                 })
             })
@@ -546,8 +556,7 @@ mod tests {
                     for _ in 0..500 {
                         loop {
                             let cur = store.get("counter").unwrap();
-                            let n: u64 =
-                                std::str::from_utf8(&cur.value).unwrap().parse().unwrap();
+                            let n: u64 = std::str::from_utf8(&cur.value).unwrap().parse().unwrap();
                             let next = Bytes::from((n + 1).to_string().into_bytes());
                             match store.put_if(
                                 "counter",
@@ -571,7 +580,10 @@ mod tests {
         let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
         assert_eq!(total, 2000);
         let final_val = store.get("counter").unwrap();
-        let n: u64 = std::str::from_utf8(&final_val.value).unwrap().parse().unwrap();
+        let n: u64 = std::str::from_utf8(&final_val.value)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert_eq!(n, 2000, "every CAS increment must be preserved");
         assert_eq!(final_val.version, 2001);
     }

@@ -21,7 +21,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 16, v)),
         (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::PutIfAbsent(k % 16, v)),
-        (any::<u8>(), 0..5u64, any::<u8>()).prop_map(|(k, ver, v)| Op::PutIfVersion(k % 16, ver, v)),
+        (any::<u8>(), 0..5u64, any::<u8>()).prop_map(|(k, ver, v)| Op::PutIfVersion(
+            k % 16,
+            ver,
+            v
+        )),
         any::<u8>().prop_map(|k| Op::Get(k % 16)),
         any::<u8>().prop_map(|k| Op::Remove(k % 16)),
     ]

@@ -186,8 +186,15 @@ mod tests {
         for p in [
             base(),
             WorkloadProfile { sites: 1, ..base() },
-            WorkloadProfile { avg_file_size: 64 * 1024 * 1024, files_per_node: 10, ..base() },
-            WorkloadProfile { pattern: DominantPattern::ScatterGather, ..base() },
+            WorkloadProfile {
+                avg_file_size: 64 * 1024 * 1024,
+                files_per_node: 10,
+                ..base()
+            },
+            WorkloadProfile {
+                pattern: DominantPattern::ScatterGather,
+                ..base()
+            },
         ] {
             let text = explain(&p);
             assert!(text.contains(recommend(&p).label()), "{text}");

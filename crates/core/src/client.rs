@@ -117,10 +117,12 @@ impl<T: RegistryTransport> StrategyClient<T> {
         let plan = strategy.read_plan(name, self.config.site);
         let mut last_err = MetaError::NotFound;
         for (i, &target) in plan.probes.iter().enumerate() {
-            match self
-                .transport
-                .call(target, RegistryRequest::Get { key: name.to_string() })
-            {
+            match self.transport.call(
+                target,
+                RegistryRequest::Get {
+                    key: name.to_string(),
+                },
+            ) {
                 RegistryResponse::Found { entry } => {
                     if i == 0 && target == self.config.site {
                         self.stats.local_read_hits.fetch_add(1, Ordering::Relaxed);
@@ -129,14 +131,14 @@ impl<T: RegistryTransport> StrategyClient<T> {
                     }
                     return Ok(entry);
                 }
-                RegistryResponse::Error { error: MetaError::NotFound } => {
+                RegistryResponse::Error {
+                    error: MetaError::NotFound,
+                } => {
                     last_err = MetaError::NotFound;
                     continue;
                 }
                 RegistryResponse::Error { error } => return Err(error),
-                other => {
-                    return Err(MetaError::Codec(format!("unexpected response {other:?}")))
-                }
+                other => return Err(MetaError::Codec(format!("unexpected response {other:?}"))),
             }
         }
         self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
@@ -176,16 +178,18 @@ impl<T: RegistryTransport> StrategyClient<T> {
         let strategy = self.controller.strategy();
         let plan = strategy.write_plan(name, self.config.site);
         for target in plan.all_targets() {
-            match self
-                .transport
-                .call(target, RegistryRequest::Remove { key: name.to_string() })
-            {
+            match self.transport.call(
+                target,
+                RegistryRequest::Remove {
+                    key: name.to_string(),
+                },
+            ) {
                 RegistryResponse::Ack => {}
-                RegistryResponse::Error { error: MetaError::NotFound } => {}
+                RegistryResponse::Error {
+                    error: MetaError::NotFound,
+                } => {}
                 RegistryResponse::Error { error } => return Err(error),
-                other => {
-                    return Err(MetaError::Codec(format!("unexpected response {other:?}")))
-                }
+                other => return Err(MetaError::Codec(format!("unexpected response {other:?}"))),
             }
         }
         Ok(())
@@ -335,7 +339,11 @@ mod tests {
         w.publish("doomed", 1).unwrap();
         w.unpublish("doomed").unwrap();
         for s in 0..4 {
-            assert_eq!(t.registry(SiteId(s)).unwrap().len(), 0, "site {s} still has it");
+            assert_eq!(
+                t.registry(SiteId(s)).unwrap().len(),
+                0,
+                "site {s} still has it"
+            );
         }
     }
 

@@ -105,7 +105,11 @@ impl InconsistencyTracker {
 
     /// Maximum inconsistency window observed.
     pub fn max_window(&self) -> SimDuration {
-        self.windows.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.windows
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 

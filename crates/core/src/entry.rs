@@ -102,7 +102,9 @@ impl RegistryEntry {
         let size = buf.get_u64_le();
         let n_locs = buf.get_u32_le() as usize;
         if n_locs > 1_000_000 {
-            return Err(MetaError::Codec(format!("implausible location count {n_locs}")));
+            return Err(MetaError::Codec(format!(
+                "implausible location count {n_locs}"
+            )));
         }
         if buf.remaining() < n_locs * 6 {
             return Err(MetaError::Codec("truncated locations".into()));
@@ -175,8 +177,14 @@ mod tests {
             name: "montage/proj_0042.fits".to_string(),
             size: 190 * 1024,
             locations: vec![
-                FileLocation { site: SiteId(0), node: 7 },
-                FileLocation { site: SiteId(2), node: 19 },
+                FileLocation {
+                    site: SiteId(0),
+                    node: 7,
+                },
+                FileLocation {
+                    site: SiteId(2),
+                    node: 19,
+                },
             ],
             producer: Some("mProject-42".to_string()),
             created_at: 123_456_789,
@@ -194,7 +202,15 @@ mod tests {
 
     #[test]
     fn roundtrip_minimal_entry() {
-        let e = RegistryEntry::new("f", 0, FileLocation { site: SiteId(3), node: 0 }, 0);
+        let e = RegistryEntry::new(
+            "f",
+            0,
+            FileLocation {
+                site: SiteId(3),
+                node: 0,
+            },
+            0,
+        );
         let back = RegistryEntry::from_bytes(e.to_bytes()).unwrap();
         assert_eq!(back, e);
         assert_eq!(back.producer, None);
@@ -227,10 +243,19 @@ mod tests {
     #[test]
     fn add_location_dedups() {
         let mut e = sample();
-        let loc = FileLocation { site: SiteId(0), node: 7 };
-        assert!(!e.add_location(loc), "existing location should not duplicate");
+        let loc = FileLocation {
+            site: SiteId(0),
+            node: 7,
+        };
+        assert!(
+            !e.add_location(loc),
+            "existing location should not duplicate"
+        );
         assert_eq!(e.locations.len(), 2);
-        assert!(e.add_location(FileLocation { site: SiteId(1), node: 1 }));
+        assert!(e.add_location(FileLocation {
+            site: SiteId(1),
+            node: 1
+        }));
         assert_eq!(e.locations.len(), 3);
     }
 
@@ -250,7 +275,10 @@ mod tests {
                     name: "x".repeat(n_locs + 1),
                     size: 42,
                     locations: (0..n_locs)
-                        .map(|i| FileLocation { site: SiteId(i as u16), node: i as u32 })
+                        .map(|i| FileLocation {
+                            site: SiteId(i as u16),
+                            node: i as u32,
+                        })
                         .collect(),
                     producer: producer.clone(),
                     created_at: 7,
@@ -264,6 +292,10 @@ mod tests {
     fn entries_are_small_like_the_paper_says() {
         // Metadata must stay tiny relative to even "small" files.
         let e = sample();
-        assert!(e.encoded_len() < 128, "entry unexpectedly large: {}", e.encoded_len());
+        assert!(
+            e.encoded_len() < 128,
+            "entry unexpectedly large: {}",
+            e.encoded_len()
+        );
     }
 }

@@ -290,7 +290,10 @@ mod tests {
         let before = UniformHash::new(four_sites());
         let after = UniformHash::new((0..5).map(SiteId).collect());
         let frac = migration_fraction(&before, &after, &ks);
-        assert!(frac > 0.5, "mod-hash migration fraction {frac} suspiciously low");
+        assert!(
+            frac > 0.5,
+            "mod-hash migration fraction {frac} suspiciously low"
+        );
     }
 
     #[test]

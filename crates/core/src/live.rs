@@ -28,13 +28,13 @@
 //! cluster.shutdown();
 //! ```
 
+use crate::client::{ClientConfig, StrategyClient};
 use crate::controller::ArchitectureController;
 use crate::protocol::{RegistryRequest, RegistryResponse};
 use crate::registry::RegistryInstance;
 use crate::strategy::StrategyKind;
 use crate::sync_agent::SyncAgentState;
 use crate::transport::{InProcessTransport, RegistryTransport};
-use crate::client::{ClientConfig, StrategyClient};
 use crate::MetaError;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use geometa_sim::topology::{SiteId, Topology};
@@ -262,7 +262,10 @@ impl LiveCluster {
     pub fn start(config: LiveConfig) -> LiveCluster {
         let topology = Arc::new(config.topology.clone());
         let sites: Vec<SiteId> = topology.site_ids().collect();
-        let controller = Arc::new(ArchitectureController::with_kind(config.kind, sites.clone()));
+        let controller = Arc::new(ArchitectureController::with_kind(
+            config.kind,
+            sites.clone(),
+        ));
         let epoch = Instant::now();
         let delay = DelayLine::new();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -351,7 +354,9 @@ impl LiveCluster {
                             if shutdown.load(Ordering::Acquire) {
                                 return;
                             }
-                            let Some(tx) = senders.get(&site) else { continue };
+                            let Some(tx) = senders.get(&site) else {
+                                continue;
+                            };
                             let lat = one_way(site);
                             std::thread::sleep(lat);
                             let pull_time = epoch.elapsed().as_micros() as u64;
@@ -375,8 +380,7 @@ impl LiveCluster {
                             };
                             // Back the watermark off by 1us so same-tick
                             // writes are re-pulled (absorb is idempotent).
-                            let pushes =
-                                state.integrate(site, delta, pull_time.saturating_sub(1));
+                            let pushes = state.integrate(site, delta, pull_time.saturating_sub(1));
                             for push in pushes {
                                 if let Some(dst) = senders.get(&push.target) {
                                     std::thread::sleep(one_way(push.target));
@@ -523,7 +527,9 @@ mod tests {
 
     #[test]
     fn concurrent_clients_many_sites() {
-        let cluster = Arc::new(LiveCluster::start(fast_config(StrategyKind::DhtNonReplicated)));
+        let cluster = Arc::new(LiveCluster::start(fast_config(
+            StrategyKind::DhtNonReplicated,
+        )));
         let mut handles = Vec::new();
         for site in 0..4u16 {
             let cluster = Arc::clone(&cluster);
@@ -563,12 +569,18 @@ mod tests {
         let (tx, rx) = unbounded();
         let t1 = tx.clone();
         let t2 = tx.clone();
-        delay.schedule(Duration::from_millis(20), Box::new(move || {
-            let _ = t1.send(2u32);
-        }));
-        delay.schedule(Duration::from_millis(5), Box::new(move || {
-            let _ = t2.send(1u32);
-        }));
+        delay.schedule(
+            Duration::from_millis(20),
+            Box::new(move || {
+                let _ = t1.send(2u32);
+            }),
+        );
+        delay.schedule(
+            Duration::from_millis(5),
+            Box::new(move || {
+                let _ = t2.send(1u32);
+            }),
+        );
         assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
         assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
         delay.stop();

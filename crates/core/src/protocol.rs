@@ -86,9 +86,7 @@ impl RegistryResponse {
         match self {
             RegistryResponse::Found { entry } => Ok(entry),
             RegistryResponse::Error { error } => Err(error),
-            other => Err(MetaError::Codec(format!(
-                "expected Found, got {other:?}"
-            ))),
+            other => Err(MetaError::Codec(format!("expected Found, got {other:?}"))),
         }
     }
 
@@ -123,7 +121,9 @@ mod tests {
     #[test]
     fn wire_sizes_scale_with_payload() {
         let small = RegistryRequest::Get { key: "k".into() };
-        let put = RegistryRequest::Put { entry: entry("a-much-longer-file-name") };
+        let put = RegistryRequest::Put {
+            entry: entry("a-much-longer-file-name"),
+        };
         assert!(put.wire_size() > small.wire_size());
         let batch = RegistryRequest::Absorb {
             entries: (0..10).map(|i| entry(&format!("f{i}"))).collect(),
@@ -131,7 +131,9 @@ mod tests {
         // One frame overhead amortized over ten entries: much bigger than a
         // single put, far smaller than ten framed puts.
         assert!(batch.wire_size() > put.wire_size());
-        let single = RegistryRequest::Absorb { entries: vec![entry("f0")] };
+        let single = RegistryRequest::Absorb {
+            entries: vec![entry("f0")],
+        };
         assert!(batch.wire_size() < single.wire_size() * 10);
     }
 
@@ -148,12 +150,17 @@ mod tests {
     fn response_unwrapping() {
         let e = entry("f");
         assert_eq!(
-            RegistryResponse::Found { entry: e.clone() }.into_entry().unwrap(),
+            RegistryResponse::Found { entry: e.clone() }
+                .into_entry()
+                .unwrap(),
             e
         );
         assert!(RegistryResponse::Ack.into_ack().is_ok());
         assert_eq!(
-            RegistryResponse::Error { error: MetaError::NotFound }.into_entry(),
+            RegistryResponse::Error {
+                error: MetaError::NotFound
+            }
+            .into_entry(),
             Err(MetaError::NotFound)
         );
         assert!(RegistryResponse::Ack.into_entry().is_err());

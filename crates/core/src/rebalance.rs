@@ -88,7 +88,10 @@ mod tests {
     use crate::entry::FileLocation;
     use crate::hash::ConsistentRing;
 
-    fn setup(n_sites: u16, entries: usize) -> (ConsistentRing, HashMap<SiteId, Arc<RegistryInstance>>) {
+    fn setup(
+        n_sites: u16,
+        entries: usize,
+    ) -> (ConsistentRing, HashMap<SiteId, Arc<RegistryInstance>>) {
         let sites: Vec<SiteId> = (0..n_sites).map(SiteId).collect();
         let ring = ConsistentRing::new(sites.clone(), 64);
         let registries: HashMap<SiteId, Arc<RegistryInstance>> = sites
@@ -103,7 +106,10 @@ mod tests {
                     &RegistryEntry::new(
                         &name,
                         1,
-                        FileLocation { site: owner, node: 0 },
+                        FileLocation {
+                            site: owner,
+                            node: 0,
+                        },
                         i as u64 + 1,
                     ),
                     i as u64 + 1,

@@ -263,7 +263,8 @@ mod tests {
     #[test]
     fn second_put_merges_locations() {
         let r = reg();
-        r.put(&RegistryEntry::new("f", 100, loc(0, 1), 10), 10).unwrap();
+        r.put(&RegistryEntry::new("f", 100, loc(0, 1), 10), 10)
+            .unwrap();
         let out = r
             .put(&RegistryEntry::new("f", 100, loc(2, 9), 20), 20)
             .unwrap();
@@ -297,8 +298,10 @@ mod tests {
     #[test]
     fn delta_since_filters_by_time() {
         let r = reg();
-        r.put(&RegistryEntry::new("old", 1, loc(0, 0), 5), 5).unwrap();
-        r.put(&RegistryEntry::new("new", 1, loc(0, 0), 50), 50).unwrap();
+        r.put(&RegistryEntry::new("old", 1, loc(0, 0), 5), 5)
+            .unwrap();
+        r.put(&RegistryEntry::new("new", 1, loc(0, 0), 50), 50)
+            .unwrap();
         let delta = r.delta_since(10);
         assert_eq!(delta.len(), 1);
         assert_eq!(delta[0].name, "new");
@@ -339,8 +342,11 @@ mod tests {
             .map(|n| {
                 let r = Arc::clone(&r);
                 std::thread::spawn(move || {
-                    r.put(&RegistryEntry::new("shared", 1, loc((n % 4) as u16, n), 1), 1)
-                        .unwrap();
+                    r.put(
+                        &RegistryEntry::new("shared", 1, loc((n % 4) as u16, n), 1),
+                        1,
+                    )
+                    .unwrap();
                 })
             })
             .collect();

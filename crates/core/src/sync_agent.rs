@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn poll_order_is_stable() {
         let a = agent();
-        assert_eq!(a.poll_order(), &[SiteId(0), SiteId(1), SiteId(2), SiteId(3)]);
+        assert_eq!(
+            a.poll_order(),
+            &[SiteId(0), SiteId(1), SiteId(2), SiteId(3)]
+        );
     }
 
     #[test]

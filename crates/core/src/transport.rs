@@ -62,11 +62,7 @@ impl InProcessTransport {
 
     /// Serve one request against one instance — shared by every transport
     /// implementation so registry semantics live in exactly one place.
-    pub fn serve(
-        registry: &RegistryInstance,
-        req: RegistryRequest,
-        now: u64,
-    ) -> RegistryResponse {
+    pub fn serve(registry: &RegistryInstance, req: RegistryRequest, now: u64) -> RegistryResponse {
         match req {
             RegistryRequest::Get { key } => match registry.get(&key) {
                 Ok(entry) => RegistryResponse::Found { entry },
@@ -175,9 +171,14 @@ mod tests {
     #[test]
     fn absorb_merges_remotely() {
         let t = transport();
-        t.call(SiteId(3), RegistryRequest::Absorb { entries: vec![entry("f")] })
-            .into_ack()
-            .unwrap();
+        t.call(
+            SiteId(3),
+            RegistryRequest::Absorb {
+                entries: vec![entry("f")],
+            },
+        )
+        .into_ack()
+        .unwrap();
         let found = t
             .call(SiteId(3), RegistryRequest::Get { key: "f".into() })
             .into_entry()

@@ -24,19 +24,25 @@ fn arb_entry() -> impl Strategy<Value = RegistryEntry> {
         prop::option::of("[a-zA-Z0-9-]{1,20}"),
         any::<u64>(),
     )
-        .prop_map(|(name, size, locations, producer, created_at)| RegistryEntry {
-            name,
-            size,
-            locations,
-            producer,
-            created_at,
-        })
+        .prop_map(
+            |(name, size, locations, producer, created_at)| RegistryEntry {
+                name,
+                size,
+                locations,
+                producer,
+                created_at,
+            },
+        )
 }
 
 /// Same-name variants of an entry (for merge laws).
 fn arb_entry_family() -> impl Strategy<Value = (RegistryEntry, RegistryEntry, RegistryEntry)> {
-    ("[a-z]{1,10}", any::<[u64; 3]>(), prop::collection::vec(arb_location(), 3..9)).prop_map(
-        |(name, ts, locs)| {
+    (
+        "[a-z]{1,10}",
+        any::<[u64; 3]>(),
+        prop::collection::vec(arb_location(), 3..9),
+    )
+        .prop_map(|(name, ts, locs)| {
             let mk = |i: usize| RegistryEntry {
                 name: name.clone(),
                 size: ts[i] % 1000,
@@ -45,8 +51,7 @@ fn arb_entry_family() -> impl Strategy<Value = (RegistryEntry, RegistryEntry, Re
                 created_at: ts[i],
             };
             (mk(0), mk(1), mk(2))
-        },
-    )
+        })
 }
 
 proptest! {

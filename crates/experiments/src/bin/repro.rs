@@ -30,12 +30,20 @@ fn main() {
 
     let t0 = Instant::now();
     if want("fig1") {
-        let cfg = if quick { fig1::Fig1Config::quick() } else { fig1::Fig1Config::default() };
+        let cfg = if quick {
+            fig1::Fig1Config::quick()
+        } else {
+            fig1::Fig1Config::default()
+        };
         eprintln!("[repro] fig1 ...");
         emit(fig1::render(&fig1::run(&cfg)));
     }
     if want("fig5") {
-        let cfg = if quick { fig5::Fig5Config::quick() } else { fig5::Fig5Config::default() };
+        let cfg = if quick {
+            fig5::Fig5Config::quick()
+        } else {
+            fig5::Fig5Config::default()
+        };
         eprintln!("[repro] fig5 ...");
         let rows = fig5::run(&cfg);
         emit(fig5::render(&rows));
@@ -45,7 +53,11 @@ fn main() {
         );
     }
     if want("fig6") {
-        let cfg = if quick { fig6::Fig6Config::quick() } else { fig6::Fig6Config::default() };
+        let cfg = if quick {
+            fig6::Fig6Config::quick()
+        } else {
+            fig6::Fig6Config::default()
+        };
         eprintln!("[repro] fig6 ...");
         let out = fig6::run(&cfg);
         emit(fig6::render(&out));
@@ -56,24 +68,35 @@ fn main() {
         );
     }
     if want("fig7") {
-        let cfg = if quick { fig7::Fig7Config::quick() } else { fig7::Fig7Config::default() };
+        let cfg = if quick {
+            fig7::Fig7Config::quick()
+        } else {
+            fig7::Fig7Config::default()
+        };
         eprintln!("[repro] fig7 ...");
         emit(fig7::render(&fig7::run(&cfg)));
     }
     if want("fig8") {
-        let cfg = if quick { fig8::Fig8Config::quick() } else { fig8::Fig8Config::default() };
+        let cfg = if quick {
+            fig8::Fig8Config::quick()
+        } else {
+            fig8::Fig8Config::default()
+        };
         eprintln!("[repro] fig8 ...");
         emit(fig8::render(&fig8::run(&cfg)));
     }
     if want("fig10") {
-        let cfg = if quick { fig10::Fig10Config::quick() } else { fig10::Fig10Config::default() };
+        let cfg = if quick {
+            fig10::Fig10Config::quick()
+        } else {
+            fig10::Fig10Config::default()
+        };
         eprintln!("[repro] fig10 ...");
         let rows = fig10::run(&cfg);
         emit(fig10::render(&rows));
-        for r in rows
-            .iter()
-            .filter(|r| r.scenario == geometa_workflow::apps::synthetic::Scenario::MetadataIntensive)
-        {
+        for r in rows.iter().filter(|r| {
+            r.scenario == geometa_workflow::apps::synthetic::Scenario::MetadataIntensive
+        }) {
             println!(
                 "headline: {} MI decentralized gain = {:.0}%",
                 r.app.label(),

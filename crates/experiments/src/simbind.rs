@@ -216,10 +216,19 @@ impl SyntheticClientActor {
                 };
                 let req = RegistryRequest::Put { entry };
                 let size = req.wire_size();
-                ctx.send(self.registries[&target], Msg::Req { op: self.op_seq, req }, size);
+                ctx.send(
+                    self.registries[&target],
+                    Msg::Req {
+                        op: self.op_seq,
+                        req,
+                    },
+                    size,
+                );
             }
             Role::Reader => {
-                let key = self.spec.reader_key(self.node, self.ops_done, &mut self.key_rng);
+                let key = self
+                    .spec
+                    .reader_key(self.node, self.ops_done, &mut self.key_rng);
                 let plan = self.strategy.read_plan(&key, self.site);
                 self.phase = ClientPhase::Read {
                     key: key.clone(),
@@ -233,20 +242,35 @@ impl SyntheticClientActor {
     }
 
     fn send_probe(&mut self, ctx: &mut Ctx<Msg>) {
-        let ClientPhase::Read { key, probes, probe_idx, .. } = &self.phase else {
+        let ClientPhase::Read {
+            key,
+            probes,
+            probe_idx,
+            ..
+        } = &self.phase
+        else {
             return;
         };
         let target = probes[*probe_idx];
         let req = RegistryRequest::Get { key: key.clone() };
         let size = req.wire_size();
-        ctx.send(self.registries[&target], Msg::Req { op: self.op_seq, req }, size);
+        ctx.send(
+            self.registries[&target],
+            Msg::Req {
+                op: self.op_seq,
+                req,
+            },
+            size,
+        );
     }
 
     fn complete_op(&mut self, ctx: &mut Ctx<Msg>, missed: bool) {
         let now = ctx.now();
         ctx.metrics().complete("ops", now);
-        ctx.metrics().complete(&format!("ops_site{}", self.site.0), now);
-        ctx.metrics().observe("op_latency", now.since(self.op_started));
+        ctx.metrics()
+            .complete(&format!("ops_site{}", self.site.0), now);
+        ctx.metrics()
+            .observe("op_latency", now.since(self.op_started));
         if missed {
             ctx.metrics().incr("read_miss", 1);
         }
@@ -263,10 +287,7 @@ impl SyntheticClientActor {
 impl Actor<Msg> for SyntheticClientActor {
     fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
         // Staggered start within one overhead period.
-        let stagger = self
-            .cal
-            .client_overhead
-            .mul_f64(ctx.rng().uniform_f64())
+        let stagger = self.cal.client_overhead.mul_f64(ctx.rng().uniform_f64())
             + SimDuration::from_micros(ctx.rng().range_u64(1_000));
         ctx.set_timer(stagger, TAG_NEXT_OP);
     }
@@ -292,7 +313,10 @@ impl Actor<Msg> for SyntheticClientActor {
             return; // stale response from an abandoned probe
         }
         match std::mem::replace(&mut self.phase, ClientPhase::Idle) {
-            ClientPhase::Write { async_targets, entry } => {
+            ClientPhase::Write {
+                async_targets,
+                entry,
+            } => {
                 // Write completed locally; fire lazy propagation.
                 for t in async_targets {
                     let req = RegistryRequest::Absorb {
@@ -381,7 +405,14 @@ impl SyncAgentActor {
         self.op_seq += 1;
         let req = RegistryRequest::DeltaPull { since };
         let size = req.wire_size();
-        ctx.send(self.registries[&site], Msg::Req { op: self.op_seq, req }, size);
+        ctx.send(
+            self.registries[&site],
+            Msg::Req {
+                op: self.op_seq,
+                req,
+            },
+            size,
+        );
     }
 
     /// Ship the next pending push synchronously, or move to the next site.
@@ -558,7 +589,14 @@ impl WorkflowNodeActor {
         self.op_seq += 1;
         let req = RegistryRequest::Get { key };
         let size = req.wire_size();
-        ctx.send(self.registries[&target], Msg::Req { op: self.op_seq, req }, size);
+        ctx.send(
+            self.registries[&target],
+            Msg::Req {
+                op: self.op_seq,
+                req,
+            },
+            size,
+        );
     }
 
     fn start_publish(&mut self, ctx: &mut Ctx<Msg>, out_idx: usize) {
@@ -569,7 +607,7 @@ impl WorkflowNodeActor {
             self.phase = WfPhase::Idle;
             ctx.metrics().incr("wf_tasks_done", 1);
             let pause = self.op_pause(ctx);
-                        ctx.set_timer(pause, TAG_NEXT_OP);
+            ctx.set_timer(pause, TAG_NEXT_OP);
             return;
         }
         let (name, bytes) = task.outputs[out_idx].clone();
@@ -593,7 +631,10 @@ impl WorkflowNodeActor {
         let size = req.wire_size();
         ctx.send(
             self.registries[&plan.sync_targets[0]],
-            Msg::Req { op: self.op_seq, req },
+            Msg::Req {
+                op: self.op_seq,
+                req,
+            },
             size,
         );
     }
@@ -757,7 +798,7 @@ impl Actor<Msg> for WorkflowNodeActor {
                     ),
                 };
                 let pause = self.op_pause(ctx);
-                        ctx.set_timer(pause, TAG_NEXT_OP);
+                ctx.set_timer(pause, TAG_NEXT_OP);
             }
             WfPhase::Idle => {}
         }
@@ -913,7 +954,11 @@ fn collect_synthetic(dep: &mut Deployment, cfg: &SimConfig) -> SyntheticOutcome 
             (name, SimDuration::from_micros(mean.as_micros()))
         })
         .collect();
-    let avg_node = dep.engine.metrics_mut().completions_mut("node_done").mean_time();
+    let avg_node = dep
+        .engine
+        .metrics_mut()
+        .completions_mut("node_done")
+        .mean_time();
     let ops = dep.engine.metrics_mut().completions_mut("ops");
     let total_ops = ops.count();
     let makespan = ops.last();
@@ -1091,7 +1136,10 @@ mod tests {
         let out = run_synthetic(&spec, &cfg(StrategyKind::Replicated));
         assert_eq!(out.total_ops, 8 * 40);
         // Retries happen (eventual consistency) but reads succeed.
-        assert_eq!(out.read_misses, 0, "sync agent should make all reads succeed");
+        assert_eq!(
+            out.read_misses, 0,
+            "sync agent should make all reads succeed"
+        );
     }
 
     #[test]
@@ -1101,15 +1149,24 @@ mod tests {
         let dr = run_synthetic(&spec, &cfg(StrategyKind::DhtLocalReplica));
         // 3/4 of centralized ops cross the WAN; DR's sync path is local
         // with lazy single-message propagation.
-        assert!(c.wan_messages > dr.wan_messages / 2, "c={} dr={}", c.wan_messages, dr.wan_messages);
+        assert!(
+            c.wan_messages > dr.wan_messages / 2,
+            "c={} dr={}",
+            c.wan_messages,
+            dr.wan_messages
+        );
     }
 
     #[test]
     fn workflow_pipeline_runs_under_all_strategies() {
-        let w = pipeline("p", 6, PatternConfig {
-            compute: SimDuration::from_millis(10),
-            ..PatternConfig::default()
-        });
+        let w = pipeline(
+            "p",
+            6,
+            PatternConfig {
+                compute: SimDuration::from_millis(10),
+                ..PatternConfig::default()
+            },
+        );
         let nodes = node_grid(&(0..4).map(SiteId).collect::<Vec<_>>(), 2);
         let placement = schedule(&w, &nodes, SchedulerPolicy::LocalityAware);
         for kind in StrategyKind::all() {
@@ -1123,10 +1180,14 @@ mod tests {
     fn workflow_cross_site_dependency_resolves_via_polling() {
         // Round-robin placement guarantees cross-site producer/consumer
         // pairs; DR must resolve them through lazy propagation + polling.
-        let w = pipeline("p", 8, PatternConfig {
-            compute: SimDuration::from_millis(5),
-            ..PatternConfig::default()
-        });
+        let w = pipeline(
+            "p",
+            8,
+            PatternConfig {
+                compute: SimDuration::from_millis(5),
+                ..PatternConfig::default()
+            },
+        );
         let nodes = node_grid(&(0..4).map(SiteId).collect::<Vec<_>>(), 2);
         let placement = schedule(&w, &nodes, SchedulerPolicy::RoundRobin);
         let out = run_workflow(&w, &placement, &cfg(StrategyKind::DhtLocalReplica));

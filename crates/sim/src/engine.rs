@@ -135,8 +135,7 @@ impl<'a, M> Ctx<'a, M> {
         let dst_site = self.sites[dst.index()];
         let net = self.network.delay(self.self_site, dst_site, size_bytes);
         let deliver_at = self.now + extra + net;
-        self.trace
-            .message(self.now, self.self_id, dst, deliver_at);
+        self.trace.message(self.now, self.self_id, dst, deliver_at);
         self.queue.push(
             deliver_at,
             EventKind::Deliver {
@@ -425,7 +424,11 @@ impl<M> Engine<M> {
                 self.actors[idx] = Some(actor);
                 stop
             }
-            EventKind::Timer { actor: aid, id, tag } => {
+            EventKind::Timer {
+                actor: aid,
+                id,
+                tag,
+            } => {
                 if self.cancelled_timers.remove(&id) {
                     return false;
                 }
@@ -547,7 +550,11 @@ mod tests {
             (e.now(), e.metrics().counter("pongs"))
         };
         assert_eq!(build(77), build(77));
-        assert_ne!(build(77).0, build(78).0, "different seeds should jitter differently");
+        assert_ne!(
+            build(77).0,
+            build(78).0,
+            "different seeds should jitter differently"
+        );
     }
 
     #[test]
@@ -596,10 +603,13 @@ mod tests {
     #[test]
     fn timers_fire_in_order_and_cancel() {
         let mut engine: Engine<()> = Engine::new(Topology::single_site(), 5);
-        let id = engine.add_actor(SiteId(0), TimerActor {
-            fired: Vec::new(),
-            cancel_me: None,
-        });
+        let id = engine.add_actor(
+            SiteId(0),
+            TimerActor {
+                fired: Vec::new(),
+                cancel_me: None,
+            },
+        );
         // Run until tag-1 and tag-2 fired; then cancel tag-3.
         engine.run_until(SimTime::ZERO + SimDuration::from_millis(50));
         // Reach into the actor is not possible from outside; instead verify

@@ -225,7 +225,10 @@ impl MetricsHub {
 
     /// Record a duration into a named histogram.
     pub fn observe(&mut self, name: &str, d: SimDuration) {
-        self.histograms.entry(name.to_string()).or_default().record(d);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
     }
 
     /// Access a histogram (None if never written).
@@ -235,7 +238,10 @@ impl MetricsHub {
 
     /// Record a completion timestamp into a named log.
     pub fn complete(&mut self, name: &str, at: SimTime) {
-        self.completions.entry(name.to_string()).or_default().record(at);
+        self.completions
+            .entry(name.to_string())
+            .or_default()
+            .record(at);
     }
 
     /// Access a completion log mutably (created on demand).

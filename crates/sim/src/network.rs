@@ -54,7 +54,10 @@ impl NetworkModel {
         let base = self.topology.one_way_latency(from, to);
         let bw = self.topology.bandwidth(from, to);
         let transfer = SimDuration::from_micros(
-            size_bytes.saturating_mul(1_000_000).checked_div(bw).unwrap_or(0),
+            size_bytes
+                .saturating_mul(1_000_000)
+                .checked_div(bw)
+                .unwrap_or(0),
         );
         let jitter_frac = self.topology.jitter_frac();
         let jittered = if jitter_frac > 0.0 {
@@ -74,7 +77,10 @@ impl NetworkModel {
         let base = self.topology.one_way_latency(from, to);
         let bw = self.topology.bandwidth(from, to);
         let transfer = SimDuration::from_micros(
-            size_bytes.saturating_mul(1_000_000).checked_div(bw).unwrap_or(0),
+            size_bytes
+                .saturating_mul(1_000_000)
+                .checked_div(bw)
+                .unwrap_or(0),
         );
         base + transfer
     }
@@ -150,7 +156,10 @@ mod tests {
         let mut a = NetworkModel::new(Topology::azure_4dc(), 9);
         let mut b = NetworkModel::new(Topology::azure_4dc(), 9);
         for _ in 0..50 {
-            assert_eq!(a.delay(SiteId(1), SiteId(2), 128), b.delay(SiteId(1), SiteId(2), 128));
+            assert_eq!(
+                a.delay(SiteId(1), SiteId(2), 128),
+                b.delay(SiteId(1), SiteId(2), 128)
+            );
         }
     }
 

@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn exponential_mean_tracks_target() {
-        let mut q = ServiceQueue::new(
-            ServiceTime::Exponential(SimDuration::from_millis(4)),
-            7,
-        );
+        let mut q = ServiceQueue::new(ServiceTime::Exponential(SimDuration::from_millis(4)), 7);
         let n = 20_000u64;
         let mut t = SimTime::ZERO;
         for _ in 0..n {

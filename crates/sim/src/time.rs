@@ -246,7 +246,10 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(SimDuration::from_secs_f64(0.001), SimDuration::from_millis(1));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.001),
+            SimDuration::from_millis(1)
+        );
         assert_eq!(SimDuration::from_secs_f64(-2.0), SimDuration::ZERO);
     }
 

@@ -294,7 +294,10 @@ impl TopologyBuilder {
 
     /// Set the relative jitter spread (0.0 disables jitter).
     pub fn jitter(mut self, frac: f64) -> Self {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0,1)"
+        );
         self.jitter_frac = frac;
         self
     }
@@ -369,7 +372,10 @@ mod tests {
         let distant = t.rtt(we, scus).as_micros();
         assert!(same_region >= 5 * local);
         assert!(distant >= 3 * same_region);
-        assert!(distant >= 50 * local, "geo-distant {distant} vs local {local}");
+        assert!(
+            distant >= 50 * local,
+            "geo-distant {distant} vs local {local}"
+        );
     }
 
     #[test]

@@ -109,7 +109,12 @@ struct Sender {
 impl Actor<Note> for Sender {
     fn on_start(&mut self, ctx: &mut Ctx<Note>) {
         for (i, &d) in self.delays.iter().enumerate() {
-            ctx.send_delayed(self.peer, Note::Tick(i as u32), 16, SimDuration::from_micros(d));
+            ctx.send_delayed(
+                self.peer,
+                Note::Tick(i as u32),
+                16,
+                SimDuration::from_micros(d),
+            );
         }
     }
     fn on_message(&mut self, _ctx: &mut Ctx<Note>, _env: Envelope<Note>) {}

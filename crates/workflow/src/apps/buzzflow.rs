@@ -74,9 +74,7 @@ pub fn buzzflow(cfg: BuzzFlowConfig) -> Workflow {
                     .collect()
             };
             let outputs: Vec<WorkflowFile> = (0..cfg.files_per_task)
-                .map(|f| {
-                    WorkflowFile::new(format!("buzzflow/s{s}_t{t}_f{f}.out"), cfg.file_size)
-                })
+                .map(|f| WorkflowFile::new(format!("buzzflow/s{s}_t{t}_f{f}.out"), cfg.file_size))
                 .collect();
             this.push(outputs.iter().map(|f| f.name.clone()).collect());
             b.task(format!("buzz-s{s}-t{t}"), inputs, outputs, cfg.compute);

@@ -97,11 +97,7 @@ pub fn montage(cfg: MontageConfig) -> Workflow {
 
 /// Size a Montage run so its total metadata operations approximate
 /// `target_ops` (used to hit the paper's Table I totals).
-pub fn montage_with_total_ops(
-    target_ops: usize,
-    tiles: usize,
-    compute: SimDuration,
-) -> Workflow {
+pub fn montage_with_total_ops(target_ops: usize, tiles: usize, compute: SimDuration) -> Workflow {
     // ops ≈ 1 + tiles + tiles*(fpt + fpt) ... solve fpt from the real
     // formula below by search (tiny domain).
     let mut best = MontageConfig {
@@ -175,7 +171,11 @@ mod tests {
                 ..MontageConfig::default()
             };
             let w = montage(cfg);
-            assert_eq!(w.total_metadata_ops(), montage_ops(&cfg), "tiles={tiles} fpt={fpt}");
+            assert_eq!(
+                w.total_metadata_ops(),
+                montage_ops(&cfg),
+                "tiles={tiles} fpt={fpt}"
+            );
         }
     }
 
@@ -191,6 +191,9 @@ mod tests {
     #[test]
     fn external_input_is_the_image_table() {
         let w = montage(MontageConfig::default());
-        assert_eq!(w.external_inputs(), vec!["montage/input_table.tbl".to_string()]);
+        assert_eq!(
+            w.external_inputs(),
+            vec!["montage/input_table.tbl".to_string()]
+        );
     }
 }

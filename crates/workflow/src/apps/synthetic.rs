@@ -180,7 +180,9 @@ mod tests {
     #[test]
     fn roles_split_half_and_half() {
         let spec = SyntheticSpec::fig5(100);
-        let writers = (0..spec.nodes).filter(|&n| spec.role(n) == Role::Writer).count();
+        let writers = (0..spec.nodes)
+            .filter(|&n| spec.role(n) == Role::Writer)
+            .count();
         assert_eq!(writers, 16);
         assert_eq!(spec.writers(), 16);
         assert_eq!(spec.total_ops(), 3_200);

@@ -32,7 +32,11 @@ pub enum WorkflowError {
 impl std::fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WorkflowError::DuplicateProducer { file, first, second } => {
+            WorkflowError::DuplicateProducer {
+                file,
+                first,
+                second,
+            } => {
                 write!(f, "file {file} produced by both {first} and {second}")
             }
             WorkflowError::Cycle => write!(f, "workflow dependency graph has a cycle"),
@@ -373,7 +377,10 @@ mod tests {
     fn self_dependency_rejected() {
         let mut b = Workflow::builder("self");
         b.task("t", vec!["mine".into()], vec![f("mine")], sec(1));
-        assert_eq!(b.build().unwrap_err(), WorkflowError::SelfDependency(TaskId(0)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::SelfDependency(TaskId(0))
+        );
     }
 
     #[test]

@@ -209,7 +209,10 @@ impl WorkflowEngine {
                         Ok(completions)
                     }));
                 }
-                handles.into_iter().map(|h| h.join().map_err(|_| EngineError::NodePanic).and_then(|r| r)).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().map_err(|_| EngineError::NodePanic).and_then(|r| r))
+                    .collect()
             });
 
         let mut task_completion = HashMap::new();
@@ -239,10 +242,7 @@ mod tests {
     use geometa_core::ClientConfig;
     use geometa_sim::topology::SiteId;
 
-    fn clients_for(
-        nodes: &[NodeId],
-        kind: StrategyKind,
-    ) -> HashMap<NodeId, Arc<dyn MetadataOps>> {
+    fn clients_for(nodes: &[NodeId], kind: StrategyKind) -> HashMap<NodeId, Arc<dyn MetadataOps>> {
         let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
         let transport = Arc::new(InProcessTransport::new(&sites, 8));
         let controller = Arc::new(ArchitectureController::with_kind(kind, sites));
@@ -279,9 +279,7 @@ mod tests {
         assert_eq!(report.publish_calls, 8);
         // Later pipeline stages complete no earlier than earlier ones.
         for i in 1..8u32 {
-            assert!(
-                report.task_completion[&TaskId(i)] >= report.task_completion[&TaskId(i - 1)]
-            );
+            assert!(report.task_completion[&TaskId(i)] >= report.task_completion[&TaskId(i - 1)]);
         }
     }
 

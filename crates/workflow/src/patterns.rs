@@ -76,7 +76,12 @@ pub fn gather(name: &str, width: usize, cfg: PatternConfig) -> Workflow {
     for i in 0..width {
         let out = WorkflowFile::new(format!("{name}/part{i}"), cfg.file_size);
         parts.push(out.name.clone());
-        b.task(format!("{name}-producer{i}"), vec![], vec![out], cfg.compute);
+        b.task(
+            format!("{name}-producer{i}"),
+            vec![],
+            vec![out],
+            cfg.compute,
+        );
     }
     b.task(
         format!("{name}-sink"),
@@ -125,7 +130,12 @@ pub fn broadcast(name: &str, width: usize, cfg: PatternConfig) -> Workflow {
     assert!(width > 0, "broadcast needs at least one consumer");
     let mut b = Workflow::builder(name);
     let shared = WorkflowFile::new(format!("{name}/shared"), cfg.file_size);
-    b.task(format!("{name}-source"), vec![], vec![shared.clone()], cfg.compute);
+    b.task(
+        format!("{name}-source"),
+        vec![],
+        vec![shared.clone()],
+        cfg.compute,
+    );
     for i in 0..width {
         b.task(
             format!("{name}-consumer{i}"),
@@ -165,10 +175,8 @@ impl PatternStack {
         assert!(width > 0);
         let mut next = Vec::with_capacity(width);
         for i in 0..width {
-            let out = WorkflowFile::new(
-                format!("{}/s{}-{i}", self.name, self.stage),
-                cfg.file_size,
-            );
+            let out =
+                WorkflowFile::new(format!("{}/s{}-{i}", self.name, self.stage), cfg.file_size);
             next.push(out.name.clone());
             self.builder.task(
                 format!("{}-s{}-t{i}", self.name, self.stage),

@@ -137,7 +137,10 @@ mod tests {
         let w = pipeline("p", 32, PatternConfig::default());
         let placement = schedule(&w, &node_grid(&sites4(), 8), SchedulerPolicy::Random(3));
         let plan = provisioning_plan(&w, &placement);
-        assert!(!plan.is_empty(), "random placement across 4 sites must cross sites");
+        assert!(
+            !plan.is_empty(),
+            "random placement across 4 sites must cross sites"
+        );
         for t in &plan {
             assert_ne!(t.from, t.to);
             assert_eq!(t.bytes, PatternConfig::default().file_size);

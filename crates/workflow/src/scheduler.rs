@@ -60,7 +60,10 @@ impl Placement {
     pub fn per_node_queues(&self, w: &Workflow) -> BTreeMap<NodeId, Vec<TaskId>> {
         let mut queues: BTreeMap<NodeId, Vec<TaskId>> = BTreeMap::new();
         for &t in w.topological_order() {
-            queues.entry(self.assignment[t.index()]).or_default().push(t);
+            queues
+                .entry(self.assignment[t.index()])
+                .or_default()
+                .push(t);
         }
         queues
     }
@@ -154,9 +157,7 @@ pub fn schedule(workflow: &Workflow, nodes: &[NodeId], policy: SchedulerPolicy) 
                     .iter()
                     .max_by_key(|(s, b)| (**b, std::cmp::Reverse(s.0)))
                     .map(|(&s, _)| s)
-                    .filter(|&s| {
-                        level_site_load.get(&(level, s)).copied().unwrap_or(0) < cap
-                    });
+                    .filter(|&s| level_site_load.get(&(level, s)).copied().unwrap_or(0) < cap);
                 let chosen_site = preferred.unwrap_or_else(|| {
                     // Balance: the site with the least load at this level,
                     // breaking ties by total load, then site id.

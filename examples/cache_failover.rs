@@ -49,18 +49,15 @@ fn main() {
 
     let per_thread: Vec<u64> = writers.into_iter().map(|w| w.join().unwrap()).collect();
     let total: u64 = per_thread.iter().sum();
-    println!(
-        "writers acknowledged {total} writes across the failure (per thread: {per_thread:?})"
-    );
+    println!("writers acknowledged {total} writes across the failure (per thread: {per_thread:?})");
     println!("promotions performed: {}", ha.promotions());
 
     // Every acknowledged write must be readable after promotion.
     let mut verified = 0u64;
     for (t, &n) in per_thread.iter().enumerate() {
         for k in 0..n {
-            ha.get(&format!("t{t}-k{k}")).unwrap_or_else(|e| {
-                panic!("acknowledged write t{t}-k{k} lost in failover: {e}")
-            });
+            ha.get(&format!("t{t}-k{k}"))
+                .unwrap_or_else(|e| panic!("acknowledged write t{t}-k{k} lost in failover: {e}"));
             verified += 1;
         }
     }

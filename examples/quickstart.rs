@@ -15,7 +15,10 @@ use std::time::Duration;
 
 fn main() {
     let topology = Topology::azure_4dc();
-    println!("Starting a live cluster over {} datacenters:", topology.num_sites());
+    println!(
+        "Starting a live cluster over {} datacenters:",
+        topology.num_sites()
+    );
     for site in topology.site_ids() {
         println!(
             "  {site} = {:<17} (centrality {:.1} ms)",
@@ -34,7 +37,9 @@ fn main() {
     // A workflow node in West Europe publishes its outputs.
     let writer = cluster.client(SiteId(0), 0);
     for i in 0..10 {
-        writer.publish(&format!("results/part_{i}.dat"), 190 * 1024).unwrap();
+        writer
+            .publish(&format!("results/part_{i}.dat"), 190 * 1024)
+            .unwrap();
     }
     println!("\npublished 10 files from West Europe");
 
@@ -66,10 +71,13 @@ fn main() {
     );
 
     // Strategies are hot-swappable through the architecture controller.
-    cluster
-        .controller()
-        .switch_kind(StrategyKind::Centralized, cluster.topology().site_ids().collect());
-    writer.publish("results/final.dat", 8 * 1024 * 1024).unwrap();
+    cluster.controller().switch_kind(
+        StrategyKind::Centralized,
+        cluster.topology().site_ids().collect(),
+    );
+    writer
+        .publish("results/final.dat", 8 * 1024 * 1024)
+        .unwrap();
     let entry = remote_reader.resolve("results/final.dat").unwrap();
     println!(
         "\nswitched to {:?}; resolved results/final.dat ({} bytes) through the central registry",

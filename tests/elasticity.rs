@@ -7,7 +7,7 @@ use geometa::core::hash::{ConsistentRing, SitePlacer};
 use geometa::core::rebalance::{apply_rebalance, plan_rebalance};
 use geometa::core::registry::RegistryInstance;
 use geometa::core::strategy::{DhtNonReplicated, MetadataStrategy};
-use geometa::core::transport::{InProcessTransport, RegistryTransport};
+use geometa::core::transport::InProcessTransport;
 use geometa::core::{ClientConfig, StrategyClient};
 use geometa::sim::topology::SiteId;
 use std::collections::HashMap;
@@ -30,13 +30,16 @@ fn grow_from_4_to_5_sites_without_losing_entries() {
 
     // Populate through the DHT strategy over 4 sites.
     let transport = Arc::new(InProcessTransport::new(&sites5, 8)); // site 4 exists but is idle
-    let controller = Arc::new(ArchitectureController::new(Arc::new(DhtNonReplicated::new(
-        Arc::new(ring4.clone()) as Arc<dyn SitePlacer>,
-    ))));
+    let controller = Arc::new(ArchitectureController::new(Arc::new(
+        DhtNonReplicated::new(Arc::new(ring4.clone()) as Arc<dyn SitePlacer>),
+    )));
     let client = StrategyClient::new(
         Arc::clone(&transport),
         Arc::clone(&controller),
-        ClientConfig { site: SiteId(0), node: 0 },
+        ClientConfig {
+            site: SiteId(0),
+            node: 0,
+        },
     );
     for i in 0..800 {
         client.publish(&format!("grow/f{i}"), 64).unwrap();
@@ -52,7 +55,7 @@ fn grow_from_4_to_5_sites_without_losing_entries() {
     let moved = apply_rebalance(&moves, &reg_map).unwrap();
     assert_eq!(moved, moves.len());
     controller.switch(Arc::new(DhtNonReplicated::new(
-        Arc::new(ring5.clone()) as Arc<dyn SitePlacer>,
+        Arc::new(ring5.clone()) as Arc<dyn SitePlacer>
     )));
 
     // Every entry is resolvable under the new placement, and the new site
@@ -86,7 +89,10 @@ fn shrink_from_4_to_3_sites_without_losing_entries() {
                 &geometa::core::entry::RegistryEntry::new(
                     &name,
                     1,
-                    geometa::core::entry::FileLocation { site: owner, node: 0 },
+                    geometa::core::entry::FileLocation {
+                        site: owner,
+                        node: 0,
+                    },
                     i + 1,
                 ),
                 i + 1,
@@ -103,7 +109,10 @@ fn shrink_from_4_to_3_sites_without_losing_entries() {
         let name = format!("shrink/f{i}");
         let owner = ring3.owner(&name);
         assert_ne!(owner, SiteId(3));
-        assert!(reg_map[&owner].get(&name).is_ok(), "{name} lost in scale-in");
+        assert!(
+            reg_map[&owner].get(&name).is_ok(),
+            "{name} lost in scale-in"
+        );
     }
 }
 

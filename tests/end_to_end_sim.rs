@@ -12,7 +12,10 @@ use geometa::sim::topology::Topology;
 use geometa::workflow::apps::synthetic::SyntheticSpec;
 
 fn outcome(kind: StrategyKind, nodes: usize, ops: usize) -> geometa::experiments::SyntheticOutcome {
-    run_synthetic(&SyntheticSpec::scaling(nodes, ops), &SimConfig::new(kind, 2024))
+    run_synthetic(
+        &SyntheticSpec::scaling(nodes, ops),
+        &SimConfig::new(kind, 2024),
+    )
 }
 
 /// §VI-B / Fig. 5: at a metadata-intensive scale the decentralized
@@ -56,8 +59,16 @@ fn throughput_scaling_shapes() {
 fn local_replica_doubles_local_reads() {
     let dn = outcome(StrategyKind::DhtNonReplicated, 16, 400);
     let dr = outcome(StrategyKind::DhtLocalReplica, 16, 400);
-    assert!((0.17..0.33).contains(&dn.local_read_fraction), "DN {}", dn.local_read_fraction);
-    assert!((0.36..0.55).contains(&dr.local_read_fraction), "DR {}", dr.local_read_fraction);
+    assert!(
+        (0.17..0.33).contains(&dn.local_read_fraction),
+        "DN {}",
+        dn.local_read_fraction
+    );
+    assert!(
+        (0.36..0.55).contains(&dr.local_read_fraction),
+        "DR {}",
+        dr.local_read_fraction
+    );
     assert!(dr.local_read_fraction > 1.6 * dn.local_read_fraction);
 }
 
@@ -68,7 +79,10 @@ fn replicated_is_eventually_consistent() {
     let r = outcome(StrategyKind::Replicated, 16, 300);
     assert_eq!(r.total_ops, 16 * 300, "every op completes");
     assert_eq!(r.read_misses, 0, "no read should exhaust its retry budget");
-    assert_eq!(r.local_read_fraction, 1.0, "replicated reads are always local");
+    assert_eq!(
+        r.local_read_fraction, 1.0,
+        "replicated reads are always local"
+    );
 }
 
 /// WAN economics: the replicated strategy concentrates WAN traffic in the

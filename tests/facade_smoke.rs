@@ -1,0 +1,54 @@
+//! Smoke test for the `geometa` facade: every re-exported subcrate
+//! resolves under its facade name, and a basic put/get works through the
+//! cache tier reached via the facade path.
+
+use geometa::cache::{PutCondition, ShardedStore};
+
+#[test]
+fn facade_reexports_resolve() {
+    // Touch one public item per re-exported subcrate so a broken
+    // re-export fails this test at compile time.
+    let _sites = geometa::sim::topology::Topology::azure_4dc().num_sites();
+    let _kinds = geometa::core::strategy::StrategyKind::all();
+    let _cal = geometa::experiments::Calibration::default();
+    let wf = geometa::workflow::patterns::pipeline(
+        "smoke",
+        3,
+        geometa::workflow::patterns::PatternConfig::default(),
+    );
+    assert_eq!(wf.len(), 3);
+    let _store: ShardedStore = geometa::cache::ShardedStore::with_default_shards();
+}
+
+#[test]
+fn facade_put_get_roundtrip() {
+    let store = ShardedStore::new(8);
+    let v1 = store
+        .put("facade/file", bytes::Bytes::from_static(b"payload"), 1)
+        .unwrap();
+    assert_eq!(v1, 1);
+
+    let hit = store.get("facade/file").unwrap();
+    assert_eq!(hit.version, 1);
+    assert_eq!(hit.value.as_ref(), b"payload");
+
+    // Optimistic concurrency through the facade path behaves like the
+    // crate-level doctest promises.
+    let stale = store.put_if(
+        "facade/file",
+        PutCondition::VersionIs(99),
+        bytes::Bytes::from_static(b"other"),
+        2,
+    );
+    assert!(stale.is_err());
+
+    let v2 = store
+        .put_if(
+            "facade/file",
+            PutCondition::VersionIs(1),
+            bytes::Bytes::from_static(b"updated"),
+            3,
+        )
+        .unwrap();
+    assert_eq!(v2, 2);
+}

@@ -100,7 +100,10 @@ fn strategy_switch_under_load() {
         .iter()
         .map(|&s| cluster.registry(s).unwrap().len())
         .sum();
-    assert!(total >= 160, "all 160 writes must be stored somewhere, found {total}");
+    assert!(
+        total >= 160,
+        "all 160 writes must be stored somewhere, found {total}"
+    );
     Arc::try_unwrap(cluster).ok().unwrap().shutdown();
 }
 
@@ -150,7 +153,10 @@ fn stats_reflect_strategy_semantics() {
     }
     let snap = c.stats().snapshot();
     assert_eq!(snap.local_writes, 40, "DR writes complete locally");
-    assert_eq!(snap.local_read_hits, 40, "writer's own reads hit the local replica");
+    assert_eq!(
+        snap.local_read_hits, 40,
+        "writer's own reads hit the local replica"
+    );
     assert_eq!(snap.remote_writes, 0);
     // Roughly 3/4 of keys hash to a remote owner -> async pushes.
     assert!(snap.async_pushes > 10, "async pushes {}", snap.async_pushes);

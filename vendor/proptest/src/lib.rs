@@ -1,0 +1,202 @@
+//! Offline stand-in for `proptest` covering the surface this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*` macros, and a strategy
+//! combinator set (integer/float ranges, tuples, `any`, collections,
+//! options, unions, mapped strategies, and char-class string patterns
+//! like `"[a-z0-9]{1,24}"`).
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases
+//! are **not shrunk**. Every case is generated from a deterministic
+//! per-test seed, so a failure report's case index is enough to
+//! reproduce it exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of the upstream prelude's `prop` module: module-path access
+    /// to the strategy namespaces (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a condition inside a property, failing the case (not
+/// panicking) so the runner can report the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`\n{}",
+            l,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Reject the current case (it is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn my_prop(x in 0..10u32, v in prop::collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x < 10);
+///         prop_assert!(!v.is_empty() && v.len() < 9);
+///     }
+/// }
+/// // Without `#[test]` the macro emits a plain function, runnable anywhere:
+/// my_prop();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __seed_base = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            // Rejected cases (prop_assume!) are retried with a fresh seed
+            // rather than consuming the case budget, mirroring upstream's
+            // global-reject accounting.
+            let mut __accepted: u32 = 0;
+            let mut __attempt: u64 = 0;
+            while __accepted < __config.cases {
+                __attempt += 1;
+                if __attempt > (__config.cases as u64) * 8 + 64 {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} accepted of {} after {} attempts)",
+                        stringify!($name),
+                        __accepted,
+                        __config.cases,
+                        __attempt
+                    );
+                }
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(__seed_base ^ __attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut __rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    Ok(()) => __accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at attempt {} (seed base {:#x}):\n{}",
+                            stringify!($name),
+                            __attempt,
+                            __seed_base,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

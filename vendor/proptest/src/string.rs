@@ -1,0 +1,158 @@
+//! String generation from the small regex subset used as string
+//! strategies: sequences of literals and character classes, each with an
+//! optional `{m}` / `{m,n}` repetition, e.g. `"[a-z0-9/_.]{1,40}"`.
+
+use crate::test_runner::TestRng;
+
+enum Segment {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    out.push(p);
+                }
+                assert!(
+                    !out.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                return out;
+            }
+            '-' => {
+                // A range if there is a pending start and a following end
+                // that is not the closing bracket; else a literal dash.
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(start), Some(end)) if end != ']' => {
+                        chars.next();
+                        assert!(
+                            start <= end,
+                            "inverted range {start}-{end} in pattern {pattern:?}"
+                        );
+                        out.extend(start..=end);
+                    }
+                    (start, _) => {
+                        if let Some(s) = start {
+                            out.push(s);
+                        }
+                        out.push('-');
+                    }
+                }
+            }
+            '^' if out.is_empty() && pending.is_none() => {
+                panic!("negated character classes unsupported in pattern {pattern:?}")
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unterminated repetition in pattern {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in pattern {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((m, n)) => (parse(m), parse(n)),
+        None => {
+            let m = parse(&spec);
+            (m, m)
+        }
+    }
+}
+
+/// Generate a string matching `pattern` (the supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut segments: Vec<(Segment, usize, usize)> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let segment = match c {
+            '[' => Segment::Class(parse_class(&mut chars, pattern)),
+            '\\' => Segment::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '(' | ')' | '|' | '*' | '+' | '?' => {
+                panic!("unsupported regex feature {c:?} in string strategy {pattern:?}")
+            }
+            other => Segment::Literal(other),
+        };
+        let (min, max) = parse_repetition(&mut chars, pattern);
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        segments.push((segment, min, max));
+    }
+    let mut out = String::new();
+    for (segment, min, max) in &segments {
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match segment {
+                Segment::Literal(c) => out.push(*c),
+                Segment::Class(choices) => {
+                    out.push(choices[rng.below(choices.len() as u64) as usize])
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::deterministic(7);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9/_.]{1,40}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/_.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::deterministic(9);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z0-9-]{1,20}", &mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::deterministic(1);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+    }
+}

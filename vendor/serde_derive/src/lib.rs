@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive`. The in-tree code
+//! only *derives* `Serialize`/`Deserialize` (its own codec is
+//! hand-rolled over `bytes`), so the derives expand to nothing and the
+//! traits in the `serde` stand-in are pure markers.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is a marker trait here.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is a marker trait here.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
