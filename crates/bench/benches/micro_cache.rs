@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use geometa_cache::{HaCache, OccCell, PutCondition, ShardedStore};
+use geometa_cache::{HaCache, Key, OccCell, PutCondition, ShardedStore};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -46,6 +46,81 @@ fn bench_store_ops(c: &mut Criterion) {
                     .is_err(),
             )
         })
+    });
+    group.finish();
+}
+
+/// The interned-key hot path: keys hashed once at intern time, map probes
+/// and shard selection reuse the stored hash, clones are `Arc` bumps.
+fn bench_interned_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interned_key");
+    let store = ShardedStore::new(64);
+    let keys: Vec<Key> = (0..10_000).map(|i| Key::new(&format!("k{i}"))).collect();
+    for k in &keys {
+        store.put_key(k, Bytes::from_static(b"value"), 0).unwrap();
+    }
+    group.bench_function("get_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(store.get_key(&keys[i]).unwrap())
+        })
+    });
+    group.bench_function("put_overwrite", |b| {
+        let hot = Key::new("hot");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.put_key(&hot, Bytes::from_static(b"v"), i).unwrap())
+        })
+    });
+    group.bench_function("intern_cost", |b| {
+        b.iter(|| black_box(Key::new("montage/projected/tile_0042_0017.fits")))
+    });
+    group.finish();
+}
+
+/// Grouped batch operations: one lock acquisition per shard per batch.
+fn bench_batch_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_ops");
+    let store = ShardedStore::new(64);
+    let keys: Vec<String> = (0..512).map(|i| format!("batch-k{i}")).collect();
+    for k in &keys {
+        store.put(k, Bytes::from_static(b"v"), 0).unwrap();
+    }
+    let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    group.bench_function("multi_get_512", |b| {
+        b.iter(|| black_box(store.multi_get(&refs)))
+    });
+    let interned: Vec<Key> = keys.iter().map(Key::from).collect();
+    group.bench_function("multi_get_keys_512", |b| {
+        b.iter(|| black_box(store.multi_get_keys(&interned)))
+    });
+    group.bench_function("multi_put_512", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            let items = interned
+                .iter()
+                .map(|k| (k.clone(), Bytes::from_static(b"v")));
+            black_box(store.multi_put(items, now).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Snapshot-style scans, whose pair clones are O(1) handle bumps now.
+fn bench_snapshots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshots");
+    let store = ShardedStore::new(64);
+    for i in 0..10_000u64 {
+        store
+            .put(&format!("s{i}"), Bytes::from_static(b"v"), i)
+            .unwrap();
+    }
+    group.bench_function("snapshot_10k", |b| b.iter(|| black_box(store.snapshot())));
+    group.bench_function("modified_since_half", |b| {
+        b.iter(|| black_box(store.modified_since(5_000)))
     });
     group.finish();
 }
@@ -131,6 +206,9 @@ criterion_group! {
     name = micro_cache;
     config = fast();
     targets = bench_store_ops,
+    bench_interned_keys,
+    bench_batch_ops,
+    bench_snapshots,
     bench_shard_scaling,
     bench_occ_cell,
     bench_ha_pair

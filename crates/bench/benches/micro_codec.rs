@@ -49,6 +49,40 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
+/// The zero-copy decode guarantees: name/producer slice the wire buffer,
+/// small location sets stay inline, entry clones are handle bumps.
+fn bench_zero_copy_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entry_zero_copy");
+    let bytes = entry_with_locations(2).to_bytes();
+    group.bench_function("decode_and_read_name", |b| {
+        // Decode plus a name access — the full registry read-path shape.
+        b.iter(|| {
+            let e = RegistryEntry::from_bytes(bytes.clone()).unwrap();
+            black_box(e.name.len())
+        })
+    });
+    group.bench_function("decode_batch_32", |b| {
+        // A lazy-propagation batch absorb decodes many small entries.
+        let batch: Vec<_> = (0..32).map(|_| bytes.clone()).collect();
+        b.iter(|| {
+            let decoded: Vec<RegistryEntry> = batch
+                .iter()
+                .map(|b| RegistryEntry::from_bytes(b.clone()).unwrap())
+                .collect();
+            black_box(decoded.len())
+        })
+    });
+    group.bench_function("entry_clone", |b| {
+        let e = RegistryEntry::from_bytes(bytes.clone()).unwrap();
+        b.iter(|| black_box(e.clone()))
+    });
+    group.bench_function("cache_key_intern", |b| {
+        let e = entry_with_locations(2);
+        b.iter(|| black_box(e.cache_key()))
+    });
+    group.finish();
+}
+
 fn bench_roundtrip_and_merge(c: &mut Criterion) {
     c.bench_function("entry_roundtrip", |b| {
         let e = entry_with_locations(4);
@@ -68,7 +102,7 @@ fn bench_roundtrip_and_merge(c: &mut Criterion) {
 criterion_group! {
     name = micro_codec;
     config = fast();
-    targets = bench_encode, bench_decode, bench_roundtrip_and_merge
+    targets = bench_encode, bench_decode, bench_zero_copy_paths, bench_roundtrip_and_merge
 }
 fn fast() -> Criterion {
     Criterion::default()

@@ -82,6 +82,43 @@ fn bench_timer_storm(c: &mut Criterion) {
     });
 }
 
+/// Like [`TimerStorm`] but every timer fires strictly after t=0, so the
+/// priming run (which dispatches everything at or before t=0) fires none
+/// of them and all of them are still cancellable afterwards.
+struct CancelStorm {
+    remaining: u32,
+}
+impl Actor<()> for CancelStorm {
+    fn on_start(&mut self, ctx: &mut Ctx<()>) {
+        for i in 0..self.remaining {
+            ctx.set_timer(SimDuration::from_micros(i as u64 + 1), i as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<()>, _id: TimerId, _tag: u64) {
+        ctx.metrics().incr("fired", 1);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<()>, _env: Envelope<()>) {}
+}
+
+/// Timer cancellation: arm a storm, cancel half from outside, run the
+/// rest. Slot-addressed removal keeps cancelled events out of the queue
+/// entirely (the old design popped and skipped every tombstone).
+fn bench_timer_cancel(c: &mut Criterion) {
+    c.bench_function("engine_20k_timers_half_cancelled", |b| {
+        b.iter(|| {
+            let mut engine: Engine<()> = Engine::new(Topology::single_site(), 1);
+            engine.add_actor(SiteId(0), CancelStorm { remaining: 20_000 });
+            engine.run_until(SimTime::ZERO); // prime: arms all timers, fires none
+            for t in (0..20_000u64).step_by(2) {
+                engine.cancel_timer(TimerId(t));
+            }
+            let report = engine.run();
+            assert_eq!(engine.metrics().counter("fired"), 10_000);
+            black_box(report.events_processed)
+        })
+    });
+}
+
 fn bench_network_delay(c: &mut Criterion) {
     c.bench_function("network_delay_computation", |b| {
         let mut net = NetworkModel::new(Topology::azure_4dc(), 3);
@@ -92,7 +129,7 @@ fn bench_network_delay(c: &mut Criterion) {
 criterion_group! {
     name = micro_sim;
     config = fast();
-    targets = bench_ping_pong, bench_timer_storm, bench_network_delay
+    targets = bench_ping_pong, bench_timer_storm, bench_timer_cancel, bench_network_delay
 }
 fn fast() -> Criterion {
     Criterion::default()

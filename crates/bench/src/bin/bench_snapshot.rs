@@ -1,0 +1,321 @@
+//! Hand-rolled perf snapshot of the metadata hot paths.
+//!
+//! Criterion is great for local iteration but its vendored stand-in has no
+//! machine-readable output; this binary times the same hot paths with a
+//! plain monotonic-clock loop and emits a JSON snapshot (`BENCH_2.json` at
+//! the repo root by default) so perf numbers can be committed per-PR and
+//! compared across the repo's history.
+//!
+//! Usage:
+//!   cargo run --release -p geometa-bench --bin bench_snapshot \
+//!       [-- --quick] [--out PATH] [--baseline FILE]
+//!
+//! `--baseline FILE` splices a previously captured snapshot (raw JSON)
+//! into the output under a `"baseline"` key, so a committed BENCH file
+//! carries both the pre-change and post-change numbers.
+//!
+//! Each benchmark reports the *best* (minimum) per-op time over several
+//! repetitions — the minimum is the standard robust estimator for
+//! throughput loops because interference only ever adds time.
+
+use bytes::Bytes;
+use geometa_cache::ShardedStore;
+use geometa_core::entry::{FileLocation, RegistryEntry};
+use geometa_sim::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark result: nanoseconds per operation and derived ops/sec.
+struct BenchResult {
+    name: &'static str,
+    ns_per_op: f64,
+    ops: u64,
+}
+
+struct Runner {
+    reps: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Time `body` (which performs `ops` operations) `reps` times; keep the
+    /// fastest run.
+    fn bench(&mut self, name: &'static str, ops: u64, mut body: impl FnMut()) {
+        // Warm-up pass (untimed).
+        body();
+        let mut best = f64::INFINITY;
+        for _ in 0..self.reps {
+            let start = Instant::now();
+            body();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            best = best.min(elapsed / ops as f64);
+        }
+        eprintln!("{name:<28} {best:>10.1} ns/op   {:>12.0} ops/s", 1e9 / best);
+        self.results.push(BenchResult {
+            name,
+            ns_per_op: best,
+            ops,
+        });
+    }
+}
+
+fn value() -> Bytes {
+    Bytes::from_static(b"site0:node7;site2:node19")
+}
+
+fn sample_entry(locs: usize) -> RegistryEntry {
+    let mut e = RegistryEntry::new(
+        "montage/projected/tile_0042_0017.fits",
+        1024 * 1024,
+        FileLocation {
+            site: SiteId(0),
+            node: 7,
+        },
+        123_456_789,
+    )
+    .with_producer("mProject-42");
+    for i in 1..locs {
+        e.add_location(FileLocation {
+            site: SiteId((i % 4) as u16),
+            node: i as u32,
+        });
+    }
+    e
+}
+
+fn bench_cache(r: &mut Runner, n_keys: usize) {
+    let keys: Vec<String> = (0..n_keys).map(|i| format!("montage/f{i}.fits")).collect();
+    let store = ShardedStore::new(64);
+    for k in &keys {
+        store.put(k, value(), 0).unwrap();
+    }
+
+    r.bench("cache_get_hit", n_keys as u64, || {
+        for k in &keys {
+            black_box(store.get(k).unwrap());
+        }
+    });
+
+    r.bench("cache_get_miss", n_keys as u64, || {
+        for _ in 0..n_keys {
+            black_box(store.get("no/such/key").is_err());
+        }
+    });
+
+    r.bench("cache_put_overwrite", n_keys as u64, || {
+        for (i, k) in keys.iter().enumerate() {
+            black_box(store.put(k, value(), i as u64).unwrap());
+        }
+    });
+
+    r.bench("cache_put_fresh", n_keys as u64, || {
+        let fresh = ShardedStore::new(64);
+        for (i, k) in keys.iter().enumerate() {
+            black_box(fresh.put(k, value(), i as u64).unwrap());
+        }
+    });
+
+    let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    r.bench("cache_multi_get", n_keys as u64, || {
+        for chunk in refs.chunks(64) {
+            black_box(store.multi_get(chunk));
+        }
+    });
+
+    r.bench("cache_snapshot", n_keys as u64, || {
+        black_box(store.snapshot());
+    });
+
+    bench_cache_interned(r, &keys, &store);
+}
+
+#[cfg(not(feature = "interned_key"))]
+fn bench_cache_interned(_r: &mut Runner, _keys: &[String], _store: &ShardedStore) {}
+
+#[cfg(feature = "interned_key")]
+fn bench_cache_interned(r: &mut Runner, keys: &[String], store: &ShardedStore) {
+    use geometa_cache::Key;
+    let interned: Vec<Key> = keys.iter().map(Key::from).collect();
+    let n = keys.len() as u64;
+    r.bench("cache_get_hit_interned", n, || {
+        for k in &interned {
+            black_box(store.get_key(k).unwrap());
+        }
+    });
+    r.bench("cache_put_interned", n, || {
+        for (i, k) in interned.iter().enumerate() {
+            black_box(store.put_key(k, value(), i as u64).unwrap());
+        }
+    });
+}
+
+fn bench_codec(r: &mut Runner, iters: u64) {
+    let e = sample_entry(4);
+    let bytes = e.to_bytes();
+    r.bench("codec_encode", iters, || {
+        for _ in 0..iters {
+            black_box(e.to_bytes());
+        }
+    });
+    r.bench("codec_decode", iters, || {
+        for _ in 0..iters {
+            black_box(RegistryEntry::from_bytes(bytes.clone()).unwrap());
+        }
+    });
+}
+
+#[derive(Clone, Debug)]
+enum Msg {
+    Ping(u32),
+    Pong(u32),
+}
+
+struct Pinger {
+    peer: ActorId,
+    rounds: u32,
+}
+impl Actor<Msg> for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        ctx.send(self.peer, Msg::Ping(self.rounds), 64);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        if let Msg::Pong(n) = env.msg {
+            if n > 0 {
+                ctx.send(self.peer, Msg::Ping(n - 1), 64);
+            }
+        }
+    }
+}
+
+struct Ponger;
+impl Actor<Msg> for Ponger {
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+        if let Msg::Ping(n) = env.msg {
+            ctx.send(env.from, Msg::Pong(n), 64);
+        }
+    }
+}
+
+struct TimerStorm {
+    remaining: u32,
+    /// Extra delay on every timer; 1 for the cancellation scenario so the
+    /// t=0 priming run fires none of them (a timer armed for t=0 would
+    /// fire during priming and make its cancellation a silent no-op).
+    offset: u64,
+}
+impl Actor<()> for TimerStorm {
+    fn on_start(&mut self, ctx: &mut Ctx<()>) {
+        for i in 0..self.remaining {
+            ctx.set_timer(SimDuration::from_micros(i as u64 + self.offset), i as u64);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<()>, _id: TimerId, _tag: u64) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<()>, _env: Envelope<()>) {}
+}
+
+fn bench_sim(r: &mut Runner, rounds: u32, timers: u32) {
+    // Every round trip is 2 events (ping deliver + pong deliver).
+    r.bench("sim_ping_pong", 2 * (rounds as u64 + 1), || {
+        let mut engine: Engine<Msg> = Engine::new(Topology::azure_4dc(), 1);
+        let ponger = engine.add_actor(SiteId(2), Ponger);
+        engine.add_actor(
+            SiteId(0),
+            Pinger {
+                peer: ponger,
+                rounds,
+            },
+        );
+        black_box(engine.run().events_processed);
+    });
+
+    r.bench("sim_timer_storm", timers as u64, || {
+        let mut engine: Engine<()> = Engine::new(Topology::single_site(), 1);
+        engine.add_actor(
+            SiteId(0),
+            TimerStorm {
+                remaining: timers,
+                offset: 0,
+            },
+        );
+        black_box(engine.run().events_processed);
+    });
+
+    // Arm timers, cancel half from outside, run the remainder. Exercises the
+    // cancellation path (tombstone scan before this PR, slot removal after).
+    r.bench("sim_timer_cancel_half", timers as u64, || {
+        let mut engine: Engine<()> = Engine::new(Topology::single_site(), 1);
+        engine.add_actor(
+            SiteId(0),
+            TimerStorm {
+                remaining: timers,
+                offset: 1,
+            },
+        );
+        engine.run_until(SimTime::ZERO); // prime: arms all timers, fires none
+        for t in (0..timers as u64).step_by(2) {
+            let cancelled = engine.cancel_timer(TimerId(t));
+            assert!(cancelled, "timer {t} must still be pending");
+        }
+        let events = engine.run().events_processed;
+        assert_eq!(events, u64::from(timers) / 2, "exactly half must fire");
+        black_box(events);
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| std::fs::read_to_string(p).expect("read baseline snapshot"));
+
+    let mut r = Runner {
+        reps: if quick { 3 } else { 7 },
+        results: Vec::new(),
+    };
+    let n_keys = if quick { 10_000 } else { 50_000 };
+    let codec_iters = if quick { 50_000 } else { 200_000 };
+    let rounds = if quick { 10_000 } else { 50_000 };
+    let timers = if quick { 20_000 } else { 100_000 };
+
+    eprintln!("bench_snapshot (quick={quick})");
+    bench_cache(&mut r, n_keys);
+    bench_codec(&mut r, codec_iters);
+    bench_sim(&mut r, rounds, timers);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"geometa-bench-snapshot/1\",\n  \"quick\": {quick},\n  \"results\": {{\n"
+    ));
+    for (i, b) in r.results.iter().enumerate() {
+        let comma = if i + 1 == r.results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"ns_per_op\": {:.2}, \"ops_per_sec\": {:.0}, \"ops_per_rep\": {}}}{}\n",
+            b.name,
+            b.ns_per_op,
+            1e9 / b.ns_per_op,
+            b.ops,
+            comma
+        ));
+    }
+    json.push_str("  }");
+    if let Some(base) = baseline {
+        // Splice the stored snapshot verbatim: it is already a JSON value.
+        json.push_str(",\n  \"baseline\": ");
+        json.push_str(base.trim_end());
+        json.push('\n');
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -64,6 +64,47 @@ impl Hasher for FxHasher64 {
 /// `BuildHasher` for [`FxHasher64`], for use with `HashMap`.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
 
+/// A pass-through hasher for keys that carry a precomputed 64-bit hash
+/// (see [`crate::Key`]): `write_u64` stores the value verbatim and
+/// `finish` returns it, so map probes do no hashing work at all.
+///
+/// Falls back to real FxHash mixing if raw bytes are written, so the
+/// hasher stays correct (if pointless) for non-prehashed keys.
+#[derive(Default, Clone)]
+pub struct PrehashedHasher {
+    hash: u64,
+    mixed: bool,
+}
+
+impl Hasher for PrehashedHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        if self.mixed {
+            // Already carrying state: keep mixing so multi-field keys
+            // depend on every written word, not just the last one.
+            self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+        } else {
+            self.hash = i;
+            self.mixed = true;
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut fx = FxHasher64 { hash: self.hash };
+        fx.write(bytes);
+        self.hash = fx.finish();
+        self.mixed = true;
+    }
+}
+
+/// `BuildHasher` for [`PrehashedHasher`].
+pub type PrehashedBuildHasher = BuildHasherDefault<PrehashedHasher>;
+
 /// Hash raw bytes to a 64-bit value.
 #[inline]
 pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
@@ -115,6 +156,17 @@ mod tests {
                 "shard count {c} far from expected {expect}"
             );
         }
+    }
+
+    #[test]
+    fn prehashed_hasher_mixes_multi_word_keys() {
+        use std::hash::BuildHasher;
+        let bh = PrehashedBuildHasher::default();
+        let h = |k: (u64, u64)| bh.hash_one(k);
+        // Both words must influence the hash — (0, x) and (1, x) differ.
+        assert_ne!(h((0, 42)), h((1, 42)));
+        assert_ne!(h((7, 0)), h((7, 1)));
+        assert_eq!(h((3, 4)), h((3, 4)));
     }
 
     #[test]

@@ -6,13 +6,17 @@
 //! loop so callers express only the transformation.
 
 use crate::entry::{CacheError, PutCondition};
+use crate::key::Key;
 use crate::store::ShardedStore;
 use bytes::Bytes;
 
 /// A single key viewed through optimistic read-modify-write operations.
+///
+/// The key is interned once at construction; the retry loop then runs
+/// allocation- and hash-free regardless of how many attempts it takes.
 pub struct OccCell<'a> {
     store: &'a ShardedStore,
-    key: &'a str,
+    key: Key,
     max_retries: usize,
 }
 
@@ -27,12 +31,17 @@ pub struct UpdateOutcome {
 
 impl<'a> OccCell<'a> {
     /// View `key` in `store` through OCC operations.
-    pub fn new(store: &'a ShardedStore, key: &'a str) -> OccCell<'a> {
+    pub fn new(store: &'a ShardedStore, key: impl Into<Key>) -> OccCell<'a> {
         OccCell {
             store,
-            key,
+            key: key.into(),
             max_retries: 64,
         }
+    }
+
+    /// The interned key this cell operates on.
+    pub fn key(&self) -> &Key {
+        &self.key
     }
 
     /// Override the retry budget (default 64).
@@ -50,7 +59,7 @@ impl<'a> OccCell<'a> {
     {
         let mut retries = 0u64;
         for _ in 0..=self.max_retries {
-            let current = match self.store.get(self.key) {
+            let current = match self.store.get_key(&self.key) {
                 Ok(e) => Some(e),
                 Err(CacheError::NotFound) => None,
                 Err(e) => return Err(e),
@@ -60,7 +69,7 @@ impl<'a> OccCell<'a> {
                 Some(e) => PutCondition::VersionIs(e.version),
                 None => PutCondition::Absent,
             };
-            match self.store.put_if(self.key, cond, next, now) {
+            match self.store.put_if_key(&self.key, cond, next, now) {
                 Ok(version) => return Ok(UpdateOutcome { version, retries }),
                 Err(CacheError::VersionMismatch { .. }) | Err(CacheError::AlreadyExists { .. }) => {
                     retries += 1;
@@ -81,7 +90,7 @@ impl<'a> OccCell<'a> {
     pub fn create(&self, value: Bytes, now: u64) -> Result<bool, CacheError> {
         match self
             .store
-            .put_if(self.key, PutCondition::Absent, value, now)
+            .put_if_key(&self.key, PutCondition::Absent, value, now)
         {
             Ok(_) => Ok(true),
             Err(CacheError::AlreadyExists { .. }) => Ok(false),

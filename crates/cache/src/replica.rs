@@ -12,6 +12,7 @@
 //! detected failed, the pair promotes the replica and rebuilds a fresh one.
 
 use crate::entry::{CacheEntry, CacheError, PutCondition};
+use crate::key::Key;
 use crate::store::ShardedStore;
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -39,11 +40,26 @@ impl HaCache {
 
     /// Read from the primary; on primary failure, promote and retry once.
     pub fn get(&self, key: &str) -> Result<CacheEntry, CacheError> {
+        self.primary_op(|store| store.get(key))
+    }
+
+    /// [`Self::get`] by interned key (no hashing).
+    pub fn get_key(&self, key: &Key) -> Result<CacheEntry, CacheError> {
+        self.primary_op(|store| store.get_key(key))
+    }
+
+    /// Run a read-side operation against the primary; on primary failure,
+    /// promote and retry once. Shared by the `&str` and `Key` variants so
+    /// the failover protocol lives in one place.
+    fn primary_op(
+        &self,
+        op: impl Fn(&ShardedStore) -> Result<CacheEntry, CacheError>,
+    ) -> Result<CacheEntry, CacheError> {
         let primary = self.primary.read().clone();
-        match primary.get(key) {
+        match op(&primary) {
             Err(CacheError::Unavailable) => {
                 self.promote();
-                self.primary.read().get(key)
+                op(&self.primary.read())
             }
             other => other,
         }
@@ -63,10 +79,50 @@ impl HaCache {
         value: Bytes,
         now: u64,
     ) -> Result<u64, CacheError> {
+        self.put_if_with(
+            cond,
+            value,
+            now,
+            |store, c, v, n| store.put_if(key, c, v, n),
+            |replica, entry| {
+                let _ = replica.absorb(key, entry);
+            },
+        )
+    }
+
+    /// [`Self::put_if`] by interned key: the single interned handle serves
+    /// both the primary write and the replica mirror, so the whole
+    /// mirrored write performs no hashing and no key allocation.
+    pub fn put_if_key(
+        &self,
+        key: &Key,
+        cond: PutCondition,
+        value: Bytes,
+        now: u64,
+    ) -> Result<u64, CacheError> {
+        self.put_if_with(
+            cond,
+            value,
+            now,
+            |store, c, v, n| store.put_if_key(key, c, v, n),
+            |replica, entry| {
+                let _ = replica.absorb_key(key, entry);
+            },
+        )
+    }
+
+    fn put_if_with(
+        &self,
+        cond: PutCondition,
+        value: Bytes,
+        now: u64,
+        primary_put: impl Fn(&ShardedStore, PutCondition, Bytes, u64) -> Result<u64, CacheError>,
+        mirror: impl Fn(&ShardedStore, CacheEntry),
+    ) -> Result<u64, CacheError> {
         loop {
             {
                 let primary_guard = self.primary.read();
-                match primary_guard.put_if(key, cond, value.clone(), now) {
+                match primary_put(&primary_guard, cond, value.clone(), now) {
                     Err(CacheError::Unavailable) => {
                         // Fall through to promotion (after the guard drops).
                     }
@@ -77,8 +133,8 @@ impl HaCache {
                         // is approximated by `now` for updates; callers that
                         // care carry creation time inside the value.
                         let replica = self.replica.read().clone();
-                        let _ = replica.absorb(
-                            key,
+                        mirror(
+                            &replica,
                             CacheEntry {
                                 value,
                                 version,
@@ -100,17 +156,22 @@ impl HaCache {
         self.put_if(key, PutCondition::Always, value, now)
     }
 
+    /// Unconditional write by interned key.
+    pub fn put_key(&self, key: &Key, value: Bytes, now: u64) -> Result<u64, CacheError> {
+        self.put_if_key(key, PutCondition::Always, value, now)
+    }
+
     /// Remove from both stores.
     pub fn remove(&self, key: &str) -> Result<CacheEntry, CacheError> {
-        let primary = self.primary.read().clone();
-        let out = match primary.remove(key) {
-            Err(CacheError::Unavailable) => {
-                self.promote();
-                self.primary.read().remove(key)
-            }
-            other => other,
-        };
+        let out = self.primary_op(|store| store.remove(key));
         let _ = self.replica.read().remove(key);
+        out
+    }
+
+    /// [`Self::remove`] by interned key.
+    pub fn remove_key(&self, key: &Key) -> Result<CacheEntry, CacheError> {
+        let out = self.primary_op(|store| store.remove_key(key));
+        let _ = self.replica.read().remove_key(key);
         out
     }
 
@@ -151,9 +212,11 @@ impl HaCache {
         let mut replica = self.replica.write();
         let promoted = replica.clone();
         let fresh = Arc::new(ShardedStore::new(self.shards));
-        // Repopulate the fresh replica from the promoted primary.
+        // Repopulate the fresh replica from the promoted primary. Snapshot
+        // pairs are cheap handle clones and absorb_key re-uses the interned
+        // key, so repopulation copies no key text.
         for (k, e) in promoted.snapshot() {
-            let _ = fresh.absorb(&k, e);
+            let _ = fresh.absorb_key(&k, e);
         }
         *primary = promoted;
         *replica = fresh;

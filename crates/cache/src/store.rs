@@ -6,16 +6,63 @@
 //! free by construction. All cross-key snapshot operations are collected
 //! shard by shard and therefore see a *per-shard*-consistent state, which
 //! is exactly the consistency the paper's lazy synchronization needs.
+//!
+//! # Zero-allocation hot paths
+//!
+//! Shard maps are keyed by interned [`Key`]s and hashed by the
+//! pass-through [`PrehashedBuildHasher`], so a map probe never re-hashes
+//! the key text. Two call styles reach them:
+//!
+//! * **`&str` methods** (`get`, `put`, …) hash the text exactly once per
+//!   operation — that one hash picks the shard *and* probes the map — and
+//!   allocate only when a fresh key is first inserted.
+//! * **`*_key` methods** (`get_key`, `put_if_key`, …) take a pre-interned
+//!   [`Key`] and do no hashing and no allocation at all; inserting clones
+//!   the `Arc` handle. The registry's OCC loops and the HA mirror use
+//!   these.
+//!
+//! Batch operations ([`Self::multi_get`], [`Self::multi_put`]) group keys
+//! by shard and take each shard lock once per batch instead of once per
+//! key.
 
 use crate::entry::{CacheEntry, CacheError, PutCondition};
-use crate::hash::{fx_hash_str, FxBuildHasher};
+use crate::hash::PrehashedBuildHasher;
+use crate::key::{Key, KeyQuery, StrQuery};
 use crate::stats::{CacheStats, StatsCounters};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-type Shard = RwLock<HashMap<String, CacheEntry, FxBuildHasher>>;
+type Map = HashMap<Key, CacheEntry, PrehashedBuildHasher>;
+type Shard = RwLock<Map>;
+
+/// A batch write failed partway through.
+///
+/// [`ShardedStore::multi_put`] applies entries shard group by shard group
+/// and does **not** roll back on failure: entries written before the
+/// failure point stay written (they are plain unconditional puts, so
+/// retrying the whole batch is idempotent up to version bumps). `applied`
+/// reports how many entries had been applied when the error hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchError {
+    /// Entries successfully applied before the failure.
+    pub applied: usize,
+    /// The underlying failure (currently always [`CacheError::Unavailable`]).
+    pub error: CacheError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch aborted after {} entries: {}",
+            self.applied, self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// A sharded, versioned, concurrent in-memory store.
 pub struct ShardedStore {
@@ -43,9 +90,13 @@ impl ShardedStore {
     }
 
     #[inline]
-    fn shard_for(&self, key: &str) -> &Shard {
-        let h = fx_hash_str(key);
-        &self.shards[(h & self.mask) as usize]
+    fn shard_at(&self, hash: u64) -> &Shard {
+        &self.shards[(hash & self.mask) as usize]
+    }
+
+    #[inline]
+    fn shard_index(&self, hash: u64) -> usize {
+        (hash & self.mask) as usize
     }
 
     fn check_available(&self) -> Result<(), CacheError> {
@@ -73,11 +124,20 @@ impl ShardedStore {
         self.failed.load(Ordering::Acquire)
     }
 
-    /// Read an entry.
+    /// Read an entry. Hashes `key` once; never allocates.
     pub fn get(&self, key: &str) -> Result<CacheEntry, CacheError> {
+        self.get_q(&StrQuery::new(key))
+    }
+
+    /// Read an entry by interned key. No hashing, no allocation.
+    pub fn get_key(&self, key: &Key) -> Result<CacheEntry, CacheError> {
+        self.get_q(key)
+    }
+
+    fn get_q(&self, q: &dyn KeyQuery) -> Result<CacheEntry, CacheError> {
         self.check_available()?;
-        let shard = self.shard_for(key).read();
-        match shard.get(key) {
+        let shard = self.shard_at(q.query_hash()).read();
+        match shard.get(q) {
             Some(e) => {
                 self.stats.hit();
                 Ok(e.clone())
@@ -94,7 +154,10 @@ impl ShardedStore {
         if self.is_failed() {
             return false;
         }
-        self.shard_for(key).read().contains_key(key)
+        let q = StrQuery::new(key);
+        self.shard_at(q.hash)
+            .read()
+            .contains_key(&q as &dyn KeyQuery)
     }
 
     /// Unconditional put. Returns the new version (1 for a fresh key).
@@ -102,7 +165,13 @@ impl ShardedStore {
         self.put_if(key, PutCondition::Always, value, now)
     }
 
+    /// Unconditional put by interned key.
+    pub fn put_key(&self, key: &Key, value: Bytes, now: u64) -> Result<u64, CacheError> {
+        self.put_if_key(key, PutCondition::Always, value, now)
+    }
+
     /// Conditional put implementing the optimistic concurrency model.
+    /// Hashes `key` once; allocates only when inserting a fresh key.
     pub fn put_if(
         &self,
         key: &str,
@@ -110,19 +179,57 @@ impl ShardedStore {
         value: Bytes,
         now: u64,
     ) -> Result<u64, CacheError> {
+        let q = StrQuery::new(key);
+        self.put_if_q(&q, cond, value, now, |q| q.to_key())
+    }
+
+    /// Conditional put by interned key. No hashing; insertion clones the
+    /// `Arc` handle instead of copying the text.
+    pub fn put_if_key(
+        &self,
+        key: &Key,
+        cond: PutCondition,
+        value: Bytes,
+        now: u64,
+    ) -> Result<u64, CacheError> {
+        self.put_if_q(key, cond, value, now, |k| k.clone())
+    }
+
+    fn put_if_q<Q: KeyQuery>(
+        &self,
+        q: &Q,
+        cond: PutCondition,
+        value: Bytes,
+        now: u64,
+        own: impl FnOnce(&Q) -> Key,
+    ) -> Result<u64, CacheError> {
         self.check_available()?;
-        let mut shard = self.shard_for(key).write();
-        match shard.get_mut(key) {
+        let mut shard = self.shard_at(q.query_hash()).write();
+        Self::apply_put_if(&self.stats, &mut shard, q, cond, value, now, own)
+    }
+
+    /// The put-if state machine against one locked shard map. Shared by the
+    /// single-key paths and the grouped batch path.
+    fn apply_put_if<Q: KeyQuery>(
+        stats: &StatsCounters,
+        map: &mut Map,
+        q: &Q,
+        cond: PutCondition,
+        value: Bytes,
+        now: u64,
+        own: impl FnOnce(&Q) -> Key,
+    ) -> Result<u64, CacheError> {
+        match map.get_mut(q as &dyn KeyQuery) {
             Some(existing) => match cond {
                 PutCondition::Always => {
                     existing.value = value;
                     existing.version += 1;
                     existing.modified_at = now;
-                    self.stats.write();
+                    stats.write();
                     Ok(existing.version)
                 }
                 PutCondition::Absent => {
-                    self.stats.conflict();
+                    stats.conflict();
                     Err(CacheError::AlreadyExists {
                         version: existing.version,
                     })
@@ -132,10 +239,10 @@ impl ShardedStore {
                         existing.value = value;
                         existing.version += 1;
                         existing.modified_at = now;
-                        self.stats.write();
+                        stats.write();
                         Ok(existing.version)
                     } else {
-                        self.stats.conflict();
+                        stats.conflict();
                         Err(CacheError::VersionMismatch {
                             expected,
                             actual: Some(existing.version),
@@ -145,8 +252,8 @@ impl ShardedStore {
             },
             None => match cond {
                 PutCondition::Always | PutCondition::Absent => {
-                    shard.insert(
-                        key.to_string(),
+                    map.insert(
+                        own(q),
                         CacheEntry {
                             value,
                             version: 1,
@@ -154,11 +261,11 @@ impl ShardedStore {
                             modified_at: now,
                         },
                     );
-                    self.stats.write();
+                    stats.write();
                     Ok(1)
                 }
                 PutCondition::VersionIs(expected) => {
-                    self.stats.conflict();
+                    stats.conflict();
                     Err(CacheError::VersionMismatch {
                         expected,
                         actual: None,
@@ -174,9 +281,24 @@ impl ShardedStore {
     /// incoming version is newer (last-writer-wins on version, then
     /// timestamp).
     pub fn absorb(&self, key: &str, entry: CacheEntry) -> Result<bool, CacheError> {
+        let q = StrQuery::new(key);
+        self.absorb_q(&q, entry, |q| q.to_key())
+    }
+
+    /// [`Self::absorb`] by interned key: no hashing, no text copy.
+    pub fn absorb_key(&self, key: &Key, entry: CacheEntry) -> Result<bool, CacheError> {
+        self.absorb_q(key, entry, |k| k.clone())
+    }
+
+    fn absorb_q<Q: KeyQuery>(
+        &self,
+        q: &Q,
+        entry: CacheEntry,
+        own: impl FnOnce(&Q) -> Key,
+    ) -> Result<bool, CacheError> {
         self.check_available()?;
-        let mut shard = self.shard_for(key).write();
-        match shard.get_mut(key) {
+        let mut shard = self.shard_at(q.query_hash()).write();
+        match shard.get_mut(q as &dyn KeyQuery) {
             Some(existing) => {
                 let newer =
                     (entry.version, entry.modified_at) > (existing.version, existing.modified_at);
@@ -187,7 +309,7 @@ impl ShardedStore {
                 Ok(newer)
             }
             None => {
-                shard.insert(key.to_string(), entry);
+                shard.insert(own(q), entry);
                 self.stats.write();
                 Ok(true)
             }
@@ -196,9 +318,18 @@ impl ShardedStore {
 
     /// Remove an entry.
     pub fn remove(&self, key: &str) -> Result<CacheEntry, CacheError> {
+        self.remove_q(&StrQuery::new(key))
+    }
+
+    /// Remove an entry by interned key.
+    pub fn remove_key(&self, key: &Key) -> Result<CacheEntry, CacheError> {
+        self.remove_q(key)
+    }
+
+    fn remove_q(&self, q: &dyn KeyQuery) -> Result<CacheEntry, CacheError> {
         self.check_available()?;
-        let mut shard = self.shard_for(key).write();
-        shard.remove(key).ok_or(CacheError::NotFound)
+        let mut shard = self.shard_at(q.query_hash()).write();
+        shard.remove(q).ok_or(CacheError::NotFound)
     }
 
     /// Number of entries (sums shard sizes; racy but exact when quiescent).
@@ -218,29 +349,154 @@ impl ShardedStore {
         }
     }
 
-    /// Batch read: one result per key, in order.
+    /// Batch read: one result per key, in order. Keys are grouped by shard
+    /// and each shard lock is taken once per batch, not once per key.
     pub fn multi_get(&self, keys: &[&str]) -> Vec<Result<CacheEntry, CacheError>> {
-        keys.iter().map(|k| self.get(k)).collect()
+        self.multi_get_grouped(keys.len(), |i| StrQuery::new(keys[i]))
     }
 
-    /// Batch unconditional put.
+    /// Batch read by interned keys (no hashing at all).
+    pub fn multi_get_keys(&self, keys: &[Key]) -> Vec<Result<CacheEntry, CacheError>> {
+        self.multi_get_grouped(keys.len(), |i| {
+            let k = &keys[i];
+            StrQuery {
+                hash: k.hash64(),
+                s: k.as_str(),
+            }
+        })
+    }
+
+    /// Visit a batch of `n` items grouped by shard: `hash_of(i)` is item
+    /// `i`'s key hash; `visit(shard_idx, item_indices)` runs once per
+    /// shard group. Submission order is preserved within a group (index
+    /// tie-break), so duplicate keys in one batch still apply in order —
+    /// last-write-wins for writes, deterministic probe order for reads.
+    /// An `Err` from `visit` stops the iteration (partial-apply).
+    fn visit_shard_groups<E>(
+        &self,
+        n: usize,
+        hash_of: impl Fn(usize) -> u64,
+        mut visit: impl FnMut(usize, &[u32]) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (self.shard_index(hash_of(i as usize)), i));
+        let mut pos = 0;
+        while pos < n {
+            let shard_idx = self.shard_index(hash_of(order[pos] as usize));
+            let mut end = pos + 1;
+            while end < n && self.shard_index(hash_of(order[end] as usize)) == shard_idx {
+                end += 1;
+            }
+            visit(shard_idx, &order[pos..end])?;
+            pos = end;
+        }
+        Ok(())
+    }
+
+    fn multi_get_grouped<'a>(
+        &self,
+        n: usize,
+        query: impl Fn(usize) -> StrQuery<'a>,
+    ) -> Vec<Result<CacheEntry, CacheError>> {
+        if self.check_available().is_err() {
+            return (0..n).map(|_| Err(CacheError::Unavailable)).collect();
+        }
+        let queries: Vec<StrQuery<'a>> = (0..n).map(query).collect();
+        let mut out: Vec<Result<CacheEntry, CacheError>> =
+            (0..n).map(|_| Err(CacheError::NotFound)).collect();
+        // Re-checked per shard group (like multi_put) so a failure injected
+        // mid-batch surfaces as Unavailable for the rest of the batch,
+        // matching what per-key gets would have reported.
+        let mut available = true;
+        let infallible: Result<(), std::convert::Infallible> = self.visit_shard_groups(
+            n,
+            |i| queries[i].hash,
+            |shard_idx, group| {
+                available = available && self.check_available().is_ok();
+                if !available {
+                    for &i in group {
+                        out[i as usize] = Err(CacheError::Unavailable);
+                    }
+                    return Ok(());
+                }
+                let shard = self.shards[shard_idx].read();
+                for &i in group {
+                    let q = &queries[i as usize];
+                    out[i as usize] = match shard.get(q as &dyn KeyQuery) {
+                        Some(e) => {
+                            self.stats.hit();
+                            Ok(e.clone())
+                        }
+                        None => {
+                            self.stats.miss();
+                            Err(CacheError::NotFound)
+                        }
+                    };
+                }
+                Ok(())
+            },
+        );
+        let _ = infallible;
+        out
+    }
+
+    /// Batch unconditional put, grouped by shard (one write-lock
+    /// acquisition per shard per batch).
+    ///
+    /// **Partial-apply semantics:** entries are applied shard group by
+    /// shard group with no rollback. If the store fails mid-batch (failure
+    /// injection racing the batch), earlier writes stay applied and the
+    /// returned [`BatchError`] reports how many via its `applied` field.
+    /// Retrying the whole batch afterwards is safe: entries are
+    /// unconditional puts, so re-application only bumps versions.
     pub fn multi_put(
         &self,
-        items: impl IntoIterator<Item = (String, Bytes)>,
+        items: impl IntoIterator<Item = (impl Into<Key>, Bytes)>,
         now: u64,
-    ) -> Result<usize, CacheError> {
-        self.check_available()?;
-        let mut n = 0;
-        for (k, v) in items {
-            self.put(&k, v, now)?;
-            n += 1;
+    ) -> Result<usize, BatchError> {
+        let mut items: Vec<(Key, Bytes)> = items.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        if let Err(error) = self.check_available() {
+            return Err(BatchError { applied: 0, error });
         }
-        Ok(n)
+        let hashes: Vec<u64> = items.iter().map(|(k, _)| k.hash64()).collect();
+        let mut applied = 0;
+        self.visit_shard_groups(
+            items.len(),
+            |i| hashes[i],
+            |shard_idx, group| {
+                // Re-check availability per shard group so a failure injected
+                // mid-batch stops the batch at a group boundary.
+                if let Err(error) = self.check_available() {
+                    return Err(BatchError { applied, error });
+                }
+                let mut shard = self.shards[shard_idx].write();
+                for &i in group {
+                    let (key, value) = {
+                        let slot = &mut items[i as usize];
+                        (slot.0.clone(), std::mem::take(&mut slot.1))
+                    };
+                    Self::apply_put_if(
+                        &self.stats,
+                        &mut shard,
+                        &key,
+                        PutCondition::Always,
+                        value,
+                        now,
+                        |k| k.clone(),
+                    )
+                    .expect("unconditional put cannot fail on a held shard");
+                    applied += 1;
+                }
+                Ok(())
+            },
+        )?;
+        Ok(applied)
     }
 
     /// Snapshot of all entries modified strictly after `since` (logical
     /// timestamp). This is the delta query the sync agent issues each cycle.
-    pub fn modified_since(&self, since: u64) -> Vec<(String, CacheEntry)> {
+    /// Key and entry clones are O(1) (`Arc`/`Bytes` handle bumps).
+    pub fn modified_since(&self, since: u64) -> Vec<(Key, CacheEntry)> {
         let mut out = Vec::new();
         for s in &self.shards {
             let shard = s.read();
@@ -253,21 +509,26 @@ impl ShardedStore {
         out
     }
 
-    /// Snapshot of every entry (per-shard consistent).
-    pub fn snapshot(&self) -> Vec<(String, CacheEntry)> {
-        let mut out = Vec::with_capacity(self.len());
+    /// Snapshot of every entry (per-shard consistent). Single pass: grows
+    /// as it collects instead of pre-sizing via a full `len()` sweep (which
+    /// would read-lock every shard twice).
+    pub fn snapshot(&self) -> Vec<(Key, CacheEntry)> {
+        let mut out = Vec::new();
         for s in &self.shards {
             let shard = s.read();
+            out.reserve(shard.len());
             out.extend(shard.iter().map(|(k, e)| (k.clone(), e.clone())));
         }
         out
     }
 
-    /// Snapshot of all keys.
-    pub fn keys(&self) -> Vec<String> {
+    /// Snapshot of all keys (cheap `Arc` clones).
+    pub fn keys(&self) -> Vec<Key> {
         let mut out = Vec::new();
         for s in &self.shards {
-            out.extend(s.read().keys().cloned());
+            let shard = s.read();
+            out.reserve(shard.len());
+            out.extend(shard.keys().cloned());
         }
         out
     }
@@ -316,6 +577,54 @@ mod tests {
         assert_eq!(e.version, 1);
         assert_eq!(e.created_at, 10);
         assert_eq!(e.modified_at, 10);
+    }
+
+    #[test]
+    fn interned_and_str_paths_see_the_same_entries() {
+        let store = ShardedStore::new(8);
+        let k = Key::new("shared-key");
+        assert_eq!(store.put_key(&k, b("v1"), 1).unwrap(), 1);
+        // The &str path finds an entry written through the Key path…
+        assert_eq!(store.get("shared-key").unwrap().value, b("v1"));
+        // …and vice versa.
+        assert_eq!(store.put("shared-key", b("v2"), 2).unwrap(), 2);
+        assert_eq!(store.get_key(&k).unwrap().value, b("v2"));
+        assert_eq!(store.remove_key(&k).unwrap().version, 2);
+        assert_eq!(store.get("shared-key"), Err(CacheError::NotFound));
+    }
+
+    #[test]
+    fn key_variants_cover_conditions_and_absorb() {
+        let store = ShardedStore::new(8);
+        let k = Key::new("occ");
+        assert_eq!(
+            store
+                .put_if_key(&k, PutCondition::Absent, b("a"), 0)
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            store.put_if_key(&k, PutCondition::Absent, b("b"), 1),
+            Err(CacheError::AlreadyExists { version: 1 })
+        );
+        assert_eq!(
+            store
+                .put_if_key(&k, PutCondition::VersionIs(1), b("c"), 2)
+                .unwrap(),
+            2
+        );
+        assert!(store
+            .absorb_key(
+                &k,
+                CacheEntry {
+                    value: b("d"),
+                    version: 9,
+                    created_at: 0,
+                    modified_at: 9
+                }
+            )
+            .unwrap());
+        assert_eq!(store.get_key(&k).unwrap().version, 9);
     }
 
     #[test]
@@ -477,6 +786,76 @@ mod tests {
     }
 
     #[test]
+    fn multi_get_preserves_request_order_across_shards() {
+        let store = ShardedStore::new(8);
+        let keys: Vec<String> = (0..200).map(|i| format!("k{i}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            store
+                .put(k, Bytes::from(i.to_string().into_bytes()), 0)
+                .unwrap();
+        }
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let res = store.multi_get(&refs);
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().value.as_ref(),
+                i.to_string().as_bytes(),
+                "result {i} out of order"
+            );
+        }
+        // Interned variant agrees.
+        let interned: Vec<Key> = keys.iter().map(Key::from).collect();
+        assert_eq!(store.multi_get_keys(&interned), res);
+    }
+
+    #[test]
+    fn multi_put_reports_applied_count_on_failure() {
+        let store = ShardedStore::new(4);
+        store.fail();
+        let err = store
+            .multi_put(vec![("a", b("1")), ("b", b("2"))], 0)
+            .unwrap_err();
+        assert_eq!(err.applied, 0);
+        assert_eq!(err.error, CacheError::Unavailable);
+        assert!(err.to_string().contains("after 0 entries"));
+        store.revive();
+        assert_eq!(store.multi_put(vec![("a", b("1"))], 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn multi_put_duplicate_keys_apply_last_write_wins() {
+        let store = ShardedStore::new(8);
+        // Interleave many distinct keys with repeated writes to one key so
+        // the shard grouping actually has to reorder across shards; the
+        // duplicates must still apply in submission order.
+        let mut items: Vec<(String, Bytes)> = Vec::new();
+        for i in (0..5000).rev() {
+            items.push((format!("k{i}"), b("x")));
+            if i % 10 == 0 {
+                items.push(("dup".to_string(), Bytes::from(i.to_string().into_bytes())));
+            }
+        }
+        store.multi_put(items, 0).unwrap();
+        assert_eq!(
+            store.get("dup").unwrap().value.as_ref(),
+            b"0",
+            "last submitted duplicate must win"
+        );
+        assert_eq!(store.get("dup").unwrap().version, 500);
+    }
+
+    #[test]
+    fn multi_put_groups_but_counts_every_entry() {
+        let store = ShardedStore::new(2); // few shards => real grouping
+        let items: Vec<(String, Bytes)> = (0..100).map(|i| (format!("k{i}"), b("v"))).collect();
+        assert_eq!(store.multi_put(items, 7).unwrap(), 100);
+        assert_eq!(store.len(), 100);
+        for i in 0..100 {
+            assert_eq!(store.get(&format!("k{i}")).unwrap().modified_at, 7);
+        }
+    }
+
+    #[test]
     fn modified_since_returns_delta_only() {
         let store = ShardedStore::new(4);
         store.put("old", b("1"), 5).unwrap();
@@ -489,6 +868,19 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_is_complete_and_cheap_to_clone() {
+        let store = ShardedStore::new(4);
+        for i in 0..50 {
+            store.put(&format!("k{i}"), b("v"), i).unwrap();
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 50);
+        // Snapshot keys share storage with the store's interned keys.
+        let (k, e) = &snap[0];
+        assert_eq!(store.get_key(k).unwrap(), *e);
+    }
+
+    #[test]
     fn failure_injection_blocks_everything() {
         let store = ShardedStore::new(4);
         store.put("f", b("v"), 0).unwrap();
@@ -496,6 +888,7 @@ mod tests {
         assert_eq!(store.get("f"), Err(CacheError::Unavailable));
         assert_eq!(store.put("g", b("v"), 0), Err(CacheError::Unavailable));
         assert!(!store.contains("f"));
+        assert_eq!(store.multi_get(&["f"]), vec![Err(CacheError::Unavailable)]);
         store.revive();
         assert!(store.get("f").is_ok());
     }
@@ -552,14 +945,15 @@ mod tests {
             .map(|_| {
                 let store = Arc::clone(&store);
                 std::thread::spawn(move || {
+                    let key = Key::new("counter");
                     let mut successes = 0u64;
                     for _ in 0..500 {
                         loop {
-                            let cur = store.get("counter").unwrap();
+                            let cur = store.get_key(&key).unwrap();
                             let n: u64 = std::str::from_utf8(&cur.value).unwrap().parse().unwrap();
                             let next = Bytes::from((n + 1).to_string().into_bytes());
-                            match store.put_if(
-                                "counter",
+                            match store.put_if_key(
+                                &key,
                                 PutCondition::VersionIs(cur.version),
                                 next,
                                 0,

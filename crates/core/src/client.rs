@@ -83,7 +83,9 @@ impl<T: RegistryTransport> StrategyClient<T> {
     pub fn publish_entry(&self, entry: RegistryEntry) -> Result<(), MetaError> {
         use std::sync::atomic::Ordering;
         let strategy = self.controller.strategy();
-        let plan = strategy.write_plan(&entry.name, self.config.site);
+        // One intern serves placement, every sync write and every lazy push.
+        let key = entry.cache_key();
+        let plan = strategy.write_plan_key(&key, self.config.site);
         for &target in &plan.sync_targets {
             let resp = self.transport.call(
                 target,
@@ -114,15 +116,15 @@ impl<T: RegistryTransport> StrategyClient<T> {
     pub fn resolve(&self, name: &str) -> Result<RegistryEntry, MetaError> {
         use std::sync::atomic::Ordering;
         let strategy = self.controller.strategy();
-        let plan = strategy.read_plan(name, self.config.site);
+        // One intern serves placement and every probe (no per-probe String).
+        let key = geometa_cache::Key::new(name);
+        let plan = strategy.read_plan_key(&key, self.config.site);
         let mut last_err = MetaError::NotFound;
         for (i, &target) in plan.probes.iter().enumerate() {
-            match self.transport.call(
-                target,
-                RegistryRequest::Get {
-                    key: name.to_string(),
-                },
-            ) {
+            match self
+                .transport
+                .call(target, RegistryRequest::Get { key: key.clone() })
+            {
                 RegistryResponse::Found { entry } => {
                     if i == 0 && target == self.config.site {
                         self.stats.local_read_hits.fetch_add(1, Ordering::Relaxed);
@@ -176,14 +178,13 @@ impl<T: RegistryTransport> StrategyClient<T> {
     /// Remove a file's metadata from every site the write plan touches.
     pub fn unpublish(&self, name: &str) -> Result<(), MetaError> {
         let strategy = self.controller.strategy();
-        let plan = strategy.write_plan(name, self.config.site);
+        let key = geometa_cache::Key::new(name);
+        let plan = strategy.write_plan_key(&key, self.config.site);
         for target in plan.all_targets() {
-            match self.transport.call(
-                target,
-                RegistryRequest::Remove {
-                    key: name.to_string(),
-                },
-            ) {
+            match self
+                .transport
+                .call(target, RegistryRequest::Remove { key: key.clone() })
+            {
                 RegistryResponse::Ack => {}
                 RegistryResponse::Error {
                     error: MetaError::NotFound,

@@ -10,10 +10,160 @@
 //! Entries are serialized with a small hand-rolled length-prefixed binary
 //! codec (`bytes`-based) so the cache tier stores opaque `Bytes` and the
 //! network model charges realistic message sizes.
+//!
+//! # Zero-allocation decode
+//!
+//! Strings are held as [`MetaStr`] — a UTF-8-validated view into a shared
+//! `Bytes` buffer — and locations in an inline-small [`Locations`] vector,
+//! so decoding an entry from the wire allocates nothing for its name or
+//! producer (they slice the wire buffer) and nothing for up to
+//! [`Locations::INLINE`] locations. Since registry traffic is dominated by
+//! decode-merge-encode cycles over tiny entries, this removes two `String`
+//! and one `Vec` allocation from nearly every metadata operation.
 
 use crate::MetaError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use geometa_cache::Key;
 use geometa_sim::topology::SiteId;
+use std::fmt;
+
+/// An immutable UTF-8 string backed by a shared [`Bytes`] buffer.
+///
+/// Cloning is O(1). Decoding slices the wire buffer instead of copying.
+/// Derefs to `&str`, so call sites treat it exactly like a string.
+#[derive(Clone, Default)]
+pub struct MetaStr(Bytes);
+
+impl MetaStr {
+    /// Wrap validated bytes. Errors on invalid UTF-8.
+    pub fn from_utf8(bytes: Bytes) -> Result<MetaStr, MetaError> {
+        std::str::from_utf8(&bytes).map_err(|e| MetaError::Codec(e.to_string()))?;
+        Ok(MetaStr(bytes))
+    }
+
+    /// The string view.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        // SAFETY: every constructor validates UTF-8 (`from_utf8` checks;
+        // the `From` impls start from `str`/`String`), and `Bytes` is
+        // immutable, so the invariant holds for the value's lifetime.
+        unsafe { std::str::from_utf8_unchecked(&self.0) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the string is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The underlying shared buffer.
+    #[inline]
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.0
+    }
+}
+
+impl From<&str> for MetaStr {
+    fn from(s: &str) -> MetaStr {
+        MetaStr(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<String> for MetaStr {
+    fn from(s: String) -> MetaStr {
+        MetaStr(Bytes::from(s.into_bytes()))
+    }
+}
+
+impl From<&String> for MetaStr {
+    fn from(s: &String) -> MetaStr {
+        MetaStr::from(s.as_str())
+    }
+}
+
+impl std::ops::Deref for MetaStr {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for MetaStr {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for MetaStr {
+    #[inline]
+    fn eq(&self, other: &MetaStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for MetaStr {}
+
+impl PartialEq<str> for MetaStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+impl PartialEq<&str> for MetaStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+impl PartialEq<String> for MetaStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl PartialEq<MetaStr> for str {
+    fn eq(&self, other: &MetaStr) -> bool {
+        self == other.as_str()
+    }
+}
+impl PartialEq<MetaStr> for &str {
+    fn eq(&self, other: &MetaStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialOrd for MetaStr {
+    fn partial_cmp(&self, other: &MetaStr) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MetaStr {
+    fn cmp(&self, other: &MetaStr) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for MetaStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Display for MetaStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for MetaStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
 
 /// Where one replica of a file's data lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -24,35 +174,189 @@ pub struct FileLocation {
     pub node: u32,
 }
 
+const NO_LOCATION: FileLocation = FileLocation {
+    site: SiteId(0),
+    node: 0,
+};
+
+/// An inline-small vector of [`FileLocation`]s.
+///
+/// Workflow files overwhelmingly have one or two replicas (origin plus at
+/// most a lazy copy at the hash owner), so up to [`Self::INLINE`] locations
+/// live inline in the entry with no heap allocation; larger sets spill to
+/// a `Vec`. Derefs to `&[FileLocation]`, so indexing, iteration and
+/// sorting work as on a plain vector.
+#[derive(Clone)]
+pub enum Locations {
+    /// Up to [`Self::INLINE`] locations stored inline.
+    Inline {
+        /// Number of live elements in `buf`.
+        len: u8,
+        /// Inline storage; elements past `len` are padding.
+        buf: [FileLocation; Locations::INLINE],
+    },
+    /// Spilled storage for larger location sets.
+    Heap(Vec<FileLocation>),
+}
+
+impl Locations {
+    /// Number of locations stored without heap allocation.
+    pub const INLINE: usize = 4;
+
+    /// An empty set.
+    pub fn new() -> Locations {
+        Locations::Inline {
+            len: 0,
+            buf: [NO_LOCATION; Self::INLINE],
+        }
+    }
+
+    /// A single-location set (the common case: the file's origin).
+    pub fn one(loc: FileLocation) -> Locations {
+        let mut buf = [NO_LOCATION; Self::INLINE];
+        buf[0] = loc;
+        Locations::Inline { len: 1, buf }
+    }
+
+    /// An empty set that will hold `n` locations, pre-spilled if `n`
+    /// exceeds the inline capacity.
+    pub fn with_capacity(n: usize) -> Locations {
+        if n <= Self::INLINE {
+            Locations::new()
+        } else {
+            Locations::Heap(Vec::with_capacity(n))
+        }
+    }
+
+    /// Append a location (unconditionally; see
+    /// [`RegistryEntry::add_location`] for the deduplicating variant).
+    pub fn push(&mut self, loc: FileLocation) {
+        match self {
+            Locations::Inline { len, buf } => {
+                if (*len as usize) < Self::INLINE {
+                    buf[*len as usize] = loc;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(Self::INLINE * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(loc);
+                    *self = Locations::Heap(v);
+                }
+            }
+            Locations::Heap(v) => v.push(loc),
+        }
+    }
+
+    /// The locations as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[FileLocation] {
+        match self {
+            Locations::Inline { len, buf } => &buf[..*len as usize],
+            Locations::Heap(v) => v,
+        }
+    }
+
+    /// The locations as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [FileLocation] {
+        match self {
+            Locations::Inline { len, buf } => &mut buf[..*len as usize],
+            Locations::Heap(v) => v,
+        }
+    }
+
+    /// Remove every location.
+    pub fn clear(&mut self) {
+        *self = Locations::new();
+    }
+
+    /// Sort in place (sites then nodes; the codec's canonical order).
+    pub fn sort(&mut self) {
+        self.as_mut_slice().sort_unstable();
+    }
+}
+
+impl Default for Locations {
+    fn default() -> Self {
+        Locations::new()
+    }
+}
+
+impl std::ops::Deref for Locations {
+    type Target = [FileLocation];
+    #[inline]
+    fn deref(&self) -> &[FileLocation] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for Locations {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [FileLocation] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for Locations {
+    fn eq(&self, other: &Locations) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Locations {}
+
+impl fmt::Debug for Locations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<FileLocation> for Locations {
+    fn from_iter<I: IntoIterator<Item = FileLocation>>(iter: I) -> Locations {
+        let mut out = Locations::new();
+        for loc in iter {
+            out.push(loc);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Locations {
+    type Item = &'a FileLocation;
+    type IntoIter = std::slice::Iter<'a, FileLocation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Metadata for one workflow file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RegistryEntry {
     /// Unique file name (the registry key).
-    pub name: String,
+    pub name: MetaStr,
     /// File size in bytes (workflow files are typically small; §II-A).
     pub size: u64,
     /// All known locations of the file's data.
-    pub locations: Vec<FileLocation>,
+    pub locations: Locations,
     /// Name of the task that produced the file, if known (provenance).
-    pub producer: Option<String>,
+    pub producer: Option<MetaStr>,
     /// Logical creation timestamp (microseconds).
     pub created_at: u64,
 }
 
 impl RegistryEntry {
     /// A new entry with a single location.
-    pub fn new(name: impl Into<String>, size: u64, location: FileLocation, now: u64) -> Self {
+    pub fn new(name: impl Into<MetaStr>, size: u64, location: FileLocation, now: u64) -> Self {
         RegistryEntry {
             name: name.into(),
             size,
-            locations: vec![location],
+            locations: Locations::one(location),
             producer: None,
             created_at: now,
         }
     }
 
     /// Attach the producing task (builder-style).
-    pub fn with_producer(mut self, producer: impl Into<String>) -> Self {
+    pub fn with_producer(mut self, producer: impl Into<MetaStr>) -> Self {
         self.producer = Some(producer.into());
         self
     }
@@ -70,6 +374,12 @@ impl RegistryEntry {
     /// Whether any replica of the data lives at `site`.
     pub fn available_at(&self, site: SiteId) -> bool {
         self.locations.iter().any(|l| l.site == site)
+    }
+
+    /// The interned cache key for this entry (one allocation + one hash;
+    /// reused across a whole OCC retry loop by the registry).
+    pub fn cache_key(&self) -> Key {
+        Key::new(&self.name)
     }
 
     /// Serialize to the wire/cache representation.
@@ -94,6 +404,10 @@ impl RegistryEntry {
     }
 
     /// Deserialize from the wire/cache representation.
+    ///
+    /// Zero-copy for strings: `name` and `producer` are slices into `buf`'s
+    /// shared storage, not fresh allocations; up to [`Locations::INLINE`]
+    /// locations decode without a heap allocation either.
     pub fn from_bytes(mut buf: Bytes) -> Result<RegistryEntry, MetaError> {
         let name = get_str(&mut buf)?;
         if buf.remaining() < 8 + 4 {
@@ -109,7 +423,7 @@ impl RegistryEntry {
         if buf.remaining() < n_locs * 6 {
             return Err(MetaError::Codec("truncated locations".into()));
         }
-        let mut locations = Vec::with_capacity(n_locs);
+        let mut locations = Locations::with_capacity(n_locs);
         for _ in 0..n_locs {
             let site = SiteId(buf.get_u16_le());
             let node = buf.get_u32_le();
@@ -153,7 +467,7 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, MetaError> {
+fn get_str(buf: &mut Bytes) -> Result<MetaStr, MetaError> {
     if buf.remaining() < 4 {
         return Err(MetaError::Codec("truncated string length".into()));
     }
@@ -164,8 +478,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, MetaError> {
     if buf.remaining() < len {
         return Err(MetaError::Codec("truncated string body".into()));
     }
-    let raw = buf.split_to(len);
-    String::from_utf8(raw.to_vec()).map_err(|e| MetaError::Codec(e.to_string()))
+    MetaStr::from_utf8(buf.split_to(len))
 }
 
 #[cfg(test)]
@@ -174,9 +487,9 @@ mod tests {
 
     fn sample() -> RegistryEntry {
         RegistryEntry {
-            name: "montage/proj_0042.fits".to_string(),
+            name: "montage/proj_0042.fits".into(),
             size: 190 * 1024,
-            locations: vec![
+            locations: [
                 FileLocation {
                     site: SiteId(0),
                     node: 7,
@@ -185,8 +498,10 @@ mod tests {
                     site: SiteId(2),
                     node: 19,
                 },
-            ],
-            producer: Some("mProject-42".to_string()),
+            ]
+            .into_iter()
+            .collect(),
+            producer: Some("mProject-42".into()),
             created_at: 123_456_789,
         }
     }
@@ -222,6 +537,59 @@ mod tests {
         e.locations.clear();
         let back = RegistryEntry::from_bytes(e.to_bytes()).unwrap();
         assert!(back.locations.is_empty());
+    }
+
+    #[test]
+    fn decode_is_zero_copy_for_strings() {
+        let wire = sample().to_bytes();
+        let decoded = RegistryEntry::from_bytes(wire.clone()).unwrap();
+        // The name view points inside the wire buffer itself.
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        let name_ptr = decoded.name.as_str().as_ptr() as usize;
+        assert!(
+            wire_range.contains(&name_ptr),
+            "decoded name was copied out of the wire buffer"
+        );
+        let producer_ptr = decoded.producer.as_ref().unwrap().as_str().as_ptr() as usize;
+        assert!(wire_range.contains(&producer_ptr));
+    }
+
+    #[test]
+    fn locations_stay_inline_up_to_four() {
+        let mut locs = Locations::one(FileLocation {
+            site: SiteId(0),
+            node: 0,
+        });
+        for i in 1..4u32 {
+            locs.push(FileLocation {
+                site: SiteId(i as u16),
+                node: i,
+            });
+            assert!(matches!(locs, Locations::Inline { .. }));
+        }
+        locs.push(FileLocation {
+            site: SiteId(9),
+            node: 9,
+        });
+        assert!(matches!(locs, Locations::Heap(_)));
+        assert_eq!(locs.len(), 5);
+        assert_eq!(locs[4].node, 9);
+        // Slice behaviour survives the spill.
+        locs.sort();
+        assert!(locs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn meta_str_compares_like_str() {
+        let m = MetaStr::from("abc");
+        assert_eq!(m, "abc");
+        assert_eq!("abc", m);
+        assert_eq!(m, "abc".to_string());
+        let (a, b) = (MetaStr::from("a"), MetaStr::from("b"));
+        assert!(a < b);
+        assert_eq!(format!("{m}"), "abc");
+        assert_eq!(format!("{m:?}"), "\"abc\"");
+        assert!(MetaStr::from_utf8(Bytes::from(vec![0xFF, 0xFE])).is_err());
     }
 
     #[test]
@@ -268,11 +636,19 @@ mod tests {
     }
 
     #[test]
+    fn cache_key_matches_name() {
+        let e = sample();
+        let k = e.cache_key();
+        assert_eq!(k.as_str(), e.name.as_str());
+        assert_eq!(k.hash64(), geometa_cache::fx_hash_str(&e.name));
+    }
+
+    #[test]
     fn encoded_len_is_exact_for_many_shapes() {
         for n_locs in [0usize, 1, 5, 50] {
-            for producer in [None, Some("task".to_string())] {
+            for producer in [None, Some("task")] {
                 let e = RegistryEntry {
-                    name: "x".repeat(n_locs + 1),
+                    name: "x".repeat(n_locs + 1).into(),
                     size: 42,
                     locations: (0..n_locs)
                         .map(|i| FileLocation {
@@ -280,7 +656,7 @@ mod tests {
                             node: i as u32,
                         })
                         .collect(),
-                    producer: producer.clone(),
+                    producer: producer.map(MetaStr::from),
                     created_at: 7,
                 };
                 assert_eq!(e.to_bytes().len(), e.encoded_len());

@@ -19,6 +19,7 @@
 //! lookup cost.
 
 use geometa_cache::hash::fx_hash_str;
+use geometa_cache::Key;
 use geometa_sim::topology::SiteId;
 use std::collections::BTreeMap;
 
@@ -26,6 +27,14 @@ use std::collections::BTreeMap;
 pub trait SitePlacer: Send + Sync {
     /// The owner site of `key`. Panics only if the placer has no sites.
     fn owner(&self, key: &str) -> SiteId;
+
+    /// The owner site of an interned key. Placers whose decision depends
+    /// only on the key's FxHash override this to reuse the precomputed
+    /// hash and skip re-scanning the text. Must agree with
+    /// [`Self::owner`] on the same text.
+    fn owner_key(&self, key: &Key) -> SiteId {
+        self.owner(key)
+    }
 
     /// Sites currently participating.
     fn sites(&self) -> Vec<SiteId>;
@@ -45,10 +54,20 @@ impl UniformHash {
     }
 }
 
+impl UniformHash {
+    #[inline]
+    fn owner_of_hash(&self, h: u64) -> SiteId {
+        self.sites[(h % self.sites.len() as u64) as usize]
+    }
+}
+
 impl SitePlacer for UniformHash {
     fn owner(&self, key: &str) -> SiteId {
-        let h = fx_hash_str(key);
-        self.sites[(h % self.sites.len() as u64) as usize]
+        self.owner_of_hash(fx_hash_str(key))
+    }
+
+    fn owner_key(&self, key: &Key) -> SiteId {
+        self.owner_of_hash(key.hash64())
     }
 
     fn sites(&self) -> Vec<SiteId> {
@@ -120,15 +139,24 @@ fn vnode_hash(site: SiteId, vnode: usize) -> u64 {
     fx_hash_str(&format!("site-{}#vnode-{}", site.0, vnode))
 }
 
-impl SitePlacer for ConsistentRing {
-    fn owner(&self, key: &str) -> SiteId {
+impl ConsistentRing {
+    fn owner_of_hash(&self, h: u64) -> SiteId {
         assert!(!self.ring.is_empty(), "placer needs at least one site");
-        let h = fx_hash_str(key);
         // First vnode at or after h, wrapping around.
         match self.ring.range(h..).next() {
             Some((_, &site)) => site,
             None => *self.ring.values().next().expect("ring non-empty"),
         }
+    }
+}
+
+impl SitePlacer for ConsistentRing {
+    fn owner(&self, key: &str) -> SiteId {
+        self.owner_of_hash(fx_hash_str(key))
+    }
+
+    fn owner_key(&self, key: &Key) -> SiteId {
+        self.owner_of_hash(key.hash64())
     }
 
     fn sites(&self) -> Vec<SiteId> {
@@ -166,9 +194,8 @@ impl Rendezvous {
     }
 }
 
-impl SitePlacer for Rendezvous {
-    fn owner(&self, key: &str) -> SiteId {
-        let kh = fx_hash_str(key);
+impl Rendezvous {
+    fn owner_of_hash(&self, kh: u64) -> SiteId {
         self.sites
             .iter()
             .copied()
@@ -177,6 +204,16 @@ impl SitePlacer for Rendezvous {
                 geometa_sim::rng::mix(kh ^ fx_hash_str(&format!("rdv-{}", s.0)))
             })
             .expect("placer non-empty")
+    }
+}
+
+impl SitePlacer for Rendezvous {
+    fn owner(&self, key: &str) -> SiteId {
+        self.owner_of_hash(fx_hash_str(key))
+    }
+
+    fn owner_key(&self, key: &Key) -> SiteId {
+        self.owner_of_hash(key.hash64())
     }
 
     fn sites(&self) -> Vec<SiteId> {
@@ -343,5 +380,23 @@ mod tests {
     #[should_panic(expected = "at least one site")]
     fn uniform_requires_sites() {
         let _ = UniformHash::new(vec![]);
+    }
+
+    #[test]
+    fn owner_key_agrees_with_owner_for_every_placer() {
+        let placers: Vec<Box<dyn SitePlacer>> = vec![
+            Box::new(UniformHash::new(four_sites())),
+            Box::new(ConsistentRing::new(four_sites(), 64)),
+            Box::new(Rendezvous::new(four_sites())),
+        ];
+        for p in &placers {
+            for k in keys(500) {
+                assert_eq!(
+                    p.owner(&k),
+                    p.owner_key(&Key::new(&k)),
+                    "interned-key placement must match text placement"
+                );
+            }
+        }
     }
 }

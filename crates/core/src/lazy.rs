@@ -51,8 +51,20 @@ impl LazyBatcher {
         LazyBatcher::new(1, SimDuration::ZERO)
     }
 
+    /// Queue capacity to pre-allocate per destination: the full batch size
+    /// for ordinary configurations, capped so a huge `max_batch` doesn't
+    /// reserve memory it may never use.
+    fn queue_capacity(&self) -> usize {
+        self.max_batch.min(256)
+    }
+
     /// Queue `entry` for `target`. Returns a batch if the size threshold
     /// tripped.
+    ///
+    /// Destination queues are pre-sized to the batch threshold, so steady
+    /// state enqueueing never reallocates: a queue is allocated once per
+    /// destination and each flush hands the full buffer off, replacing it
+    /// with a fresh pre-sized one.
     pub fn enqueue(
         &mut self,
         target: SiteId,
@@ -60,16 +72,17 @@ impl LazyBatcher {
         now: SimTime,
     ) -> Option<ReadyBatch> {
         self.enqueued += 1;
+        let cap = self.queue_capacity();
         let (first_at, queue) = self
             .queues
             .entry(target)
-            .or_insert_with(|| (now, Vec::new()));
+            .or_insert_with(|| (now, Vec::with_capacity(cap)));
         if queue.is_empty() {
             *first_at = now;
         }
         queue.push(entry);
         if queue.len() >= self.max_batch {
-            let entries = std::mem::take(queue);
+            let entries = std::mem::replace(queue, Vec::with_capacity(cap));
             self.flushed_batches += 1;
             Some(ReadyBatch { target, entries })
         } else {

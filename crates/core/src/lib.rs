@@ -58,6 +58,9 @@ pub mod transport;
 pub use client::{ClientConfig, StrategyClient};
 pub use controller::ArchitectureController;
 pub use entry::{FileLocation, RegistryEntry};
+// Re-exported because the RPC protocol (`protocol::RegistryRequest`) and
+// the key-threaded strategy APIs take it.
+pub use geometa_cache::Key;
 pub use plan::{ReadPlan, WritePlan};
 pub use registry::RegistryInstance;
 pub use strategy::{

@@ -7,23 +7,28 @@
 
 use crate::entry::RegistryEntry;
 use crate::MetaError;
+use geometa_cache::Key;
 
 /// Fixed per-message framing overhead (headers, request ids) charged by the
 /// network model on top of the payload.
 pub const FRAME_OVERHEAD: usize = 48;
 
 /// A request to a registry instance.
+///
+/// Key-addressed requests carry an interned [`Key`]: the client interns
+/// (one allocation + one hash) and every server-side map probe reuses the
+/// precomputed hash. Cloning a request for retry/fan-out is O(1) per key.
 #[derive(Clone, Debug)]
 pub enum RegistryRequest {
     /// Read one entry by key.
-    Get { key: String },
+    Get { key: Key },
     /// Publish one entry (lookup + write semantics).
     Put { entry: RegistryEntry },
     /// Propagated entry from another instance (lazy update path). Absorbed
     /// with merge semantics; not counted as client load.
     Absorb { entries: Vec<RegistryEntry> },
     /// Remove one entry.
-    Remove { key: String },
+    Remove { key: Key },
     /// Sync agent: give me everything modified after `since`.
     DeltaPull { since: u64 },
 }

@@ -9,7 +9,7 @@
 use crate::consistency::merge_entries;
 use crate::entry::RegistryEntry;
 use crate::MetaError;
-use geometa_cache::{CacheError, HaCache};
+use geometa_cache::{CacheError, HaCache, Key};
 use geometa_sim::topology::SiteId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -59,18 +59,35 @@ impl RegistryInstance {
         }
     }
 
+    /// Read an entry by interned key (the RPC path: the client interned the
+    /// key once and it rides the request, so no hashing happens here).
+    pub fn get_key(&self, key: &Key) -> Result<RegistryEntry, MetaError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        match self.cache.get_key(key) {
+            Ok(e) => RegistryEntry::from_bytes(e.value),
+            Err(CacheError::NotFound) => Err(MetaError::NotFound),
+            Err(CacheError::Unavailable) => Err(MetaError::Unavailable),
+            Err(e) => Err(MetaError::Codec(e.to_string())),
+        }
+    }
+
     /// Publish an entry: the paper's lookup-then-write sequence, with
     /// optimistic-concurrency retry. Existing entries are merged.
+    ///
+    /// The entry's key is interned once up front; every retry of the OCC
+    /// loop (a get plus a conditional put, each touching the HA pair's
+    /// primary and mirror) then runs without hashing or key allocation.
     pub fn put(&self, entry: &RegistryEntry, now: u64) -> Result<WriteOutcome, MetaError> {
         self.puts.fetch_add(1, Ordering::Relaxed);
+        let key = entry.cache_key();
         // OCC loop: read current, merge, conditional write.
         for _ in 0..64 {
-            match self.cache.get(&entry.name) {
+            match self.cache.get_key(&key) {
                 Ok(cur) => {
                     let existing = RegistryEntry::from_bytes(cur.value)?;
                     let merged = merge_entries(&existing, entry);
-                    match self.cache.put_if(
-                        &entry.name,
+                    match self.cache.put_if_key(
+                        &key,
                         geometa_cache::PutCondition::VersionIs(cur.version),
                         merged.to_bytes(),
                         now,
@@ -82,8 +99,8 @@ impl RegistryInstance {
                     }
                 }
                 Err(CacheError::NotFound) => {
-                    match self.cache.put_if(
-                        &entry.name,
+                    match self.cache.put_if_key(
+                        &key,
                         geometa_cache::PutCondition::Absent,
                         entry.to_bytes(),
                         now,
@@ -113,16 +130,17 @@ impl RegistryInstance {
     pub fn absorb(&self, entry: &RegistryEntry) -> Result<(), MetaError> {
         let now = entry.created_at;
         self.absorbs.fetch_add(1, Ordering::Relaxed);
+        let key = entry.cache_key();
         for _ in 0..64 {
-            match self.cache.get(&entry.name) {
+            match self.cache.get_key(&key) {
                 Ok(cur) => {
                     let existing = RegistryEntry::from_bytes(cur.value)?;
                     let merged = merge_entries(&existing, entry);
                     if merged == existing {
                         return Ok(()); // already subsumed
                     }
-                    match self.cache.put_if(
-                        &entry.name,
+                    match self.cache.put_if_key(
+                        &key,
                         geometa_cache::PutCondition::VersionIs(cur.version),
                         merged.to_bytes(),
                         now,
@@ -134,8 +152,8 @@ impl RegistryInstance {
                     }
                 }
                 Err(CacheError::NotFound) => {
-                    match self.cache.put_if(
-                        &entry.name,
+                    match self.cache.put_if_key(
+                        &key,
                         geometa_cache::PutCondition::Absent,
                         entry.to_bytes(),
                         now,
@@ -164,6 +182,16 @@ impl RegistryInstance {
     /// Remove an entry.
     pub fn remove(&self, key: &str) -> Result<(), MetaError> {
         match self.cache.remove(key) {
+            Ok(_) => Ok(()),
+            Err(CacheError::NotFound) => Err(MetaError::NotFound),
+            Err(CacheError::Unavailable) => Err(MetaError::Unavailable),
+            Err(e) => Err(MetaError::Codec(e.to_string())),
+        }
+    }
+
+    /// Remove an entry by interned key (the RPC path).
+    pub fn remove_key(&self, key: &Key) -> Result<(), MetaError> {
+        match self.cache.remove_key(key) {
             Ok(_) => Ok(()),
             Err(CacheError::NotFound) => Err(MetaError::NotFound),
             Err(CacheError::Unavailable) => Err(MetaError::Unavailable),

@@ -14,6 +14,7 @@
 
 use crate::hash::SitePlacer;
 use crate::plan::{ReadPlan, WritePlan};
+use geometa_cache::Key;
 use geometa_sim::topology::SiteId;
 use std::sync::Arc;
 
@@ -68,6 +69,19 @@ pub trait MetadataStrategy: Send + Sync {
 
     /// Plan a read of `key` from `origin`.
     fn read_plan(&self, key: &str, origin: SiteId) -> ReadPlan;
+
+    /// [`Self::write_plan`] for an interned key. Hash-placed strategies
+    /// override this to reuse the key's precomputed hash; the default
+    /// delegates to the text version. Must agree with it.
+    fn write_plan_key(&self, key: &Key, origin: SiteId) -> WritePlan {
+        self.write_plan(key, origin)
+    }
+
+    /// [`Self::read_plan`] for an interned key (see
+    /// [`Self::write_plan_key`]).
+    fn read_plan_key(&self, key: &Key, origin: SiteId) -> ReadPlan {
+        self.read_plan(key, origin)
+    }
 
     /// Sites that host a registry instance under this strategy.
     fn registry_sites(&self) -> Vec<SiteId>;
@@ -207,6 +221,17 @@ impl MetadataStrategy for DhtNonReplicated {
         ReadPlan::single(self.placer.owner(key))
     }
 
+    fn write_plan_key(&self, key: &Key, _origin: SiteId) -> WritePlan {
+        WritePlan {
+            sync_targets: vec![self.placer.owner_key(key)],
+            async_targets: vec![],
+        }
+    }
+
+    fn read_plan_key(&self, key: &Key, _origin: SiteId) -> ReadPlan {
+        ReadPlan::single(self.placer.owner_key(key))
+    }
+
     fn registry_sites(&self) -> Vec<SiteId> {
         self.placer.sites()
     }
@@ -232,13 +257,8 @@ impl DhtLocalReplica {
     }
 }
 
-impl MetadataStrategy for DhtLocalReplica {
-    fn kind(&self) -> StrategyKind {
-        StrategyKind::DhtLocalReplica
-    }
-
-    fn write_plan(&self, key: &str, origin: SiteId) -> WritePlan {
-        let owner = self.placer.owner(key);
+impl DhtLocalReplica {
+    fn write_plan_for(owner: SiteId, origin: SiteId) -> WritePlan {
         if owner == origin {
             // "When h corresponds to the local site, the metadata is not
             // further replicated."
@@ -254,8 +274,7 @@ impl MetadataStrategy for DhtLocalReplica {
         }
     }
 
-    fn read_plan(&self, key: &str, origin: SiteId) -> ReadPlan {
-        let owner = self.placer.owner(key);
+    fn read_plan_for(owner: SiteId, origin: SiteId) -> ReadPlan {
         if owner == origin {
             ReadPlan::single(origin)
         } else {
@@ -263,6 +282,28 @@ impl MetadataStrategy for DhtLocalReplica {
                 probes: vec![origin, owner],
             }
         }
+    }
+}
+
+impl MetadataStrategy for DhtLocalReplica {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::DhtLocalReplica
+    }
+
+    fn write_plan(&self, key: &str, origin: SiteId) -> WritePlan {
+        Self::write_plan_for(self.placer.owner(key), origin)
+    }
+
+    fn read_plan(&self, key: &str, origin: SiteId) -> ReadPlan {
+        Self::read_plan_for(self.placer.owner(key), origin)
+    }
+
+    fn write_plan_key(&self, key: &Key, origin: SiteId) -> WritePlan {
+        Self::write_plan_for(self.placer.owner_key(key), origin)
+    }
+
+    fn read_plan_key(&self, key: &Key, origin: SiteId) -> ReadPlan {
+        Self::read_plan_for(self.placer.owner_key(key), origin)
     }
 
     fn registry_sites(&self) -> Vec<SiteId> {

@@ -64,7 +64,7 @@ impl InProcessTransport {
     /// implementation so registry semantics live in exactly one place.
     pub fn serve(registry: &RegistryInstance, req: RegistryRequest, now: u64) -> RegistryResponse {
         match req {
-            RegistryRequest::Get { key } => match registry.get(&key) {
+            RegistryRequest::Get { key } => match registry.get_key(&key) {
                 Ok(entry) => RegistryResponse::Found { entry },
                 Err(error) => RegistryResponse::Error { error },
             },
@@ -76,7 +76,7 @@ impl InProcessTransport {
                 Ok(_) => RegistryResponse::Ack,
                 Err(error) => RegistryResponse::Error { error },
             },
-            RegistryRequest::Remove { key } => match registry.remove(&key) {
+            RegistryRequest::Remove { key } => match registry.remove_key(&key) {
                 Ok(()) => RegistryResponse::Ack,
                 Err(error) => RegistryResponse::Error { error },
             },

@@ -26,10 +26,10 @@ fn arb_entry() -> impl Strategy<Value = RegistryEntry> {
     )
         .prop_map(
             |(name, size, locations, producer, created_at)| RegistryEntry {
-                name,
+                name: name.into(),
                 size,
-                locations,
-                producer,
+                locations: locations.into_iter().collect(),
+                producer: producer.map(Into::into),
                 created_at,
             },
         )
@@ -44,10 +44,13 @@ fn arb_entry_family() -> impl Strategy<Value = (RegistryEntry, RegistryEntry, Re
     )
         .prop_map(|(name, ts, locs)| {
             let mk = |i: usize| RegistryEntry {
-                name: name.clone(),
+                name: name.as_str().into(),
                 size: ts[i] % 1000,
-                locations: locs[i * (locs.len() / 3)..(i + 1) * (locs.len() / 3)].to_vec(),
-                producer: Some(format!("t{i}")),
+                locations: locs[i * (locs.len() / 3)..(i + 1) * (locs.len() / 3)]
+                    .iter()
+                    .copied()
+                    .collect(),
+                producer: Some(format!("t{i}").into()),
                 created_at: ts[i],
             };
             (mk(0), mk(1), mk(2))

@@ -160,7 +160,8 @@ enum ClientPhase {
         entry: RegistryEntry,
     },
     Read {
-        key: String,
+        /// Interned once per operation; every probe/retry clones the handle.
+        key: geometa_core::Key,
         probes: Vec<SiteId>,
         probe_idx: usize,
         retries: usize,
@@ -226,12 +227,14 @@ impl SyntheticClientActor {
                 );
             }
             Role::Reader => {
-                let key = self
-                    .spec
-                    .reader_key(self.node, self.ops_done, &mut self.key_rng);
-                let plan = self.strategy.read_plan(&key, self.site);
+                let key = geometa_core::Key::from(self.spec.reader_key(
+                    self.node,
+                    self.ops_done,
+                    &mut self.key_rng,
+                ));
+                let plan = self.strategy.read_plan_key(&key, self.site);
                 self.phase = ClientPhase::Read {
-                    key: key.clone(),
+                    key,
                     probes: plan.probes,
                     probe_idx: 0,
                     retries: 0,
@@ -587,7 +590,7 @@ impl WorkflowNodeActor {
         };
         let target = probes[probe_idx];
         self.op_seq += 1;
-        let req = RegistryRequest::Get { key };
+        let req = RegistryRequest::Get { key: key.into() };
         let size = req.wire_size();
         ctx.send(
             self.registries[&target],

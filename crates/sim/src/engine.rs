@@ -14,7 +14,6 @@ use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{SiteId, Topology};
 use crate::trace::Trace;
-use std::collections::HashSet;
 use std::fmt;
 
 /// Identifier of an actor within one engine. Dense indices from 0.
@@ -183,6 +182,12 @@ impl<'a, M> Ctx<'a, M> {
         id
     }
 
+    /// Cancel a pending timer from inside a handler. Returns whether the
+    /// timer was still pending (slot-addressed removal, O(log n)).
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.queue.cancel_timer(id)
+    }
+
     /// Per-actor deterministic RNG stream.
     #[inline]
     pub fn rng(&mut self) -> &mut SplitMix64 {
@@ -228,7 +233,6 @@ pub struct Engine<M> {
     trace: Trace,
     root_rng: SplitMix64,
     next_timer: u64,
-    cancelled_timers: HashSet<TimerId>,
     started: bool,
     event_limit: u64,
     events_processed: u64,
@@ -249,7 +253,6 @@ impl<M> Engine<M> {
             trace: Trace::disabled(),
             root_rng: SplitMix64::new(seed),
             next_timer: 0,
-            cancelled_timers: HashSet::new(),
             started: false,
             event_limit: u64::MAX,
             events_processed: 0,
@@ -314,10 +317,11 @@ impl<M> Engine<M> {
         self.event_limit = limit;
     }
 
-    /// Cancel a pending timer. (Lazy: the event stays queued but will not
-    /// be delivered.)
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled_timers.insert(id);
+    /// Cancel a pending timer. The event is removed from the queue
+    /// immediately (slot-addressed, O(log n)) — no tombstones accumulate.
+    /// Returns whether the timer was still pending.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.queue.cancel_timer(id)
     }
 
     /// Run until the event queue drains, an actor calls [`Ctx::stop`], or
@@ -335,13 +339,9 @@ impl<M> Engine<M> {
                 report.hit_event_limit = true;
                 break;
             }
-            let Some(next_time) = self.queue.peek_time() else {
+            let Some(ev) = self.queue.pop_at_or_before(deadline) else {
                 break;
             };
-            if next_time > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event must exist");
             debug_assert!(ev.time >= self.now, "time must be monotone");
             self.now = ev.time;
             self.events_processed += 1;
@@ -372,6 +372,9 @@ impl<M> Engine<M> {
             return;
         }
         self.started = true;
+        // Pre-size the queue with mailbox room per actor so steady-state
+        // scheduling doesn't regrow the heap buffer mid-run.
+        self.queue.reserve((self.actors.len() * 8).max(64));
         for idx in 0..self.actors.len() {
             let id = ActorId(idx as u32);
             let mut actor = self.actors[idx].take().expect("actor present at start");
@@ -395,68 +398,51 @@ impl<M> Engine<M> {
     }
 
     /// Dispatch one event; returns true if the handler requested a stop.
+    ///
+    /// Borrows the actor slot and the context fields disjointly (no
+    /// take/put-back shuffle): `Ctx` never touches `actors`, so the
+    /// mutable borrows cannot alias.
     fn dispatch(&mut self, kind: EventKind<M>) -> bool {
+        let now = self.now;
+        let Engine {
+            actors,
+            sites,
+            rngs,
+            queue,
+            network,
+            metrics,
+            trace,
+            next_timer,
+            ..
+        } = self;
+        let (aid, idx) = match &kind {
+            EventKind::Deliver { dst, .. } => (*dst, dst.index()),
+            EventKind::Timer { actor, .. } => (*actor, actor.index()),
+        };
+        let Some(actor) = actors[idx].as_deref_mut() else {
+            // Actor slot vacated (cannot happen via the public API, but
+            // stay robust).
+            return false;
+        };
+        let mut stop = false;
+        let mut ctx = Ctx {
+            now,
+            self_id: aid,
+            self_site: sites[idx],
+            queue,
+            network,
+            sites,
+            metrics,
+            rng: &mut rngs[idx],
+            trace,
+            next_timer,
+            stop_requested: &mut stop,
+        };
         match kind {
-            EventKind::Deliver { dst, env } => {
-                let idx = dst.index();
-                let Some(mut actor) = self.actors[idx].take() else {
-                    // Actor slot vacated (cannot happen via the public API,
-                    // but stay robust).
-                    return false;
-                };
-                let mut stop = false;
-                {
-                    let mut ctx = Ctx {
-                        now: self.now,
-                        self_id: dst,
-                        self_site: self.sites[idx],
-                        queue: &mut self.queue,
-                        network: &mut self.network,
-                        sites: &self.sites,
-                        metrics: &mut self.metrics,
-                        rng: &mut self.rngs[idx],
-                        trace: &mut self.trace,
-                        next_timer: &mut self.next_timer,
-                        stop_requested: &mut stop,
-                    };
-                    actor.on_message(&mut ctx, env);
-                }
-                self.actors[idx] = Some(actor);
-                stop
-            }
-            EventKind::Timer {
-                actor: aid,
-                id,
-                tag,
-            } => {
-                if self.cancelled_timers.remove(&id) {
-                    return false;
-                }
-                let idx = aid.index();
-                let Some(mut actor) = self.actors[idx].take() else {
-                    return false;
-                };
-                let mut stop = false;
-                {
-                    let mut ctx = Ctx {
-                        now: self.now,
-                        self_id: aid,
-                        self_site: self.sites[idx],
-                        queue: &mut self.queue,
-                        network: &mut self.network,
-                        sites: &self.sites,
-                        metrics: &mut self.metrics,
-                        rng: &mut self.rngs[idx],
-                        trace: &mut self.trace,
-                        next_timer: &mut self.next_timer,
-                        stop_requested: &mut stop,
-                    };
-                    actor.on_timer(&mut ctx, id, tag);
-                }
-                self.actors[idx] = Some(actor);
-                stop
-            }
+            EventKind::Deliver { env, .. } => actor.on_message(&mut ctx, env),
+            EventKind::Timer { id, tag, .. } => actor.on_timer(&mut ctx, id, tag),
         }
+        stop
     }
 }
 

@@ -14,7 +14,6 @@
 use crate::rng::SplitMix64;
 use crate::time::SimDuration;
 use crate::topology::{SiteId, Topology};
-use std::collections::BTreeMap;
 
 /// Per-ordered-pair traffic statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,21 +25,33 @@ pub struct LinkStats {
 }
 
 /// Computes message delays over a [`Topology`] and accounts traffic.
+///
+/// Link statistics live in a flat `sites × sites` table so the per-message
+/// accounting on the simulator's hottest path is two array indexings, not
+/// a tree probe.
 #[derive(Clone, Debug)]
 pub struct NetworkModel {
     topology: Topology,
     rng: SplitMix64,
-    stats: BTreeMap<(SiteId, SiteId), LinkStats>,
+    stats: Vec<LinkStats>,
+    num_sites: usize,
 }
 
 impl NetworkModel {
     /// Build a network model over a topology. `seed` controls jitter.
     pub fn new(topology: Topology, seed: u64) -> NetworkModel {
+        let num_sites = topology.num_sites();
         NetworkModel {
             topology,
             rng: SplitMix64::new(seed).split(NET_RNG_STREAM),
-            stats: BTreeMap::new(),
+            stats: vec![LinkStats::default(); num_sites * num_sites],
+            num_sites,
         }
+    }
+
+    #[inline]
+    fn link_index(&self, from: SiteId, to: SiteId) -> usize {
+        from.index() * self.num_sites + to.index()
     }
 
     /// The underlying topology.
@@ -66,7 +77,7 @@ impl NetworkModel {
         } else {
             base
         };
-        let entry = self.stats.entry((from, to)).or_default();
+        let entry = &mut self.stats[(from.index() * self.num_sites) + to.index()];
         entry.messages += 1;
         entry.bytes += size_bytes;
         jittered + transfer
@@ -87,24 +98,25 @@ impl NetworkModel {
 
     /// Stats for one ordered pair.
     pub fn link_stats(&self, from: SiteId, to: SiteId) -> LinkStats {
-        self.stats.get(&(from, to)).copied().unwrap_or_default()
+        self.stats[self.link_index(from, to)]
     }
 
     /// Total bytes that crossed datacenter boundaries (WAN traffic).
     pub fn wan_bytes(&self) -> u64 {
-        self.stats
-            .iter()
-            .filter(|((a, b), _)| a != b)
-            .map(|(_, s)| s.bytes)
-            .sum()
+        self.fold_wan(|s| s.bytes)
     }
 
     /// Total messages that crossed datacenter boundaries.
     pub fn wan_messages(&self) -> u64 {
+        self.fold_wan(|s| s.messages)
+    }
+
+    fn fold_wan(&self, f: impl Fn(&LinkStats) -> u64) -> u64 {
         self.stats
             .iter()
-            .filter(|((a, b), _)| a != b)
-            .map(|(_, s)| s.messages)
+            .enumerate()
+            .filter(|(i, _)| i / self.num_sites != i % self.num_sites)
+            .map(|(_, s)| f(s))
             .sum()
     }
 }
