@@ -11,7 +11,7 @@ use geometa_core::strategy::StrategyKind;
 use geometa_experiments::calibration::Calibration;
 use geometa_experiments::simbind::{run_workflow, SimConfig};
 use geometa_sim::time::SimDuration;
-use geometa_sim::topology::{SiteId, Topology};
+use geometa_sim::topology::SiteId;
 use geometa_workflow::apps::montage::{montage, MontageConfig};
 use geometa_workflow::provenance::provisioning_plan;
 use geometa_workflow::scheduler::{node_grid, schedule, SchedulerPolicy};
@@ -43,10 +43,7 @@ fn report_makespans() {
         let p = schedule(&w, &nodes, policy);
         let cfg = SimConfig {
             cal: Calibration::test_fast(),
-            kind: StrategyKind::DhtLocalReplica,
-            topology: Topology::azure_4dc(),
-            seed: 9,
-            centralized_home: None,
+            ..SimConfig::new(StrategyKind::DhtLocalReplica, 9)
         };
         let out = run_workflow(&w, &p, &cfg);
         eprintln!(
@@ -87,10 +84,7 @@ fn bench_sim_execution(c: &mut Criterion) {
             |b, placement| {
                 let cfg = SimConfig {
                     cal: Calibration::test_fast(),
-                    kind: StrategyKind::DhtLocalReplica,
-                    topology: Topology::azure_4dc(),
-                    seed: 9,
-                    centralized_home: None,
+                    ..SimConfig::new(StrategyKind::DhtLocalReplica, 9)
                 };
                 b.iter(|| black_box(run_workflow(&w, placement, &cfg).makespan))
             },

@@ -1,0 +1,167 @@
+//! Direct unit coverage of `HaCache` primary→replica promotion: the
+//! crash-mid-OCC-retry path, write-through racing promotion, and the
+//! replica staleness window. Previously these paths were only exercised
+//! indirectly by `examples/cache_failover.rs` and the chaos scenarios.
+
+use bytes::Bytes;
+use geometa_cache::{CacheError, HaCache, PutCondition};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+/// A primary crash in the middle of an OCC retry loop: the conditional
+/// write transparently promotes and reports the true conflict state of the
+/// promoted store, so the caller's read-merge-write loop converges.
+#[test]
+fn occ_retry_survives_primary_crash_between_read_and_write() {
+    let ha = HaCache::new(8);
+    ha.put("k", b("v1"), 0).unwrap(); // version 1
+                                      // An OCC writer reads version 1, then a competitor bumps to 2.
+    let seen = ha.get("k").unwrap().version;
+    assert_eq!(seen, 1);
+    ha.put_if("k", PutCondition::VersionIs(1), b("v2"), 1)
+        .unwrap(); // version 2 committed by the competitor
+                   // The primary dies before the first writer's conditional put lands.
+    ha.fail_primary();
+    // The stale conditional write triggers promotion and must see the
+    // *promoted* store's real version — a mismatch, not a lost-state success.
+    let res = ha.put_if("k", PutCondition::VersionIs(1), b("stale"), 2);
+    assert!(
+        matches!(
+            res,
+            Err(CacheError::VersionMismatch {
+                actual: Some(2),
+                ..
+            })
+        ),
+        "stale OCC write must conflict against the promoted replica, got {res:?}"
+    );
+    assert_eq!(ha.promotions(), 1);
+    // The OCC loop's next iteration (fresh read, conditional on 2) works.
+    let cur = ha.get("k").unwrap();
+    assert_eq!(cur.version, 2);
+    let v3 = ha
+        .put_if("k", PutCondition::VersionIs(cur.version), b("v3"), 3)
+        .unwrap();
+    assert_eq!(v3, 3);
+    assert_eq!(ha.get("k").unwrap().value, b("v3"));
+}
+
+/// `PutCondition::Absent` across a crash: the promoted replica still
+/// knows the key exists.
+#[test]
+fn absent_condition_respects_promoted_state() {
+    let ha = HaCache::new(8);
+    ha.put("k", b("v1"), 0).unwrap();
+    ha.fail_primary();
+    let res = ha.put_if("k", PutCondition::Absent, b("clobber"), 1);
+    assert!(
+        matches!(res, Err(CacheError::AlreadyExists { .. })),
+        "promoted replica must remember the key, got {res:?}"
+    );
+}
+
+/// Writers hammering the pair while the primary is killed repeatedly:
+/// every acknowledged write must remain readable, and version sequences
+/// must never regress.
+#[test]
+fn write_through_during_repeated_promotions_loses_nothing() {
+    let ha = Arc::new(HaCache::new(16));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let ha = Arc::clone(&ha);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut acked = Vec::new();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = format!("t{t}-{i}");
+                    ha.put(&key, b("v"), i).unwrap();
+                    acked.push(key);
+                    i += 1;
+                }
+                acked
+            })
+        })
+        .collect();
+    // Kill the primary several times mid-traffic.
+    for _ in 0..3 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        ha.fail_primary();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0;
+    for w in writers {
+        for key in w.join().unwrap() {
+            assert!(
+                ha.get(&key).is_ok(),
+                "acked write {key} lost across promotions"
+            );
+            total += 1;
+        }
+    }
+    assert!(total > 0, "writers made no progress");
+    assert!(ha.promotions() >= 1, "at least one promotion must have run");
+}
+
+/// The replica staleness window: immediately after a promotion (no
+/// intervening writes) the freshly repopulated replica must already be a
+/// complete copy — a second instant failure loses nothing, and versions
+/// are preserved byte for byte.
+#[test]
+fn freshly_rebuilt_replica_is_complete_before_any_write() {
+    let ha = HaCache::new(8);
+    for i in 0..200u64 {
+        ha.put(&format!("k{i}"), b("v"), i).unwrap();
+    }
+    ha.put("k0", b("v2"), 200).unwrap(); // k0 at version 2
+    ha.fail_primary();
+    assert!(ha.get("k0").is_ok()); // triggers promotion 1, rebuilds replica
+    assert_eq!(ha.promotions(), 1);
+    // Back-to-back failure with zero writes in between: only the rebuilt
+    // replica can serve now.
+    ha.fail_primary();
+    for i in 0..200u64 {
+        let e = ha
+            .get(&format!("k{i}"))
+            .unwrap_or_else(|err| panic!("k{i} lost in the staleness window: {err}"));
+        let expected_version = if i == 0 { 2 } else { 1 };
+        assert_eq!(e.version, expected_version, "k{i} version drifted");
+    }
+    assert_eq!(ha.promotions(), 2);
+    assert_eq!(ha.len(), 200);
+}
+
+/// Promotion is idempotent under concurrency: many threads racing reads
+/// against a single failure coalesce into one promotion.
+#[test]
+fn concurrent_readers_coalesce_into_one_promotion() {
+    let ha = Arc::new(HaCache::new(8));
+    for i in 0..50u64 {
+        ha.put(&format!("k{i}"), b("v"), i).unwrap();
+    }
+    ha.fail_primary();
+    let readers: Vec<_> = (0..8)
+        .map(|_| {
+            let ha = Arc::clone(&ha);
+            std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    ha.get(&format!("k{i}")).unwrap();
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(
+        ha.promotions(),
+        1,
+        "racing readers must not promote more than once"
+    );
+}

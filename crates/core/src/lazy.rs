@@ -21,6 +21,29 @@ pub struct ReadyBatch {
     pub entries: Vec<RegistryEntry>,
 }
 
+/// Conservation accounting of a batcher: every entry ever enqueued is
+/// either still pending or was handed out in a flushed batch. The chaos
+/// oracle asserts this end to end — batched-but-unflushed publishes must
+/// be retried or reported, never silently dropped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Entries ever enqueued.
+    pub enqueued: u64,
+    /// Batches handed out (size-, age- and drain-triggered).
+    pub flushed_batches: u64,
+    /// Entries handed out inside those batches.
+    pub flushed_entries: u64,
+    /// Entries currently waiting in destination queues.
+    pub pending: u64,
+}
+
+impl BatcherStats {
+    /// The conservation invariant: nothing enqueued ever disappears.
+    pub fn conserved(&self) -> bool {
+        self.enqueued == self.flushed_entries + self.pending
+    }
+}
+
 /// Accumulates lazy updates per destination and decides when to flush.
 #[derive(Debug)]
 pub struct LazyBatcher {
@@ -29,6 +52,7 @@ pub struct LazyBatcher {
     queues: HashMap<SiteId, (SimTime, Vec<RegistryEntry>)>,
     enqueued: u64,
     flushed_batches: u64,
+    flushed_entries: u64,
 }
 
 impl LazyBatcher {
@@ -42,6 +66,7 @@ impl LazyBatcher {
             queues: HashMap::new(),
             enqueued: 0,
             flushed_batches: 0,
+            flushed_entries: 0,
         }
     }
 
@@ -84,6 +109,7 @@ impl LazyBatcher {
         if queue.len() >= self.max_batch {
             let entries = std::mem::replace(queue, Vec::with_capacity(cap));
             self.flushed_batches += 1;
+            self.flushed_entries += entries.len() as u64;
             Some(ReadyBatch { target, entries })
         } else {
             None
@@ -96,11 +122,10 @@ impl LazyBatcher {
         let mut out = Vec::new();
         for (&target, (first_at, queue)) in self.queues.iter_mut() {
             if !queue.is_empty() && now.since(*first_at) >= self.max_age {
-                out.push(ReadyBatch {
-                    target,
-                    entries: std::mem::take(queue),
-                });
+                let entries = std::mem::take(queue);
                 self.flushed_batches += 1;
+                self.flushed_entries += entries.len() as u64;
+                out.push(ReadyBatch { target, entries });
             }
         }
         // Deterministic order regardless of HashMap iteration.
@@ -113,11 +138,10 @@ impl LazyBatcher {
         let mut out = Vec::new();
         for (&target, (_, queue)) in self.queues.iter_mut() {
             if !queue.is_empty() {
-                out.push(ReadyBatch {
-                    target,
-                    entries: std::mem::take(queue),
-                });
+                let entries = std::mem::take(queue);
                 self.flushed_batches += 1;
+                self.flushed_entries += entries.len() as u64;
+                out.push(ReadyBatch { target, entries });
             }
         }
         out.sort_by_key(|b| b.target);
@@ -143,6 +167,25 @@ impl LazyBatcher {
     /// message-saving the lazy scheme buys.
     pub fn stats(&self) -> (u64, u64) {
         (self.enqueued, self.flushed_batches)
+    }
+
+    /// Full conservation accounting (see [`BatcherStats`]).
+    pub fn entry_stats(&self) -> BatcherStats {
+        BatcherStats {
+            enqueued: self.enqueued,
+            flushed_batches: self.flushed_batches,
+            flushed_entries: self.flushed_entries,
+            pending: self.pending() as u64,
+        }
+    }
+
+    /// Crash recovery: hand out *everything* still queued so the caller
+    /// can retry it. Exactly [`Self::flush_all`], named for intent — a
+    /// node that lost its flush timer to a crash must either re-ship
+    /// these batches or report them; dropping the queues on the floor is
+    /// the bug the chaos oracle's lazy-accounting invariant catches.
+    pub fn drain_for_recovery(&mut self) -> Vec<ReadyBatch> {
+        self.flush_all()
     }
 }
 
@@ -248,5 +291,70 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_size_panics() {
         let _ = LazyBatcher::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn conservation_holds_across_every_flush_path() {
+        let mut b = LazyBatcher::new(3, SimDuration::from_millis(50));
+        let mut shipped = 0u64;
+        for i in 0..10 {
+            if let Some(batch) = b.enqueue(SiteId((i % 3) as u16), entry(i), SimTime(i as u64)) {
+                shipped += batch.entries.len() as u64;
+            }
+        }
+        let s = b.entry_stats();
+        assert!(s.conserved(), "after size flushes: {s:?}");
+        assert_eq!(s.flushed_entries, shipped);
+        for batch in b.poll_expired(SimTime(1_000_000)) {
+            shipped += batch.entries.len() as u64;
+        }
+        let s = b.entry_stats();
+        assert!(s.conserved(), "after age flushes: {s:?}");
+        assert_eq!(s.flushed_entries, shipped);
+        assert_eq!(s.pending, 0);
+        assert_eq!(s.enqueued, 10);
+    }
+
+    #[test]
+    fn crash_drain_retries_every_unflushed_entry() {
+        // A node crashes with a partially filled batcher: the recovery
+        // drain must hand back exactly the unflushed tail so it can be
+        // re-shipped — nothing is silently dropped.
+        let mut b = LazyBatcher::new(4, SimDuration::from_secs(10));
+        let mut acked_to_batcher = Vec::new();
+        for i in 0..10 {
+            let k = format!("f{i}");
+            acked_to_batcher.push(k);
+            let _ = b.enqueue(SiteId(1), entry(i), SimTime(i as u64));
+        }
+        // 2 full batches (8 entries) flushed by size; 2 entries pending at
+        // "crash" time.
+        assert_eq!(b.entry_stats().flushed_entries, 8);
+        assert_eq!(b.pending(), 2);
+        let recovered = b.drain_for_recovery();
+        let recovered_names: Vec<String> = recovered
+            .iter()
+            .flat_map(|batch| batch.entries.iter())
+            .map(|e| e.name.as_str().to_owned())
+            .collect();
+        assert_eq!(recovered_names, vec!["f8", "f9"], "the unflushed tail");
+        let s = b.entry_stats();
+        assert!(s.conserved(), "{s:?}");
+        assert_eq!(s.flushed_entries, 10, "everything accounted for");
+        assert_eq!(s.pending, 0);
+        // A second recovery drain is a no-op, not a double-ship.
+        assert!(b.drain_for_recovery().is_empty());
+    }
+
+    #[test]
+    fn eager_batcher_is_trivially_conserved() {
+        let mut b = LazyBatcher::eager();
+        for i in 0..5 {
+            assert!(b.enqueue(SiteId(0), entry(i), SimTime(0)).is_some());
+        }
+        let s = b.entry_stats();
+        assert!(s.conserved());
+        assert_eq!(s.flushed_entries, 5);
+        assert_eq!(s.flushed_batches, 5);
     }
 }

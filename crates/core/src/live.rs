@@ -427,6 +427,21 @@ impl LiveCluster {
         self.registries.get(&site)
     }
 
+    /// Fault injection: kill `site`'s primary cache mid-traffic (the live
+    /// analog of the simulator's site-crash fault). The service thread
+    /// keeps running; the next operation against the instance drives the
+    /// HaCache primary→replica promotion, exactly as in the DES chaos
+    /// scenarios. Returns whether the site hosts a registry.
+    pub fn inject_registry_failure(&self, site: SiteId) -> bool {
+        match self.registries.get(&site) {
+            Some(r) => {
+                r.fail_primary();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The deployment's topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -551,6 +566,33 @@ mod tests {
             .sum();
         assert_eq!(total, 100, "DHT partitioning stores each entry once");
         Arc::try_unwrap(cluster).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn injected_registry_failure_promotes_without_losing_acked_writes() {
+        let cluster = LiveCluster::start(fast_config(StrategyKind::DhtNonReplicated));
+        let w = cluster.client(SiteId(0), 0);
+        for i in 0..40 {
+            w.publish(&format!("pre{i}"), 1).unwrap();
+        }
+        // Kill every registry's primary mid-run (worst case).
+        for s in 0..4u16 {
+            assert!(cluster.inject_registry_failure(SiteId(s)));
+        }
+        assert!(!cluster.inject_registry_failure(SiteId(9)), "unknown site");
+        // Every acked write still resolves (promotion served it), and new
+        // writes keep flowing through the promoted stores.
+        for i in 0..40 {
+            assert!(
+                w.resolve(&format!("pre{i}")).is_ok(),
+                "pre{i} lost to the injected failure"
+            );
+        }
+        for i in 0..40 {
+            w.publish(&format!("post{i}"), 1).unwrap();
+            assert!(w.resolve(&format!("post{i}")).is_ok());
+        }
+        cluster.shutdown();
     }
 
     #[test]

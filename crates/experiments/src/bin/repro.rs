@@ -5,15 +5,18 @@
 //! repro fig1 fig7       # run a subset
 //! repro --quick         # reduced sizes (seconds instead of minutes)
 //! repro --csv fig5      # CSV output instead of ASCII tables
+//! repro --chaos         # fault-injection matrix + invariant oracle
 //! ```
 
-use geometa_experiments::{fig1, fig10, fig5, fig6, fig7, fig8};
+use geometa_experiments::{chaos, fig1, fig10, fig5, fig6, fig7, fig8, table};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    // Chaos is opt-in: the figure set stays byte-stable across releases.
+    let run_chaos = args.iter().any(|a| a == "--chaos");
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -105,5 +108,96 @@ fn main() {
         }
         println!();
     }
+    if run_chaos {
+        eprintln!("[repro] chaos matrix ...");
+        emit(chaos_matrix(quick));
+    }
     eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Run the chaos scenario matrix and render one row per cell. Any
+/// invariant violation prints the seed banner and aborts (`check_cell`).
+fn chaos_matrix(quick: bool) -> table::Table {
+    use geometa_core::strategy::StrategyKind;
+    let size = if quick {
+        chaos::ChaosSize::smoke()
+    } else {
+        chaos::ChaosSize::matrix()
+    };
+    let seeds = chaos::chaos_seeds(if quick {
+        &[3, 21]
+    } else {
+        &[1, 2, 3, 5, 8, 13, 21, 34]
+    });
+    let mut t = table::Table::new(
+        "Chaos matrix — all four oracle invariants enforced per cell",
+        &[
+            "strategy",
+            "fault",
+            "app",
+            "seed",
+            "acked",
+            "misses",
+            "dropped",
+            "dup",
+            "crashes",
+            "moved%",
+            "fingerprint",
+        ],
+    );
+    for kind in StrategyKind::all() {
+        for fault in chaos::ChaosFault::all() {
+            for &seed in &seeds {
+                let cell = chaos::ChaosCell {
+                    kind,
+                    fault,
+                    app: chaos::ChaosApp::Synthetic,
+                    seed,
+                };
+                let r = chaos::check_cell(cell, &size);
+                let fs = r.fault_stats;
+                t.row(vec![
+                    kind.label().to_string(),
+                    fault.label().to_string(),
+                    "synthetic".into(),
+                    seed.to_string(),
+                    r.acked_writes.to_string(),
+                    r.read_misses.to_string(),
+                    (fs.dropped_partition + fs.dropped_crashed_dst + fs.dropped_chaos).to_string(),
+                    fs.duplicated.to_string(),
+                    fs.crashes.to_string(),
+                    r.moved_fraction
+                        .map_or("-".into(), |f| format!("{:.1}", f * 100.0)),
+                    format!("{:016x}", r.fingerprint),
+                ]);
+            }
+        }
+    }
+    // One Montage and one BuzzFlow spot cell per strategy.
+    for kind in StrategyKind::all() {
+        for app in [chaos::ChaosApp::Montage, chaos::ChaosApp::BuzzFlow] {
+            let cell = chaos::ChaosCell {
+                kind,
+                fault: chaos::ChaosFault::RegistryCrash,
+                app,
+                seed: seeds[0],
+            };
+            let r = chaos::check_cell(cell, &size);
+            let fs = r.fault_stats;
+            t.row(vec![
+                kind.label().to_string(),
+                "crash".into(),
+                app.label().to_string(),
+                seeds[0].to_string(),
+                r.acked_writes.to_string(),
+                r.read_misses.to_string(),
+                (fs.dropped_partition + fs.dropped_crashed_dst + fs.dropped_chaos).to_string(),
+                fs.duplicated.to_string(),
+                fs.crashes.to_string(),
+                "-".into(),
+                format!("{:016x}", r.fingerprint),
+            ]);
+        }
+    }
+    t
 }

@@ -57,6 +57,11 @@ pub struct Calibration {
     pub max_read_retries: usize,
     /// Cache shards per registry instance.
     pub shards: usize,
+    /// In-flight request timeout before a client re-sends. Only armed in
+    /// chaos runs (a fault schedule is installed): healthy runs never
+    /// lose a response, and not arming the timer keeps their event
+    /// streams byte-identical to pre-fault-injection builds.
+    pub op_timeout: SimDuration,
 }
 
 impl Default for Calibration {
@@ -72,6 +77,7 @@ impl Default for Calibration {
             read_retry_backoff: SimDuration::from_millis(250),
             max_read_retries: 100,
             shards: 16,
+            op_timeout: SimDuration::from_secs(10),
         }
     }
 }
@@ -95,6 +101,7 @@ impl Calibration {
             agent_interval: SimDuration::from_millis(20),
             read_retry_backoff: SimDuration::from_millis(20),
             max_read_retries: 500,
+            op_timeout: SimDuration::from_millis(500),
             ..Calibration::default()
         }
     }

@@ -64,12 +64,10 @@ fn post_time(files: usize, home: SiteId, seed: u64) -> SimDuration {
         seed,
     };
     let cfg = SimConfig {
-        kind: StrategyKind::Centralized,
-        topology: Topology::azure_4dc(),
-        seed,
         // Fig. 1 "isolates the metadata access times": no client overhead.
         cal: Calibration::isolated_ops(),
         centralized_home: Some(home),
+        ..SimConfig::new(StrategyKind::Centralized, seed)
     };
     run_synthetic(&spec, &cfg).makespan
 }

@@ -21,6 +21,7 @@
 //! tables.
 
 pub mod calibration;
+pub mod chaos;
 pub mod fig1;
 pub mod fig10;
 pub mod fig5;
@@ -31,4 +32,7 @@ pub mod simbind;
 pub mod table;
 
 pub use calibration::Calibration;
-pub use simbind::{run_synthetic, run_workflow, SimConfig, SyntheticOutcome, WorkflowOutcome};
+pub use chaos::{ChaosApp, ChaosCell, ChaosFault, ChaosReport, ChaosSize, ChaosViolation};
+pub use simbind::{
+    run_synthetic, run_workflow, SimArtifacts, SimConfig, SyntheticOutcome, WorkflowOutcome,
+};

@@ -20,12 +20,14 @@
 use crate::calibration::Calibration;
 use geometa_core::controller::build_strategy;
 use geometa_core::entry::{FileLocation, RegistryEntry};
+use geometa_core::lazy::LazyBatcher;
 use geometa_core::protocol::{RegistryRequest, RegistryResponse};
 use geometa_core::registry::RegistryInstance;
 use geometa_core::strategy::{MetadataStrategy, StrategyKind};
 use geometa_core::sync_agent::{SyncAgentState, SyncPush};
 use geometa_core::transport::InProcessTransport;
 use geometa_core::MetaError;
+use geometa_sim::oracle::SharedOpLog;
 use geometa_sim::prelude::*;
 use geometa_sim::server::ServiceTime;
 use geometa_workflow::apps::synthetic::{Role, SyntheticSpec};
@@ -42,6 +44,54 @@ const TAG_RETRY: u64 = 2;
 const TAG_AGENT_CYCLE: u64 = 3;
 const TAG_COMPUTE: u64 = 4;
 const TAG_AGENT_PROCESS: u64 = 5;
+const TAG_OP_TIMEOUT: u64 = 6;
+const TAG_LAZY_FLUSH: u64 = 7;
+
+/// In-flight request timeout shared by the chaos-hardened actors. Armed
+/// only when `enabled` (chaos mode), so healthy event streams stay
+/// byte-identical. `clear` *cancels* the queued timer — crucially also
+/// from `on_fault(Crashed)` handlers: the engine only drops timers that
+/// fire while the site is down, so a pre-crash timer that outlives the
+/// outage would otherwise fire spuriously after restart and orphan the
+/// recovery path's fresh timer.
+struct OpTimeout {
+    enabled: bool,
+    after: SimDuration,
+    timer: Option<TimerId>,
+}
+
+impl OpTimeout {
+    fn new(enabled: bool, after: SimDuration) -> OpTimeout {
+        OpTimeout {
+            enabled,
+            after,
+            timer: None,
+        }
+    }
+
+    /// (Re-)arm, cancelling any previous timer. No-op outside chaos mode.
+    fn arm(&mut self, ctx: &mut Ctx<Msg>) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(t) = self.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.timer = Some(ctx.set_timer(self.after, TAG_OP_TIMEOUT));
+    }
+
+    /// Cancel the pending timer (response accepted, going idle, crash).
+    fn clear(&mut self, ctx: &mut Ctx<Msg>) {
+        if let Some(t) = self.timer.take() {
+            ctx.cancel_timer(t);
+        }
+    }
+
+    /// The timer fired; the handle is spent.
+    fn fired(&mut self) {
+        self.timer = None;
+    }
+}
 
 /// Messages exchanged in the simulated deployment.
 #[derive(Clone, Debug)]
@@ -76,6 +126,19 @@ pub struct SimConfig {
     /// Override for the centralized strategy's home site (defaults to the
     /// first site). Fig. 1 moves the registry between distance classes.
     pub centralized_home: Option<SiteId>,
+    /// Deterministic fault plan. A non-empty schedule flips the binding
+    /// into *chaos mode*: clients arm per-request timeouts and recover
+    /// from crash notices. Empty (the default) leaves every event stream
+    /// byte-identical to pre-fault-injection builds.
+    pub faults: FaultSchedule,
+    /// When set, actors record acked writes and lazy-propagation
+    /// accounting for the invariant oracle.
+    pub op_log: Option<SharedOpLog>,
+    /// Route synthetic writers' lazy pushes through a real
+    /// [`LazyBatcher`] `(max_batch, max_age)` instead of eager per-entry
+    /// casts, exercising flush-on-crash semantics. `None` (the default)
+    /// keeps the eager path.
+    pub lazy_batch: Option<(usize, SimDuration)>,
 }
 
 impl SimConfig {
@@ -87,7 +150,16 @@ impl SimConfig {
             seed,
             cal: Calibration::default(),
             centralized_home: None,
+            faults: FaultSchedule::new(),
+            op_log: None,
+            lazy_batch: None,
         }
+    }
+
+    /// True when a fault schedule is installed (clients run their
+    /// chaos-mode recovery machinery).
+    pub fn chaos_mode(&self) -> bool {
+        !self.faults.is_empty()
     }
 }
 
@@ -147,6 +219,22 @@ impl Actor<Msg> for RegistryActor {
             ctx.send_delayed(env.from, Msg::Resp { op, resp }, size, done - now);
         }
     }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<Msg>, notice: FaultNotice) {
+        match notice {
+            FaultNotice::Crashed => {
+                // The crash takes the primary cache process down with it;
+                // the HA replica survives. The first request after restart
+                // hits `Unavailable` and drives the real HaCache
+                // primary→replica promotion.
+                self.instance.fail_primary();
+                ctx.metrics().incr("registry_crashes", 1);
+            }
+            FaultNotice::Restarted => {
+                ctx.metrics().incr("registry_restarts", 1);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -156,6 +244,7 @@ impl Actor<Msg> for RegistryActor {
 enum ClientPhase {
     Idle,
     Write {
+        target: SiteId,
         async_targets: Vec<SiteId>,
         entry: RegistryEntry,
     },
@@ -170,6 +259,13 @@ enum ClientPhase {
 
 /// A §VI-B benchmark node: a writer posting consecutive entries or a
 /// reader fetching random ones, in a closed loop with per-op overhead.
+///
+/// In chaos mode (a fault schedule is installed) the client additionally
+/// arms a timeout per in-flight request and re-sends on expiry (puts are
+/// merge-idempotent, so a re-send after a lost ack is safe), survives
+/// crashes of its own site by restarting its closed loop, and can route
+/// lazy propagation through a real [`LazyBatcher`] whose unflushed tail
+/// is retried — never silently dropped — after a crash.
 pub struct SyntheticClientActor {
     spec: SyntheticSpec,
     node: usize,
@@ -183,11 +279,23 @@ pub struct SyntheticClientActor {
     op_started: SimTime,
     phase: ClientPhase,
     key_rng: geometa_sim::rng::SplitMix64,
+    finished: bool,
+    /// Chaos-mode in-flight request timeout (disabled in healthy runs).
+    timeout: OpTimeout,
+    op_log: Option<SharedOpLog>,
+    batcher: Option<LazyBatcher>,
+    lazy_max_age: SimDuration,
+    lazy_flush_timer: Option<TimerId>,
 }
 
 impl SyntheticClientActor {
     fn begin_op(&mut self, ctx: &mut Ctx<Msg>) {
         if self.ops_done >= self.spec.ops_per_node {
+            if self.finished {
+                return; // a post-completion restart must not double-count
+            }
+            self.finished = true;
+            self.drain_batcher(ctx);
             let now = ctx.now();
             ctx.metrics().incr("clients_done", 1);
             ctx.metrics().complete("node_done", now);
@@ -212,19 +320,11 @@ impl SyntheticClientActor {
                 let plan = self.strategy.write_plan(&key, self.site);
                 let target = plan.sync_targets[0];
                 self.phase = ClientPhase::Write {
+                    target,
                     async_targets: plan.async_targets,
-                    entry: entry.clone(),
+                    entry,
                 };
-                let req = RegistryRequest::Put { entry };
-                let size = req.wire_size();
-                ctx.send(
-                    self.registries[&target],
-                    Msg::Req {
-                        op: self.op_seq,
-                        req,
-                    },
-                    size,
-                );
+                self.send_put(ctx);
             }
             Role::Reader => {
                 let key = geometa_core::Key::from(self.spec.reader_key(
@@ -242,6 +342,26 @@ impl SyntheticClientActor {
                 self.send_probe(ctx);
             }
         }
+    }
+
+    fn send_put(&mut self, ctx: &mut Ctx<Msg>) {
+        let ClientPhase::Write { target, entry, .. } = &self.phase else {
+            return;
+        };
+        let target = *target;
+        let req = RegistryRequest::Put {
+            entry: entry.clone(),
+        };
+        let size = req.wire_size();
+        ctx.send(
+            self.registries[&target],
+            Msg::Req {
+                op: self.op_seq,
+                req,
+            },
+            size,
+        );
+        self.timeout.arm(ctx);
     }
 
     fn send_probe(&mut self, ctx: &mut Ctx<Msg>) {
@@ -265,9 +385,64 @@ impl SyntheticClientActor {
             },
             size,
         );
+        self.timeout.arm(ctx);
+    }
+
+    /// The in-flight request went unanswered (lost request, lost response
+    /// or crashed registry): give it a fresh op id (stale late responses
+    /// are ignored by the sequence check) and re-send.
+    fn retry_op(&mut self, ctx: &mut Ctx<Msg>) {
+        self.op_seq += 1;
+        match &mut self.phase {
+            ClientPhase::Write { .. } => self.send_put(ctx),
+            ClientPhase::Read { probe_idx, .. } => {
+                *probe_idx = 0;
+                self.send_probe(ctx);
+            }
+            ClientPhase::Idle => {}
+        }
+    }
+
+    /// Ship one ready batch of lazy updates (counted for the oracle).
+    fn ship_batch(&mut self, ctx: &mut Ctx<Msg>, batch: geometa_core::lazy::ReadyBatch) {
+        if let Some(log) = &self.op_log {
+            log.lock().record_lazy_flushed(batch.entries.len() as u64);
+        }
+        ctx.metrics().incr("async_pushes", 1);
+        let req = RegistryRequest::Absorb {
+            entries: batch.entries,
+        };
+        let size = req.wire_size();
+        ctx.send(
+            self.registries[&batch.target],
+            Msg::Req { op: CAST_OP, req },
+            size,
+        );
+    }
+
+    /// Flush everything the batcher holds (completion drain or
+    /// crash-recovery retry).
+    fn drain_batcher(&mut self, ctx: &mut Ctx<Msg>) {
+        if let Some(t) = self.lazy_flush_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let Some(batcher) = &mut self.batcher else {
+            return;
+        };
+        for batch in batcher.flush_all() {
+            self.ship_batch(ctx, batch);
+        }
+    }
+
+    fn ensure_lazy_flush_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        let pending = self.batcher.as_ref().is_some_and(|b| b.pending() > 0);
+        if pending && self.lazy_flush_timer.is_none() {
+            self.lazy_flush_timer = Some(ctx.set_timer(self.lazy_max_age, TAG_LAZY_FLUSH));
+        }
     }
 
     fn complete_op(&mut self, ctx: &mut Ctx<Msg>, missed: bool) {
+        self.timeout.clear(ctx);
         let now = ctx.now();
         ctx.metrics().complete("ops", now);
         ctx.metrics()
@@ -304,7 +479,68 @@ impl Actor<Msg> for SyntheticClientActor {
                     self.send_probe(ctx);
                 }
             }
+            TAG_OP_TIMEOUT => {
+                self.timeout.fired();
+                ctx.metrics().incr("op_timeouts", 1);
+                self.retry_op(ctx);
+            }
+            TAG_LAZY_FLUSH => {
+                self.lazy_flush_timer = None;
+                let now = ctx.now();
+                if let Some(batcher) = &mut self.batcher {
+                    for batch in batcher.poll_expired(now) {
+                        self.ship_batch(ctx, batch);
+                    }
+                }
+                self.ensure_lazy_flush_timer(ctx);
+            }
             _ => {}
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<Msg>, notice: FaultNotice) {
+        match notice {
+            FaultNotice::Crashed => {
+                // Every pending lazy entry is *reported*: the restart path
+                // below retries them, and the oracle asserts none vanish.
+                let pending = self.batcher.as_ref().map_or(0, |b| b.pending() as u64);
+                if pending > 0 {
+                    if let Some(log) = &self.op_log {
+                        log.lock().record_lazy_pending_at_crash(pending);
+                    }
+                    ctx.metrics().incr("lazy_pending_at_crash", pending);
+                }
+                // Cancel outstanding timers: the engine only drops timers
+                // that fire *during* the outage, so one armed pre-crash
+                // could outlive the window and fire spuriously after the
+                // restart path armed its own.
+                self.timeout.clear(ctx);
+                if let Some(t) = self.lazy_flush_timer.take() {
+                    ctx.cancel_timer(t);
+                }
+            }
+            FaultNotice::Restarted => {
+                if self.finished {
+                    return;
+                }
+                ctx.metrics().incr("client_restarts", 1);
+                // Retry the batched-but-unflushed lazy pushes: the entries
+                // are durable in the local registry, so the recovered node
+                // re-ships them rather than dropping them.
+                if self.batcher.as_ref().is_some_and(|b| b.pending() > 0) {
+                    ctx.metrics().incr("lazy_retried_after_crash", 1);
+                    self.drain_batcher(ctx);
+                }
+                match &self.phase {
+                    // Mid-flight op: re-send it under a fresh op id.
+                    ClientPhase::Write { .. } | ClientPhase::Read { .. } => self.retry_op(ctx),
+                    // Between ops: the next-op timer was lost; re-arm it.
+                    ClientPhase::Idle => {
+                        let pause = self.cal.client_overhead;
+                        ctx.set_timer(pause, TAG_NEXT_OP);
+                    }
+                }
+            }
         }
     }
 
@@ -315,19 +551,50 @@ impl Actor<Msg> for SyntheticClientActor {
         if op != self.op_seq {
             return; // stale response from an abandoned probe
         }
+        // Consume the op id: a chaos-duplicated copy of this response must
+        // not complete anything twice. The in-flight timeout goes with it
+        // (the probe/backoff paths below re-arm on their next send).
+        self.op_seq += 1;
+        self.timeout.clear(ctx);
         match std::mem::replace(&mut self.phase, ClientPhase::Idle) {
             ClientPhase::Write {
+                target,
                 async_targets,
                 entry,
             } => {
-                // Write completed locally; fire lazy propagation.
-                for t in async_targets {
-                    let req = RegistryRequest::Absorb {
-                        entries: vec![entry.clone()],
-                    };
-                    let size = req.wire_size();
-                    ctx.send(self.registries[&t], Msg::Req { op: CAST_OP, req }, size);
-                    ctx.metrics().incr("async_pushes", 1);
+                // Write acknowledged: from here on losing it is a safety
+                // violation the oracle will catch.
+                if let Some(log) = &self.op_log {
+                    log.lock()
+                        .record_write_acked(entry.name.as_str(), target, ctx.now());
+                }
+                // Fire lazy propagation: batched when a batcher is
+                // configured, per-entry eager casts otherwise.
+                if self.batcher.is_some() {
+                    let now = ctx.now();
+                    for t in async_targets {
+                        if let Some(log) = &self.op_log {
+                            log.lock().record_lazy_enqueued(1);
+                        }
+                        let ready = self
+                            .batcher
+                            .as_mut()
+                            .expect("batcher checked above")
+                            .enqueue(t, entry.clone(), now);
+                        if let Some(batch) = ready {
+                            self.ship_batch(ctx, batch);
+                        }
+                    }
+                    self.ensure_lazy_flush_timer(ctx);
+                } else {
+                    for t in async_targets {
+                        let req = RegistryRequest::Absorb {
+                            entries: vec![entry.clone()],
+                        };
+                        let size = req.wire_size();
+                        ctx.send(self.registries[&t], Msg::Req { op: CAST_OP, req }, size);
+                        ctx.metrics().incr("async_pushes", 1);
+                    }
                 }
                 self.complete_op(ctx, false);
             }
@@ -395,9 +662,13 @@ pub struct SyncAgentActor {
     n_clients: u64,
     pull_sent_at: SimTime,
     pending_pushes: Vec<SyncPush>,
+    /// The push whose ack is outstanding (re-sent on timeout or restart).
+    in_flight_push: Option<SyncPush>,
     awaiting_push_ack: bool,
     draining: bool,
     op_seq: u64,
+    /// Chaos-mode in-flight request timeout (disabled in healthy runs).
+    timeout: OpTimeout,
 }
 
 impl SyncAgentActor {
@@ -416,25 +687,35 @@ impl SyncAgentActor {
             },
             size,
         );
+        self.timeout.arm(ctx);
+    }
+
+    fn send_push(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(push) = &self.in_flight_push else {
+            return;
+        };
+        self.op_seq += 1;
+        self.awaiting_push_ack = true;
+        let req = RegistryRequest::Absorb {
+            entries: push.entries.clone(),
+        };
+        let size = req.wire_size();
+        ctx.send(
+            self.registries[&push.target],
+            Msg::Req {
+                op: self.op_seq,
+                req,
+            },
+            size,
+        );
+        self.timeout.arm(ctx);
     }
 
     /// Ship the next pending push synchronously, or move to the next site.
     fn next_push_or_advance(&mut self, ctx: &mut Ctx<Msg>) {
         if let Some(push) = self.pending_pushes.pop() {
-            self.op_seq += 1;
-            self.awaiting_push_ack = true;
-            let req = RegistryRequest::Absorb {
-                entries: push.entries,
-            };
-            let size = req.wire_size();
-            ctx.send(
-                self.registries[&push.target],
-                Msg::Req {
-                    op: self.op_seq,
-                    req,
-                },
-                size,
-            );
+            self.in_flight_push = Some(push);
+            self.send_push(ctx);
             return;
         }
         self.awaiting_push_ack = false;
@@ -452,6 +733,7 @@ impl SyncAgentActor {
         let all_done = ctx.metrics().counter("clients_done") >= self.n_clients;
         if all_done {
             if self.draining {
+                self.timeout.clear(ctx);
                 return; // final drain cycle finished; stop scheduling
             }
             self.draining = true;
@@ -462,6 +744,7 @@ impl SyncAgentActor {
             self.cal.agent_interval
         };
         self.idx = 0;
+        self.timeout.clear(ctx);
         ctx.set_timer(pause, TAG_AGENT_CYCLE);
     }
 }
@@ -477,7 +760,43 @@ impl Actor<Msg> for SyncAgentActor {
             TAG_AGENT_PROCESS => {
                 self.next_push_or_advance(ctx);
             }
+            TAG_OP_TIMEOUT => {
+                // The in-flight pull or push went unanswered (crashed or
+                // partitioned registry). Re-send it; the sequence check
+                // ignores a late original response.
+                self.timeout.fired();
+                ctx.metrics().incr("agent_timeouts", 1);
+                if self.awaiting_push_ack {
+                    self.send_push(ctx);
+                } else {
+                    self.send_pull(ctx);
+                }
+            }
             _ => {}
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<Msg>, notice: FaultNotice) {
+        match notice {
+            FaultNotice::Crashed => {
+                // Cancel rather than forget: a pre-crash timer may outlive
+                // the outage (see [`OpTimeout`]).
+                self.timeout.clear(ctx);
+            }
+            FaultNotice::Restarted => {
+                ctx.metrics().incr("agent_restarts", 1);
+                // Resume where the crash interrupted: an unacked push is
+                // retried (absorb is idempotent), otherwise re-issue the
+                // pull for the current site. Watermarks and pending pushes
+                // survive — [`SyncAgentState`] is the agent's durable state.
+                if self.awaiting_push_ack && self.in_flight_push.is_some() {
+                    self.send_push(ctx);
+                } else {
+                    self.awaiting_push_ack = false;
+                    self.idx = self.idx.min(self.order.len() - 1);
+                    self.send_pull(ctx);
+                }
+            }
         }
     }
 
@@ -488,8 +807,12 @@ impl Actor<Msg> for SyncAgentActor {
         if op != self.op_seq {
             return;
         }
+        // Consume the op id (chaos-duplicated responses must not ack twice).
+        self.op_seq += 1;
+        self.timeout.clear(ctx);
         if self.awaiting_push_ack {
             // A push was acknowledged; ship the next one.
+            self.in_flight_push = None;
             self.next_push_or_advance(ctx);
             return;
         }
@@ -504,7 +827,8 @@ impl Actor<Msg> for SyncAgentActor {
         // definitely covered; back off 1 µs for same-tick writes (absorb
         // is idempotent, so overlap is harmless).
         let up_to = self.pull_sent_at.as_micros().saturating_sub(1);
-        self.pending_pushes = self.state.integrate(site, entries, up_to);
+        let pushes = self.state.integrate(site, entries, up_to);
+        self.pending_pushes.extend(pushes);
         // Serial per-entry processing — the agent's scaling bottleneck.
         let cost = self.cal.agent_per_entry * (n as u64);
         ctx.set_timer(cost, TAG_AGENT_PROCESS);
@@ -531,7 +855,17 @@ enum WfPhase {
     },
     Publishing {
         out_idx: usize,
+        /// The sync write's destination (recorded with the oracle's ack).
+        target: SiteId,
         async_targets: Vec<SiteId>,
+        entry: RegistryEntry,
+    },
+    /// Chaos mode only: lazy pushes are shipped as *acknowledged* absorbs,
+    /// re-sent on timeout, so a flaky link cannot silently strand a
+    /// consumer polling for an input that will never arrive.
+    Propagating {
+        out_idx: usize,
+        remaining: Vec<SiteId>,
         entry: RegistryEntry,
     },
 }
@@ -548,11 +882,19 @@ pub struct WorkflowNodeActor {
     cursor: usize,
     phase: WfPhase,
     op_seq: u64,
+    finished: bool,
+    /// Chaos-mode in-flight request timeout (disabled in healthy runs).
+    timeout: OpTimeout,
+    op_log: Option<SharedOpLog>,
 }
 
 impl WorkflowNodeActor {
     fn step(&mut self, ctx: &mut Ctx<Msg>) {
         if self.cursor >= self.tasks.len() {
+            if self.finished {
+                return; // a post-completion restart must not double-count
+            }
+            self.finished = true;
             let now = ctx.now();
             ctx.metrics().incr("clients_done", 1);
             ctx.metrics().complete("node_done", now);
@@ -600,6 +942,35 @@ impl WorkflowNodeActor {
             },
             size,
         );
+        self.timeout.arm(ctx);
+    }
+
+    /// Ship the next acknowledged lazy push of the current output (chaos
+    /// mode; see [`WfPhase::Propagating`]).
+    fn send_propagate(&mut self, ctx: &mut Ctx<Msg>) {
+        let WfPhase::Propagating {
+            remaining, entry, ..
+        } = &self.phase
+        else {
+            return;
+        };
+        let Some(&target) = remaining.first() else {
+            return;
+        };
+        self.op_seq += 1;
+        let req = RegistryRequest::Absorb {
+            entries: vec![entry.clone()],
+        };
+        let size = req.wire_size();
+        ctx.send(
+            self.registries[&target],
+            Msg::Req {
+                op: self.op_seq,
+                req,
+            },
+            size,
+        );
+        self.timeout.arm(ctx);
     }
 
     fn start_publish(&mut self, ctx: &mut Ctx<Msg>, out_idx: usize) {
@@ -627,6 +998,7 @@ impl WorkflowNodeActor {
         self.op_seq += 1;
         self.phase = WfPhase::Publishing {
             out_idx,
+            target: plan.sync_targets[0],
             async_targets: plan.async_targets,
             entry: entry.clone(),
         };
@@ -640,6 +1012,28 @@ impl WorkflowNodeActor {
             },
             size,
         );
+        self.timeout.arm(ctx);
+    }
+
+    /// Advance past output `out_idx` (its sync write and, in chaos mode,
+    /// its acknowledged propagation are done).
+    fn finish_output(&mut self, ctx: &mut Ctx<Msg>, out_idx: usize) {
+        self.phase = WfPhase::Publishing {
+            out_idx: out_idx + 1,
+            target: self.site,
+            async_targets: Vec::new(),
+            entry: RegistryEntry::new(
+                "",
+                0,
+                FileLocation {
+                    site: self.site,
+                    node: self.node_idx,
+                },
+                0,
+            ),
+        };
+        let pause = self.op_pause(ctx);
+        ctx.set_timer(pause, TAG_NEXT_OP);
     }
 
     fn op_pause(&self, ctx: &mut Ctx<Msg>) -> SimDuration {
@@ -672,6 +1066,7 @@ impl Actor<Msg> for WorkflowNodeActor {
                 WfPhase::Publishing { out_idx, .. } => {
                     self.start_publish(ctx, out_idx);
                 }
+                other @ WfPhase::Propagating { .. } => self.phase = other,
             },
             TAG_RETRY => {
                 if let WfPhase::Resolving {
@@ -680,10 +1075,8 @@ impl Actor<Msg> for WorkflowNodeActor {
                     ..
                 } = &mut self.phase
                 {
-                    let (i, _) = (*input_idx, *probe_idx);
-                    if let WfPhase::Resolving { probe_idx, .. } = &mut self.phase {
-                        *probe_idx = 0;
-                    }
+                    *probe_idx = 0;
+                    let i = *input_idx;
                     self.send_read(ctx, i, 0);
                 }
             }
@@ -691,6 +1084,7 @@ impl Actor<Msg> for WorkflowNodeActor {
                 // Compute finished; publish outputs.
                 self.phase = WfPhase::Publishing {
                     out_idx: 0,
+                    target: self.site,
                     async_targets: Vec::new(),
                     entry: RegistryEntry::new(
                         "",
@@ -704,7 +1098,55 @@ impl Actor<Msg> for WorkflowNodeActor {
                 };
                 self.start_publish(ctx, 0);
             }
+            TAG_OP_TIMEOUT => {
+                // Re-send whatever is in flight under a fresh op id.
+                self.timeout.fired();
+                ctx.metrics().incr("op_timeouts", 1);
+                match std::mem::replace(&mut self.phase, WfPhase::Idle) {
+                    WfPhase::Resolving {
+                        input_idx, retries, ..
+                    } => self.start_resolve(ctx, input_idx, retries),
+                    WfPhase::Publishing { out_idx, .. } => self.start_publish(ctx, out_idx),
+                    other @ WfPhase::Propagating { .. } => {
+                        self.phase = other;
+                        self.send_propagate(ctx);
+                    }
+                    WfPhase::Idle => {}
+                }
+            }
             _ => {}
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<Msg>, notice: FaultNotice) {
+        match notice {
+            FaultNotice::Crashed => {
+                // Cancel rather than forget: a pre-crash timer may outlive
+                // the outage (see [`OpTimeout`]).
+                self.timeout.clear(ctx);
+            }
+            FaultNotice::Restarted => {
+                if self.finished {
+                    return;
+                }
+                ctx.metrics().incr("client_restarts", 1);
+                // Resume the interrupted step. A lost compute timer
+                // re-runs the task from its inputs — re-publication merges
+                // idempotently.
+                match std::mem::replace(&mut self.phase, WfPhase::Idle) {
+                    WfPhase::Idle => {
+                        ctx.set_timer(self.cal.client_overhead, TAG_NEXT_OP);
+                    }
+                    WfPhase::Resolving {
+                        input_idx, retries, ..
+                    } => self.start_resolve(ctx, input_idx, retries),
+                    WfPhase::Publishing { out_idx, .. } => self.start_publish(ctx, out_idx),
+                    other @ WfPhase::Propagating { .. } => {
+                        self.phase = other;
+                        self.send_propagate(ctx);
+                    }
+                }
+            }
         }
     }
 
@@ -715,6 +1157,9 @@ impl Actor<Msg> for WorkflowNodeActor {
         if op != self.op_seq {
             return;
         }
+        // Consume the op id (chaos-duplicated responses must not ack twice).
+        self.op_seq += 1;
+        self.timeout.clear(ctx);
         match std::mem::replace(&mut self.phase, WfPhase::Idle) {
             WfPhase::Resolving {
                 input_idx,
@@ -776,10 +1221,27 @@ impl Actor<Msg> for WorkflowNodeActor {
             },
             WfPhase::Publishing {
                 out_idx,
+                target,
                 async_targets,
                 entry,
             } => {
                 self.complete_meta_op(ctx);
+                if let Some(log) = &self.op_log {
+                    log.lock()
+                        .record_write_acked(entry.name.as_str(), target, ctx.now());
+                }
+                if self.timeout.enabled && !async_targets.is_empty() {
+                    // Acknowledged propagation: each absorb is re-sent
+                    // until acked, so a flaky link cannot strand a
+                    // downstream consumer forever.
+                    self.phase = WfPhase::Propagating {
+                        out_idx,
+                        remaining: async_targets,
+                        entry,
+                    };
+                    self.send_propagate(ctx);
+                    return;
+                }
                 for t in async_targets {
                     let req = RegistryRequest::Absorb {
                         entries: vec![entry.clone()],
@@ -787,21 +1249,24 @@ impl Actor<Msg> for WorkflowNodeActor {
                     let size = req.wire_size();
                     ctx.send(self.registries[&t], Msg::Req { op: CAST_OP, req }, size);
                 }
-                self.phase = WfPhase::Publishing {
-                    out_idx: out_idx + 1,
-                    async_targets: Vec::new(),
-                    entry: RegistryEntry::new(
-                        "",
-                        0,
-                        FileLocation {
-                            site: self.site,
-                            node: self.node_idx,
-                        },
-                        0,
-                    ),
-                };
-                let pause = self.op_pause(ctx);
-                ctx.set_timer(pause, TAG_NEXT_OP);
+                self.finish_output(ctx, out_idx);
+            }
+            WfPhase::Propagating {
+                out_idx,
+                mut remaining,
+                entry,
+            } => {
+                remaining.remove(0);
+                if remaining.is_empty() {
+                    self.finish_output(ctx, out_idx);
+                } else {
+                    self.phase = WfPhase::Propagating {
+                        out_idx,
+                        remaining,
+                        entry,
+                    };
+                    self.send_propagate(ctx);
+                }
             }
             WfPhase::Idle => {}
         }
@@ -829,6 +1294,7 @@ fn deploy(cfg: &SimConfig) -> Deployment {
         _ => build_strategy(cfg.kind, sites.clone()),
     };
     let mut engine: Engine<Msg> = Engine::new(cfg.topology.clone(), cfg.seed);
+    engine.set_faults(cfg.faults.clone());
     let mut registries = HashMap::new();
     let mut instances = HashMap::new();
     for &site in &strategy.registry_sites() {
@@ -866,9 +1332,11 @@ fn add_sync_agent(dep: &mut Deployment, cfg: &SimConfig, n_clients: u64) {
             n_clients,
             pull_sent_at: SimTime::ZERO,
             pending_pushes: Vec::new(),
+            in_flight_push: None,
             awaiting_push_ack: false,
             draining: false,
             op_seq: 0,
+            timeout: OpTimeout::new(cfg.chaos_mode(), cfg.cal.op_timeout),
         },
     );
 }
@@ -899,8 +1367,33 @@ pub struct SyntheticOutcome {
     pub local_read_fraction: f64,
 }
 
+/// Post-run handles for invariant checkers: the *real* registry instances
+/// that served the simulation, the strategy that placed the data, and the
+/// fault layer's accounting.
+pub struct SimArtifacts {
+    /// Per-site registry instances (surviving state to audit).
+    pub instances: HashMap<SiteId, Arc<RegistryInstance>>,
+    /// The placement strategy the run used.
+    pub strategy: Arc<dyn MetadataStrategy>,
+    /// What the fault layer did (drops, duplications, crashes).
+    pub fault_stats: geometa_sim::FaultStats,
+    /// Virtual end time of the run.
+    pub final_time: SimTime,
+    /// Events dispatched.
+    pub events_processed: u64,
+}
+
 /// Run the §VI-B synthetic benchmark under one strategy.
 pub fn run_synthetic(spec: &SyntheticSpec, cfg: &SimConfig) -> SyntheticOutcome {
+    run_synthetic_instrumented(spec, cfg).0
+}
+
+/// [`run_synthetic`], also returning the [`SimArtifacts`] the chaos
+/// oracle audits.
+pub fn run_synthetic_instrumented(
+    spec: &SyntheticSpec,
+    cfg: &SimConfig,
+) -> (SyntheticOutcome, SimArtifacts) {
     let mut dep = deploy(cfg);
     let n_sites = dep.sites.len();
     add_sync_agent(&mut dep, cfg, spec.nodes as u64);
@@ -921,6 +1414,12 @@ pub fn run_synthetic(spec: &SyntheticSpec, cfg: &SimConfig) -> SyntheticOutcome 
                 op_started: SimTime::ZERO,
                 phase: ClientPhase::Idle,
                 key_rng: spec.node_rng(node),
+                finished: false,
+                timeout: OpTimeout::new(cfg.chaos_mode(), cfg.cal.op_timeout),
+                op_log: cfg.op_log.clone(),
+                batcher: cfg.lazy_batch.map(|(n, age)| LazyBatcher::new(n, age)),
+                lazy_max_age: cfg.lazy_batch.map_or(SimDuration::ZERO, |(_, age)| age),
+                lazy_flush_timer: None,
             },
         );
     }
@@ -930,7 +1429,15 @@ pub fn run_synthetic(spec: &SyntheticSpec, cfg: &SimConfig) -> SyntheticOutcome 
         !report.hit_event_limit,
         "synthetic run exceeded the event safety limit"
     );
-    collect_synthetic(&mut dep, cfg)
+    let outcome = collect_synthetic(&mut dep, cfg);
+    let artifacts = SimArtifacts {
+        instances: dep.instances,
+        strategy: dep.strategy,
+        fault_stats: dep.engine.fault_stats(),
+        final_time: dep.engine.now(),
+        events_processed: report.events_processed,
+    };
+    (outcome, artifacts)
 }
 
 fn collect_synthetic(dep: &mut Deployment, cfg: &SimConfig) -> SyntheticOutcome {
@@ -1009,6 +1516,16 @@ pub fn run_workflow(
     placement: &Placement,
     cfg: &SimConfig,
 ) -> WorkflowOutcome {
+    run_workflow_instrumented(workflow, placement, cfg).0
+}
+
+/// [`run_workflow`], also returning the [`SimArtifacts`] the chaos oracle
+/// audits.
+pub fn run_workflow_instrumented(
+    workflow: &Workflow,
+    placement: &Placement,
+    cfg: &SimConfig,
+) -> (WorkflowOutcome, SimArtifacts) {
     let mut dep = deploy(cfg);
     // External inputs pre-exist everywhere (the paper stages input data
     // before execution).
@@ -1054,6 +1571,9 @@ pub fn run_workflow(
                 cursor: 0,
                 phase: WfPhase::Idle,
                 op_seq: 0,
+                finished: false,
+                timeout: OpTimeout::new(cfg.chaos_mode(), cfg.cal.op_timeout),
+                op_log: cfg.op_log.clone(),
             },
         );
     }
@@ -1073,12 +1593,20 @@ pub fn run_workflow(
     let wan_messages = dep.engine.network().wan_messages();
     let makespan = dep.engine.metrics_mut().completions_mut("node_done").last();
     let total_ops = dep.engine.metrics_mut().completions_mut("ops").count();
-    WorkflowOutcome {
+    let outcome = WorkflowOutcome {
         makespan: SimDuration::from_micros(makespan.as_micros()),
         total_ops,
         input_polls,
         wan_messages,
-    }
+    };
+    let artifacts = SimArtifacts {
+        instances: dep.instances,
+        strategy: dep.strategy,
+        fault_stats: dep.engine.fault_stats(),
+        final_time: dep.engine.now(),
+        events_processed: report.events_processed,
+    };
+    (outcome, artifacts)
 }
 
 #[cfg(test)]
@@ -1089,11 +1617,8 @@ mod tests {
 
     fn cfg(kind: StrategyKind) -> SimConfig {
         SimConfig {
-            kind,
-            topology: Topology::azure_4dc(),
-            seed: 42,
             cal: Calibration::test_fast(),
-            centralized_home: None,
+            ..SimConfig::new(kind, 42)
         }
     }
 

@@ -8,6 +8,7 @@
 //! fully reproducible.
 
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultAction, FaultEvent, FaultNotice, FaultSchedule, FaultState, FaultStats};
 use crate::metrics::MetricsHub;
 use crate::network::NetworkModel;
 use crate::rng::SplitMix64;
@@ -75,6 +76,15 @@ pub trait Actor<M> {
     fn on_timer(&mut self, ctx: &mut Ctx<M>, id: TimerId, tag: u64) {
         let _ = (ctx, id, tag);
     }
+
+    /// Called when this actor's site crashes or restarts under an active
+    /// [`FaultSchedule`]. On [`FaultNotice::Crashed`] model the state loss
+    /// (e.g. fail a primary cache); on [`FaultNotice::Restarted`] re-arm
+    /// the timers that drive this actor — everything pending at crash time
+    /// was dropped.
+    fn on_fault(&mut self, ctx: &mut Ctx<M>, notice: FaultNotice) {
+        let _ = (ctx, notice);
+    }
 }
 
 /// Everything an actor may do to the world during one handler invocation.
@@ -84,6 +94,7 @@ pub struct Ctx<'a, M> {
     self_site: SiteId,
     queue: &'a mut EventQueue<M>,
     network: &'a mut NetworkModel,
+    faults: &'a mut FaultState,
     sites: &'a [SiteId],
     metrics: &'a mut MetricsHub,
     rng: &'a mut SplitMix64,
@@ -124,14 +135,47 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Send `msg` (`size_bytes` on the wire) to `dst`; it will be delivered
     /// after the modeled network delay.
-    pub fn send(&mut self, dst: ActorId, msg: M, size_bytes: u64) {
+    ///
+    /// Under an active [`FaultSchedule`] the message is subject to the
+    /// fault layer at send time: a partitioned link or a link-chaos drop
+    /// loses it (counted in [`FaultStats`]), duplication delivers two
+    /// copies with independently drawn delays.
+    pub fn send(&mut self, dst: ActorId, msg: M, size_bytes: u64)
+    where
+        M: Clone,
+    {
         self.send_delayed(dst, msg, size_bytes, SimDuration::ZERO);
     }
 
     /// Send with an extra sender-side delay before the message enters the
     /// network (e.g. the service time of a request being answered).
-    pub fn send_delayed(&mut self, dst: ActorId, msg: M, size_bytes: u64, extra: SimDuration) {
+    pub fn send_delayed(&mut self, dst: ActorId, msg: M, size_bytes: u64, extra: SimDuration)
+    where
+        M: Clone,
+    {
         let dst_site = self.sites[dst.index()];
+        let Some(copies) = self.faults.roll_link(self.self_site, dst_site) else {
+            return; // partitioned or chaos-dropped; counted by the roll
+        };
+        for _ in 1..copies {
+            // A duplicated copy takes its own path through the network
+            // (independent jitter draw).
+            let net = self.network.delay(self.self_site, dst_site, size_bytes);
+            let deliver_at = self.now + extra + net;
+            self.trace.message(self.now, self.self_id, dst, deliver_at);
+            self.queue.push(
+                deliver_at,
+                EventKind::Deliver {
+                    dst,
+                    env: Envelope {
+                        from: self.self_id,
+                        from_site: self.self_site,
+                        sent_at: self.now,
+                        msg: msg.clone(),
+                    },
+                },
+            );
+        }
         let net = self.network.delay(self.self_site, dst_site, size_bytes);
         let deliver_at = self.now + extra + net;
         self.trace.message(self.now, self.self_id, dst, deliver_at);
@@ -229,6 +273,9 @@ pub struct Engine<M> {
     queue: EventQueue<M>,
     now: SimTime,
     network: NetworkModel,
+    faults: FaultState,
+    fault_events: Vec<FaultEvent>,
+    fault_cursor: usize,
     metrics: MetricsHub,
     trace: Trace,
     root_rng: SplitMix64,
@@ -242,6 +289,7 @@ impl<M> Engine<M> {
     /// Create an engine over a topology. All randomness (jitter, actor
     /// streams) derives from `seed`.
     pub fn new(topology: Topology, seed: u64) -> Engine<M> {
+        let num_sites = topology.num_sites();
         Engine {
             actors: Vec::new(),
             sites: Vec::new(),
@@ -249,6 +297,9 @@ impl<M> Engine<M> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             network: NetworkModel::new(topology, seed),
+            faults: FaultState::new(num_sites, seed),
+            fault_events: Vec::new(),
+            fault_cursor: 0,
             metrics: MetricsHub::new(),
             trace: Trace::disabled(),
             root_rng: SplitMix64::new(seed),
@@ -317,6 +368,28 @@ impl<M> Engine<M> {
         self.event_limit = limit;
     }
 
+    /// Install a fault schedule. Actions apply at their exact virtual
+    /// instants, before any ordinary event scheduled at the same time.
+    /// Installing an empty schedule leaves the engine byte-identical to a
+    /// fault-free build.
+    pub fn set_faults(&mut self, schedule: FaultSchedule) {
+        assert!(
+            self.fault_cursor == 0 && self.fault_events.is_empty(),
+            "fault schedule can only be installed once"
+        );
+        self.fault_events = schedule.into_sorted();
+    }
+
+    /// What the fault layer did so far (drops, duplications, crashes).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// Live fault state (down-site / blocked-link queries for harnesses).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
     /// Cancel a pending timer. The event is removed from the queue
     /// immediately (slot-addressed, O(log n)) — no tombstones accumulate.
     /// Returns whether the timer was still pending.
@@ -339,13 +412,33 @@ impl<M> Engine<M> {
                 report.hit_event_limit = true;
                 break;
             }
+            // Apply every fault action due before the next ordinary event
+            // (ties go to the fault: at equal instants the world changes,
+            // then the event sees the changed world).
+            self.apply_due_faults(deadline);
             let Some(ev) = self.queue.pop_at_or_before(deadline) else {
+                // After fault application nothing else can happen within
+                // the deadline: remaining faults (if any) lie beyond it.
                 break;
             };
             debug_assert!(ev.time >= self.now, "time must be monotone");
             self.now = ev.time;
             self.events_processed += 1;
             report.events_processed += 1;
+            // Events addressed to a crashed site are dropped: deliveries
+            // reach a dead process, timers belong to one. Both are counted
+            // (never lost silently) and still bound by the event limit.
+            let idx = match &ev.kind {
+                EventKind::Deliver { dst, .. } => dst.index(),
+                EventKind::Timer { actor, .. } => actor.index(),
+            };
+            if self.faults.site_down(self.sites[idx]) {
+                match &ev.kind {
+                    EventKind::Deliver { .. } => self.faults.count_crashed_delivery(),
+                    EventKind::Timer { .. } => self.faults.count_lost_timer(),
+                }
+                continue;
+            }
             let stopped = self.dispatch(ev.kind);
             if stopped {
                 report.stopped_by_actor = true;
@@ -354,6 +447,86 @@ impl<M> Engine<M> {
         }
         report.final_time = self.now;
         report
+    }
+
+    /// Apply fault actions due at or before `deadline` and not after the
+    /// next queued event. Crash/restart actions notify every actor at the
+    /// affected site, which may schedule new events — the queue is
+    /// re-inspected after every action.
+    fn apply_due_faults(&mut self, deadline: SimTime) {
+        while let Some(next) = self.fault_events.get(self.fault_cursor) {
+            let at = next.at;
+            if at > deadline {
+                break;
+            }
+            if let Some(t) = self.queue.peek_time() {
+                if t < at {
+                    break; // an ordinary event comes strictly first
+                }
+            }
+            let action = next.action.clone();
+            self.fault_cursor += 1;
+            if at > self.now {
+                self.now = at;
+            }
+            match &action {
+                FaultAction::DegradeWan {
+                    latency_mult,
+                    bandwidth_div,
+                } => self
+                    .network
+                    .set_wan_degradation(*latency_mult, *bandwidth_div),
+                FaultAction::RestoreWan => self.network.clear_wan_degradation(),
+                other => {
+                    if let Some((site, notice)) = self.faults.apply(other) {
+                        self.notify_site_fault(site, notice);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver a crash/restart notice to every actor at `site`, in
+    /// actor-id order (deterministic).
+    fn notify_site_fault(&mut self, site: SiteId, notice: FaultNotice) {
+        for idx in 0..self.actors.len() {
+            if self.sites[idx] != site {
+                continue;
+            }
+            let now = self.now;
+            let Engine {
+                actors,
+                sites,
+                rngs,
+                queue,
+                network,
+                faults,
+                metrics,
+                trace,
+                next_timer,
+                ..
+            } = self;
+            let Some(actor) = actors[idx].as_deref_mut() else {
+                continue;
+            };
+            // Fault notices cannot request a stop.
+            let mut stop = false;
+            let mut ctx = Ctx {
+                now,
+                self_id: ActorId(idx as u32),
+                self_site: sites[idx],
+                queue,
+                network,
+                faults,
+                sites,
+                metrics,
+                rng: &mut rngs[idx],
+                trace,
+                next_timer,
+                stop_requested: &mut stop,
+            };
+            actor.on_fault(&mut ctx, notice);
+        }
     }
 
     /// Run for a bounded span of virtual time from `now`.
@@ -385,6 +558,7 @@ impl<M> Engine<M> {
                 self_site: self.sites[idx],
                 queue: &mut self.queue,
                 network: &mut self.network,
+                faults: &mut self.faults,
                 sites: &self.sites,
                 metrics: &mut self.metrics,
                 rng: &mut self.rngs[idx],
@@ -410,6 +584,7 @@ impl<M> Engine<M> {
             rngs,
             queue,
             network,
+            faults,
             metrics,
             trace,
             next_timer,
@@ -431,6 +606,7 @@ impl<M> Engine<M> {
             self_site: sites[idx],
             queue,
             network,
+            faults,
             sites,
             metrics,
             rng: &mut rngs[idx],
@@ -653,5 +829,210 @@ mod tests {
     fn placing_actor_at_bad_site_panics() {
         let mut engine: Engine<()> = Engine::new(Topology::single_site(), 5);
         engine.add_actor(SiteId(9), CancelProbe);
+    }
+
+    // ---- fault injection ----
+
+    /// Sends a ping to its peer every 10 ms, counts pongs, and re-arms its
+    /// loop on restart.
+    struct FaultyPinger {
+        peer: ActorId,
+    }
+    impl Actor<Msg> for FaultyPinger {
+        fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _id: TimerId, _tag: u64) {
+            ctx.send(self.peer, Msg::Ping(0), 64);
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<Msg>, env: Envelope<Msg>) {
+            if let Msg::Pong(_) = env.msg {
+                ctx.metrics().incr("pongs", 1);
+            }
+        }
+        fn on_fault(&mut self, ctx: &mut Ctx<Msg>, notice: FaultNotice) {
+            if notice == FaultNotice::Restarted {
+                ctx.metrics().incr("restarts_seen", 1);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+            }
+        }
+    }
+
+    fn faulty_pair(seed: u64, schedule: FaultSchedule) -> Engine<Msg> {
+        let mut engine: Engine<Msg> = Engine::new(no_jitter_topo(), seed);
+        let ponger = engine.add_actor(SiteId(1), Ponger);
+        engine.add_actor(SiteId(0), FaultyPinger { peer: ponger });
+        engine.set_faults(schedule);
+        engine
+    }
+
+    #[test]
+    fn crashed_site_drops_messages_and_timers_then_recovers() {
+        let mut schedule = FaultSchedule::new();
+        // Crash the ponger's site for 300 ms out of a 1 s run.
+        schedule.crash_window(
+            SiteId(1),
+            SimTime::ZERO + SimDuration::from_millis(300),
+            SimTime::ZERO + SimDuration::from_millis(600),
+        );
+        let mut engine = faulty_pair(3, schedule);
+        engine.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let stats = engine.fault_stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert!(
+            stats.dropped_crashed_dst >= 25,
+            "pings during the outage must be dropped, got {stats:?}"
+        );
+        // Pongs stop during the outage and resume after: roughly 700 ms of
+        // healthy pinging at 10 ms cadence.
+        let pongs = engine.metrics().counter("pongs");
+        assert!(
+            (50..=70).contains(&pongs),
+            "expected ~60 pongs around a 300 ms outage (and the ~120 ms RTT tail), got {pongs}"
+        );
+    }
+
+    #[test]
+    fn crashed_pinger_loses_its_timer_and_rearms_on_restart() {
+        let mut schedule = FaultSchedule::new();
+        // Crash the PINGER's own site: its driving timer is lost; without
+        // the on_fault re-arm it would stay silent forever.
+        schedule.crash_window(
+            SiteId(0),
+            SimTime::ZERO + SimDuration::from_millis(200),
+            SimTime::ZERO + SimDuration::from_millis(500),
+        );
+        let mut engine = faulty_pair(4, schedule);
+        engine.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(engine.fault_stats().timers_lost >= 1);
+        assert_eq!(engine.metrics().counter("restarts_seen"), 1);
+        let pongs = engine.metrics().counter("pongs");
+        assert!(
+            pongs >= 40,
+            "pinging must resume after restart, got {pongs}"
+        );
+    }
+
+    #[test]
+    fn partition_blocks_sends_until_heal() {
+        let mut schedule = FaultSchedule::new();
+        schedule.partition_window(
+            vec![SiteId(0)],
+            vec![SiteId(1)],
+            true,
+            SimTime::ZERO + SimDuration::from_millis(200),
+            SimTime::ZERO + SimDuration::from_millis(700),
+        );
+        let mut engine = faulty_pair(5, schedule);
+        engine.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let stats = engine.fault_stats();
+        assert!(
+            stats.dropped_partition >= 45,
+            "pings sent into the partition are dropped: {stats:?}"
+        );
+        assert_eq!(stats.dropped_crashed_dst, 0);
+        let pongs = engine.metrics().counter("pongs");
+        assert!(
+            (25..=45).contains(&pongs),
+            "~500 ms of the run is partitioned, got {pongs} pongs"
+        );
+    }
+
+    #[test]
+    fn link_chaos_duplicates_messages() {
+        let mut schedule = FaultSchedule::new();
+        schedule.link_chaos_window(
+            SiteId(0),
+            SiteId(1),
+            0.0,
+            1.0, // duplicate everything
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(2),
+        );
+        let mut engine = faulty_pair(6, schedule);
+        engine.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        // Every ping delivered twice → ~2 pongs per ping round.
+        let pongs = engine.metrics().counter("pongs");
+        let dup = engine.fault_stats().duplicated;
+        assert!(dup >= 80, "duplications {dup}");
+        assert!(pongs >= 160, "duplicated pings double the pongs: {pongs}");
+    }
+
+    #[test]
+    fn wan_degradation_slows_cross_site_traffic() {
+        let run = |schedule: FaultSchedule| {
+            let mut engine = faulty_pair(7, schedule);
+            engine.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            engine.metrics().counter("pongs")
+        };
+        let healthy = run(FaultSchedule::new());
+        let mut degraded = FaultSchedule::new();
+        degraded.wan_degradation_window(
+            20.0,
+            1,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(2),
+        );
+        let slow = run(degraded);
+        // Pings are timer-driven so the count stays similar, but pongs in
+        // flight take 20x longer; the last pings' pongs miss the deadline.
+        assert!(
+            slow < healthy,
+            "degradation must delay replies: healthy={healthy} degraded={slow}"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut schedule = FaultSchedule::new();
+            schedule.crash_window(
+                SiteId(1),
+                SimTime::ZERO + SimDuration::from_millis(100),
+                SimTime::ZERO + SimDuration::from_millis(400),
+            );
+            schedule.link_chaos_window(
+                SiteId(0),
+                SiteId(1),
+                0.3,
+                0.2,
+                SimTime::ZERO + SimDuration::from_millis(500),
+                SimTime::ZERO + SimDuration::from_millis(900),
+            );
+            let mut engine = faulty_pair(seed, schedule);
+            let report = engine.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            (
+                report.events_processed,
+                engine.metrics().counter("pongs"),
+                engine.fault_stats(),
+            )
+        };
+        assert_eq!(run(11), run(11), "same seed, same chaos, same run");
+        assert_ne!(run(11).2, run(12).2, "chaos rolls must vary with seed");
+    }
+
+    #[test]
+    fn empty_schedule_is_identical_to_no_schedule() {
+        let run = |with_schedule: bool| {
+            let topo = Topology::azure_4dc();
+            let mut e: Engine<Msg> = Engine::new(topo, 42);
+            let p = e.add_actor(SiteId(2), Ponger);
+            e.add_actor(
+                SiteId(0),
+                Pinger {
+                    peer: p,
+                    rounds: 20,
+                    done_at: None,
+                },
+            );
+            if with_schedule {
+                e.set_faults(FaultSchedule::new());
+            }
+            let report = e.run();
+            (report.events_processed, e.now())
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -71,8 +71,10 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod network;
+pub mod oracle;
 pub mod rng;
 pub mod server;
 pub mod time;
@@ -80,7 +82,9 @@ pub mod topology;
 pub mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, Engine, Envelope, RunReport, TimerId};
+pub use faults::{FaultAction, FaultNotice, FaultSchedule, FaultStats};
 pub use network::{LinkStats, NetworkModel};
+pub use oracle::{AckedWrite, Fingerprint, OpLog, SharedOpLog};
 pub use rng::SplitMix64;
 pub use server::ServiceQueue;
 pub use time::{SimDuration, SimTime};
@@ -89,8 +93,10 @@ pub use topology::{Distance, Region, SiteId, SiteSpec, Topology};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::engine::{Actor, ActorId, Ctx, Engine, Envelope, RunReport, TimerId};
+    pub use crate::faults::{FaultAction, FaultNotice, FaultSchedule, FaultStats};
     pub use crate::metrics::{Histogram, MetricsHub};
     pub use crate::network::NetworkModel;
+    pub use crate::oracle::{Fingerprint, OpLog, SharedOpLog};
     pub use crate::rng::SplitMix64;
     pub use crate::server::ServiceQueue;
     pub use crate::time::{SimDuration, SimTime};

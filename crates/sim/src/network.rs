@@ -35,6 +35,11 @@ pub struct NetworkModel {
     rng: SplitMix64,
     stats: Vec<LinkStats>,
     num_sites: usize,
+    /// Active WAN degradation window: `(latency multiplier, bandwidth
+    /// divisor)` applied to every cross-site pair. `None` (the healthy
+    /// state) takes the exact pre-fault-injection code path, so seeded
+    /// healthy runs stay byte-identical.
+    wan_degradation: Option<(f64, u64)>,
 }
 
 impl NetworkModel {
@@ -46,7 +51,31 @@ impl NetworkModel {
             rng: SplitMix64::new(seed).split(NET_RNG_STREAM),
             stats: vec![LinkStats::default(); num_sites * num_sites],
             num_sites,
+            wan_degradation: None,
         }
+    }
+
+    /// Start a WAN degradation window: cross-site latency is multiplied by
+    /// `latency_mult` and bandwidth divided by `bandwidth_div` until
+    /// [`Self::clear_wan_degradation`]. Local (same-site) links are
+    /// unaffected. The jitter RNG stream is drawn exactly as in a healthy
+    /// run, so runs diverge only in the delays themselves.
+    pub fn set_wan_degradation(&mut self, latency_mult: f64, bandwidth_div: u64) {
+        assert!(
+            latency_mult >= 1.0 && bandwidth_div >= 1,
+            "degradation must not speed the network up"
+        );
+        self.wan_degradation = Some((latency_mult, bandwidth_div));
+    }
+
+    /// End the WAN degradation window.
+    pub fn clear_wan_degradation(&mut self) {
+        self.wan_degradation = None;
+    }
+
+    /// The active `(latency multiplier, bandwidth divisor)` window.
+    pub fn wan_degradation(&self) -> Option<(f64, u64)> {
+        self.wan_degradation
     }
 
     #[inline]
@@ -63,7 +92,14 @@ impl NetworkModel {
     /// jitter; also records the traffic.
     pub fn delay(&mut self, from: SiteId, to: SiteId, size_bytes: u64) -> SimDuration {
         let base = self.topology.one_way_latency(from, to);
-        let bw = self.topology.bandwidth(from, to);
+        let mut bw = self.topology.bandwidth(from, to);
+        let (lat_mult, degraded) = match self.wan_degradation {
+            Some((m, d)) if from != to => {
+                bw = (bw / d).max(1);
+                (m, true)
+            }
+            _ => (1.0, false),
+        };
         let transfer = SimDuration::from_micros(
             size_bytes
                 .saturating_mul(1_000_000)
@@ -71,12 +107,15 @@ impl NetworkModel {
                 .unwrap_or(0),
         );
         let jitter_frac = self.topology.jitter_frac();
-        let jittered = if jitter_frac > 0.0 {
+        let mut jittered = if jitter_frac > 0.0 {
             let j = self.rng.jitter(jitter_frac);
             base.mul_f64((1.0 + j).max(0.0))
         } else {
             base
         };
+        if degraded {
+            jittered = jittered.mul_f64(lat_mult);
+        }
         let entry = &mut self.stats[(from.index() * self.num_sites) + to.index()];
         entry.messages += 1;
         entry.bytes += size_bytes;

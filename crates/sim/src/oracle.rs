@@ -1,0 +1,218 @@
+//! The invariant-checker oracle's recording side.
+//!
+//! Chaos scenarios need a ground truth to check the system against: which
+//! client operations were *acknowledged*, and what the propagation layer
+//! promised to deliver. Actors append to a shared [`OpLog`] as the run
+//! executes; after heal + quiescence the scenario harness replays the log
+//! against the surviving state and asserts the safety claims (no acked
+//! write lost, batched publishes never silently dropped, ...). The log is
+//! workload-agnostic — keys are strings, sites are [`SiteId`]s — so it
+//! lives here in the simulation crate; the semantic checks that need the
+//! metadata types live with the experiments.
+//!
+//! [`Fingerprint`] is the replay oracle's tool: a deterministic fold over
+//! a run's observable state. Two runs of the same seeded scenario must
+//! produce the same fingerprint, bit for bit.
+
+use crate::rng::mix;
+use crate::time::SimTime;
+use crate::topology::SiteId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One acknowledged client write: by the time the log records it, some
+/// registry has durably accepted the entry and the client observed the
+/// ack — losing it later is a safety violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AckedWrite {
+    /// The written key.
+    pub key: String,
+    /// Site the ack'ing registry ran at (the write plan's sync target).
+    pub site: SiteId,
+    /// Virtual instant the client saw the ack.
+    pub at: SimTime,
+}
+
+/// Shared, append-mostly record of everything the oracle will check.
+///
+/// The engine is single-threaded, so the mutex is uncontended; it exists
+/// so the handle can be cloned into every actor.
+#[derive(Debug, Default)]
+pub struct OpLog {
+    acked_writes: Vec<AckedWrite>,
+    /// Lazy-propagation entries handed to a batcher (promised).
+    lazy_enqueued: u64,
+    /// Lazy-propagation entries actually shipped (kept promises) —
+    /// including retries after a crash.
+    lazy_flushed: u64,
+    /// Entries found pending in a batcher when its site crashed (reported,
+    /// must be retried).
+    lazy_pending_at_crash: u64,
+}
+
+/// The cloneable handle actors hold.
+pub type SharedOpLog = Arc<Mutex<OpLog>>;
+
+impl OpLog {
+    /// A fresh shared log.
+    pub fn new_shared() -> SharedOpLog {
+        Arc::new(Mutex::new(OpLog::default()))
+    }
+
+    /// Record an acknowledged write.
+    pub fn record_write_acked(&mut self, key: &str, site: SiteId, at: SimTime) {
+        self.acked_writes.push(AckedWrite {
+            key: key.to_owned(),
+            site,
+            at,
+        });
+    }
+
+    /// Record `n` entries promised to the lazy-propagation layer.
+    pub fn record_lazy_enqueued(&mut self, n: u64) {
+        self.lazy_enqueued += n;
+    }
+
+    /// Record `n` entries actually shipped by the lazy layer.
+    pub fn record_lazy_flushed(&mut self, n: u64) {
+        self.lazy_flushed += n;
+    }
+
+    /// Record `n` entries caught pending in a batcher at crash time.
+    pub fn record_lazy_pending_at_crash(&mut self, n: u64) {
+        self.lazy_pending_at_crash += n;
+    }
+
+    /// Every acknowledged write, in ack order.
+    pub fn acked_writes(&self) -> &[AckedWrite] {
+        &self.acked_writes
+    }
+
+    /// `(enqueued, flushed, pending_at_crash)` lazy-propagation counters.
+    /// The oracle's no-silent-drop invariant is `enqueued == flushed` at
+    /// end of run: every promised entry was eventually shipped, crashes
+    /// included.
+    pub fn lazy_counters(&self) -> (u64, u64, u64) {
+        (
+            self.lazy_enqueued,
+            self.lazy_flushed,
+            self.lazy_pending_at_crash,
+        )
+    }
+
+    /// Fold the log into a fingerprint (order-sensitive — ack order is
+    /// part of a deterministic run's identity).
+    pub fn fold_into(&self, fp: &mut Fingerprint) {
+        fp.fold(self.acked_writes.len() as u64);
+        for w in &self.acked_writes {
+            fp.fold_str(&w.key);
+            fp.fold(w.site.0 as u64);
+            fp.fold(w.at.as_micros());
+        }
+        fp.fold(self.lazy_enqueued);
+        fp.fold(self.lazy_flushed);
+        fp.fold(self.lazy_pending_at_crash);
+    }
+}
+
+/// A deterministic 64-bit fold over run state, for byte-identical-replay
+/// assertions. Built on the SplitMix64 finalizer; order-sensitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// Start a fingerprint.
+    pub fn new() -> Fingerprint {
+        Fingerprint(0x6765_6F6D_6574_6121) // "geometa!"
+    }
+
+    /// Fold one value.
+    pub fn fold(&mut self, v: u64) {
+        self.0 = mix(self.0 ^ mix(v.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+    }
+
+    /// Fold a string.
+    pub fn fold_str(&mut self, s: &str) {
+        self.fold(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut v = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                v |= (b as u64) << (8 * i);
+            }
+            self.fold(v);
+        }
+    }
+
+    /// The folded value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_reports() {
+        let log = OpLog::new_shared();
+        log.lock().record_write_acked("a/b", SiteId(1), SimTime(10));
+        log.lock().record_lazy_enqueued(3);
+        log.lock().record_lazy_flushed(2);
+        log.lock().record_lazy_pending_at_crash(1);
+        log.lock().record_lazy_flushed(1);
+        let g = log.lock();
+        assert_eq!(g.acked_writes().len(), 1);
+        assert_eq!(g.acked_writes()[0].key, "a/b");
+        assert_eq!(g.lazy_counters(), (3, 3, 1));
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_deterministic() {
+        let mut a = Fingerprint::new();
+        a.fold(1);
+        a.fold(2);
+        let mut b = Fingerprint::new();
+        b.fold(1);
+        b.fold(2);
+        assert_eq!(a.value(), b.value());
+        let mut c = Fingerprint::new();
+        c.fold(2);
+        c.fold(1);
+        assert_ne!(a.value(), c.value());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_strings() {
+        let fold = |s: &str| {
+            let mut f = Fingerprint::new();
+            f.fold_str(s);
+            f.value()
+        };
+        assert_eq!(fold("bench/w0/file1"), fold("bench/w0/file1"));
+        assert_ne!(fold("bench/w0/file1"), fold("bench/w0/file2"));
+        assert_ne!(fold("ab"), fold("a"));
+        // Length is folded, so a trailing-zero byte can't collide with a
+        // shorter string.
+        assert_ne!(fold("a\0"), fold("a"));
+    }
+
+    #[test]
+    fn log_folds_into_fingerprint() {
+        let make = |key: &str| {
+            let mut log = OpLog::default();
+            log.record_write_acked(key, SiteId(0), SimTime(5));
+            let mut fp = Fingerprint::new();
+            log.fold_into(&mut fp);
+            fp.value()
+        };
+        assert_eq!(make("x"), make("x"));
+        assert_ne!(make("x"), make("y"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The chaos scenario matrix: {4 strategies} × {4 fault kinds} ×
+//! {synthetic, Montage, BuzzFlow} × seeds, every cell audited by the
+//! invariant oracle (durability, convergence, bounded migration, lazy
+//! accounting) and replayed for byte-identical determinism.
+//!
+//! Reproduce a failing cell with the banner's command, e.g.:
+//!
+//! ```text
+//! GEOMETA_SEED=7 cargo test --release --test chaos_matrix
+//! ```
+//!
+//! `GEOMETA_CHAOS_SEEDS=1,2,3` pins the seed list (the CI `chaos-smoke`
+//! job uses this to run a reduced matrix).
+
+use geometa::core::strategy::StrategyKind;
+use geometa::experiments::chaos::{
+    chaos_seeds, check_cell, ChaosApp, ChaosCell, ChaosFault, ChaosSize,
+};
+
+/// Default seed set: ≥8 seeds as the acceptance matrix requires.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// Smaller seed set for the (slower) workflow apps.
+const APP_SEEDS: [u64; 2] = [3, 21];
+
+fn synthetic_matrix(fault: ChaosFault) {
+    let size = ChaosSize::matrix();
+    for kind in StrategyKind::all() {
+        for seed in chaos_seeds(&SEEDS) {
+            let cell = ChaosCell {
+                kind,
+                fault,
+                app: ChaosApp::Synthetic,
+                seed,
+            };
+            let report = check_cell(cell, &size);
+            assert!(report.acked_writes > 0, "[{cell}] no writes recorded");
+        }
+    }
+}
+
+#[test]
+fn synthetic_registry_crash_cells() {
+    synthetic_matrix(ChaosFault::RegistryCrash);
+}
+
+#[test]
+fn synthetic_partition_cells() {
+    synthetic_matrix(ChaosFault::Partition);
+}
+
+#[test]
+fn synthetic_wan_degradation_cells() {
+    synthetic_matrix(ChaosFault::WanDegradation);
+}
+
+#[test]
+fn synthetic_flaky_link_cells() {
+    synthetic_matrix(ChaosFault::FlakyLink);
+}
+
+/// Montage and BuzzFlow under every strategy, rotating the fault kind by
+/// seed so each app × strategy pair sees several fault kinds.
+#[test]
+fn workflow_app_cells() {
+    let size = ChaosSize::matrix();
+    for app in [ChaosApp::Montage, ChaosApp::BuzzFlow] {
+        for kind in StrategyKind::all() {
+            for (i, seed) in chaos_seeds(&APP_SEEDS).into_iter().enumerate() {
+                let fault = ChaosFault::all()[(i + seed as usize) % 4];
+                let cell = ChaosCell {
+                    kind,
+                    fault,
+                    app,
+                    seed,
+                };
+                let report = check_cell(cell, &size);
+                assert!(report.acked_writes > 0, "[{cell}] no writes recorded");
+            }
+        }
+    }
+}
+
+/// Crash cells on the hash-placed strategies must exercise the
+/// crash-triggered rebalance invariant (a moved fraction is reported).
+#[test]
+fn crash_cells_audit_ring_migration() {
+    let size = ChaosSize::matrix();
+    for kind in [
+        StrategyKind::DhtNonReplicated,
+        StrategyKind::DhtLocalReplica,
+    ] {
+        for seed in chaos_seeds(&[2, 13]) {
+            let cell = ChaosCell {
+                kind,
+                fault: ChaosFault::RegistryCrash,
+                app: ChaosApp::Synthetic,
+                seed,
+            };
+            let report = check_cell(cell, &size);
+            let frac = report
+                .moved_fraction
+                .expect("crash cells on DHT strategies audit the ring");
+            assert!(
+                (0.0..=0.75).contains(&frac),
+                "[{cell}] moved fraction {frac}"
+            );
+        }
+    }
+}
+
+/// The fault layer must actually bite: across the matrix every fault kind
+/// shows observable impact (drops, duplications or crash notices).
+#[test]
+fn faults_are_not_vacuous() {
+    let size = ChaosSize::matrix();
+    let cell = |fault, seed| ChaosCell {
+        kind: StrategyKind::DhtLocalReplica,
+        fault,
+        app: ChaosApp::Synthetic,
+        seed,
+    };
+    let crash = check_cell(cell(ChaosFault::RegistryCrash, 5), &size);
+    assert!(crash.fault_stats.crashes >= 1);
+    assert!(crash.fault_stats.restarts >= 1);
+    let part = check_cell(cell(ChaosFault::Partition, 5), &size);
+    assert!(
+        part.fault_stats.dropped_partition > 0,
+        "partition dropped nothing: {:?}",
+        part.fault_stats
+    );
+    // Flaky links are probabilistic; across a few seeds both drop and
+    // duplication must occur.
+    let mut dropped = 0;
+    let mut duplicated = 0;
+    for seed in [5, 6, 7] {
+        let flaky = check_cell(cell(ChaosFault::FlakyLink, seed), &size);
+        dropped += flaky.fault_stats.dropped_chaos;
+        duplicated += flaky.fault_stats.duplicated;
+    }
+    assert!(dropped > 0, "flaky links never dropped");
+    assert!(duplicated > 0, "flaky links never duplicated");
+}

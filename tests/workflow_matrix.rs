@@ -9,7 +9,7 @@ use geometa::core::{ClientConfig, StrategyClient};
 use geometa::experiments::calibration::Calibration;
 use geometa::experiments::simbind::{run_workflow, SimConfig};
 use geometa::sim::time::SimDuration;
-use geometa::sim::topology::{SiteId, Topology};
+use geometa::sim::topology::SiteId;
 use geometa::workflow::apps::buzzflow::{buzzflow, BuzzFlowConfig};
 use geometa::workflow::apps::montage::{montage, MontageConfig};
 use geometa::workflow::dag::Workflow;
@@ -95,11 +95,8 @@ fn simulated_engine_op_counts_match_dag() {
         for kind in [StrategyKind::Centralized, StrategyKind::DhtLocalReplica] {
             let placement = schedule(&w, &nodes, SchedulerPolicy::RoundRobin);
             let cfg = SimConfig {
-                kind,
-                topology: Topology::azure_4dc(),
-                seed: 7,
                 cal,
-                centralized_home: None,
+                ..SimConfig::new(kind, 7)
             };
             let out = run_workflow(&w, &placement, &cfg);
             assert_eq!(
