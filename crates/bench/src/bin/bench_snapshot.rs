@@ -2,7 +2,7 @@
 //!
 //! Criterion is great for local iteration but its vendored stand-in has no
 //! machine-readable output; this binary times the same hot paths with a
-//! plain monotonic-clock loop and emits a JSON snapshot (`BENCH_2.json` at
+//! plain monotonic-clock loop and emits a JSON snapshot (`BENCH_4.json` at
 //! the repo root by default) so perf numbers can be committed per-PR and
 //! compared across the repo's history.
 //!
@@ -12,7 +12,18 @@
 //!
 //! `--baseline FILE` splices a previously captured snapshot (raw JSON)
 //! into the output under a `"baseline"` key, so a committed BENCH file
-//! carries both the pre-change and post-change numbers.
+//! carries both the pre-change and post-change numbers
+//! (`scripts/bench_snapshot` passes the committed `BENCH_2.json`).
+//!
+//! Beyond the micro loops, the snapshot carries three macro sections:
+//! * `sim_macro_*` results — end-to-end DES events/sec over *full simbind
+//!   workloads* (real registry instances behind the actors), not micro
+//!   ops;
+//! * `"parallel"` — wall-clock of the chaos smoke matrix at `--jobs 1` vs
+//!   `--jobs 8` on the scenario runner (plus `host_cores`, since the
+//!   speedup is bounded by the machine);
+//! * `"scale"` — the beyond-paper 10k–100k files/site sweep with per-cell
+//!   wall events/sec.
 //!
 //! Each benchmark reports the *best* (minimum) per-op time over several
 //! repetitions — the minimum is the standard robust estimator for
@@ -21,7 +32,14 @@
 use bytes::Bytes;
 use geometa_cache::ShardedStore;
 use geometa_core::entry::{FileLocation, RegistryEntry};
+use geometa_core::strategy::StrategyKind;
+use geometa_experiments::runner::Runner;
+use geometa_experiments::simbind::{run_synthetic_instrumented, run_workflow_instrumented};
+use geometa_experiments::{chaos, scale, SimConfig};
 use geometa_sim::prelude::*;
+use geometa_workflow::apps::montage::{montage, MontageConfig};
+use geometa_workflow::apps::synthetic::SyntheticSpec;
+use geometa_workflow::scheduler::{node_grid, schedule, SchedulerPolicy};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -32,12 +50,12 @@ struct BenchResult {
     ops: u64,
 }
 
-struct Runner {
+struct Harness {
     reps: u32,
     results: Vec<BenchResult>,
 }
 
-impl Runner {
+impl Harness {
     /// Time `body` (which performs `ops` operations) `reps` times; keep the
     /// fastest run.
     fn bench(&mut self, name: &'static str, ops: u64, mut body: impl FnMut()) {
@@ -83,7 +101,7 @@ fn sample_entry(locs: usize) -> RegistryEntry {
     e
 }
 
-fn bench_cache(r: &mut Runner, n_keys: usize) {
+fn bench_cache(r: &mut Harness, n_keys: usize) {
     let keys: Vec<String> = (0..n_keys).map(|i| format!("montage/f{i}.fits")).collect();
     let store = ShardedStore::new(64);
     for k in &keys {
@@ -130,10 +148,10 @@ fn bench_cache(r: &mut Runner, n_keys: usize) {
 }
 
 #[cfg(not(feature = "interned_key"))]
-fn bench_cache_interned(_r: &mut Runner, _keys: &[String], _store: &ShardedStore) {}
+fn bench_cache_interned(_r: &mut Harness, _keys: &[String], _store: &ShardedStore) {}
 
 #[cfg(feature = "interned_key")]
-fn bench_cache_interned(r: &mut Runner, keys: &[String], store: &ShardedStore) {
+fn bench_cache_interned(r: &mut Harness, keys: &[String], store: &ShardedStore) {
     use geometa_cache::Key;
     let interned: Vec<Key> = keys.iter().map(Key::from).collect();
     let n = keys.len() as u64;
@@ -149,7 +167,7 @@ fn bench_cache_interned(r: &mut Runner, keys: &[String], store: &ShardedStore) {
     });
 }
 
-fn bench_codec(r: &mut Runner, iters: u64) {
+fn bench_codec(r: &mut Harness, iters: u64) {
     let e = sample_entry(4);
     let bytes = e.to_bytes();
     r.bench("codec_encode", iters, || {
@@ -213,7 +231,7 @@ impl Actor<()> for TimerStorm {
     fn on_message(&mut self, _ctx: &mut Ctx<()>, _env: Envelope<()>) {}
 }
 
-fn bench_sim(r: &mut Runner, rounds: u32, timers: u32) {
+fn bench_sim(r: &mut Harness, rounds: u32, timers: u32) {
     // Every round trip is 2 events (ping deliver + pong deliver).
     r.bench("sim_ping_pong", 2 * (rounds as u64 + 1), || {
         let mut engine: Engine<Msg> = Engine::new(Topology::azure_4dc(), 1);
@@ -262,6 +280,120 @@ fn bench_sim(r: &mut Runner, rounds: u32, timers: u32) {
     });
 }
 
+/// End-to-end DES macro-throughput: full simbind workloads (the real
+/// registry code behind the actors), reported as ns per *dispatched
+/// event*. This is the number the per-event ownership pass moves, where
+/// `sim_ping_pong` only sees the bare queue.
+fn bench_sim_macro(r: &mut Harness, quick: bool) {
+    let spec = SyntheticSpec {
+        nodes: 32,
+        ops_per_node: if quick { 60 } else { 250 },
+        compute_per_op: SimDuration::ZERO,
+        seed: 0xBE4C,
+    };
+    let cfg = SimConfig::new(StrategyKind::DhtLocalReplica, 0xBE4C);
+    // Probe run: learn the (deterministic) event count for the ops divisor.
+    let events = run_synthetic_instrumented(&spec, &cfg).1.events_processed;
+    r.bench("sim_macro_synthetic", events, || {
+        let got = run_synthetic_instrumented(&spec, &cfg).1.events_processed;
+        assert_eq!(got, events, "macro workload must be deterministic");
+        black_box(got);
+    });
+
+    let w = montage(MontageConfig {
+        tiles: if quick { 24 } else { 96 },
+        files_per_task: 6,
+        compute: SimDuration::from_millis(2),
+        ..MontageConfig::default()
+    });
+    let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+    let placement = schedule(&w, &node_grid(&sites, 4), SchedulerPolicy::RoundRobin);
+    let wcfg = SimConfig::new(StrategyKind::DhtLocalReplica, 0xBE4C);
+    let wevents = run_workflow_instrumented(&w, &placement, &wcfg)
+        .1
+        .events_processed;
+    r.bench("sim_macro_montage", wevents, || {
+        let got = run_workflow_instrumented(&w, &placement, &wcfg)
+            .1
+            .events_processed;
+        assert_eq!(got, wevents, "macro workload must be deterministic");
+        black_box(got);
+    });
+}
+
+/// Wall-clock of the chaos smoke matrix on the scenario runner at one
+/// worker vs eight (the acceptance-matrix comparison; on an N-core host
+/// the speedup is capped by N — `host_cores` is recorded alongside).
+struct ParallelTiming {
+    cells: usize,
+    jobs: usize,
+    jobs1_secs: f64,
+    jobsn_secs: f64,
+    host_cores: usize,
+}
+
+fn bench_parallel(quick: bool) -> ParallelTiming {
+    // Cells sized so each takes tens of milliseconds: long enough that
+    // pool hand-off cost vanishes, short enough that 48 cells finish in
+    // ~a second sequentially. (The test matrices use the smaller
+    // `ChaosSize::matrix()`; this is a timing workload.)
+    let size = if quick {
+        chaos::ChaosSize::smoke()
+    } else {
+        chaos::ChaosSize {
+            nodes: 16,
+            ops_per_node: 80,
+            wf_scale: 4,
+        }
+    };
+    let seeds: &[u64] = if quick { &[3] } else { &[3, 13, 21] };
+    let cells = chaos::synthetic_grid(seeds);
+    // Warm-up: one cell, untimed (page in the code paths).
+    chaos::check_cell(cells[0], &size);
+    let t = Instant::now();
+    Runner::new(1).run(cells.clone(), |_, c| chaos::check_cell(c, &size));
+    let jobs1_secs = t.elapsed().as_secs_f64();
+    let jobs = 8;
+    let t = Instant::now();
+    Runner::new(jobs).run(cells.clone(), |_, c| chaos::check_cell(c, &size));
+    let jobsn_secs = t.elapsed().as_secs_f64();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "chaos matrix ({} cells): jobs=1 {jobs1_secs:.2}s, jobs={jobs} {jobsn_secs:.2}s \
+         ({:.2}x on a {host_cores}-core host)",
+        cells.len(),
+        jobs1_secs / jobsn_secs
+    );
+    ParallelTiming {
+        cells: cells.len(),
+        jobs,
+        jobs1_secs,
+        jobsn_secs,
+        host_cores,
+    }
+}
+
+/// The beyond-paper scale sweep, run sequentially so each cell's wall
+/// events/sec is unperturbed by sibling cells.
+fn bench_scale(quick: bool) -> Vec<scale::ScaleRow> {
+    let cfg = if quick {
+        scale::ScaleConfig::quick()
+    } else {
+        scale::ScaleConfig {
+            files_per_site: vec![10_000, 100_000],
+            kinds: vec![StrategyKind::Centralized, StrategyKind::DhtLocalReplica],
+            ..scale::ScaleConfig::default()
+        }
+    };
+    let mut rows = Vec::new();
+    for &files in &cfg.files_per_site {
+        for &kind in &cfg.kinds {
+            rows.push(scale::run_cell(&cfg, files, kind));
+        }
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -270,14 +402,14 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
         .map(|p| std::fs::read_to_string(p).expect("read baseline snapshot"));
 
-    let mut r = Runner {
+    let mut r = Harness {
         reps: if quick { 3 } else { 7 },
         results: Vec::new(),
     };
@@ -290,10 +422,13 @@ fn main() {
     bench_cache(&mut r, n_keys);
     bench_codec(&mut r, codec_iters);
     bench_sim(&mut r, rounds, timers);
+    bench_sim_macro(&mut r, quick);
+    let parallel = bench_parallel(quick);
+    let scale_rows = bench_scale(quick);
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"geometa-bench-snapshot/1\",\n  \"quick\": {quick},\n  \"results\": {{\n"
+        "  \"schema\": \"geometa-bench-snapshot/2\",\n  \"quick\": {quick},\n  \"results\": {{\n"
     ));
     for (i, b) in r.results.iter().enumerate() {
         let comma = if i + 1 == r.results.len() { "" } else { "," };
@@ -306,7 +441,34 @@ fn main() {
             comma
         ));
     }
-    json.push_str("  }");
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"parallel\": {{\"chaos_cells\": {}, \"jobs\": {}, \"jobs1_secs\": {:.3}, \
+         \"jobs{}_secs\": {:.3}, \"speedup\": {:.2}, \"host_cores\": {}}},\n",
+        parallel.cells,
+        parallel.jobs,
+        parallel.jobs1_secs,
+        parallel.jobs,
+        parallel.jobsn_secs,
+        parallel.jobs1_secs / parallel.jobsn_secs,
+        parallel.host_cores
+    ));
+    json.push_str("  \"scale\": [\n");
+    for (i, row) in scale_rows.iter().enumerate() {
+        let comma = if i + 1 == scale_rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"files_per_site\": {}, \"strategy\": \"{}\", \"total_ops\": {}, \
+             \"virtual_ops_per_sec\": {:.0}, \"events\": {}, \"wall_events_per_sec\": {:.0}}}{}\n",
+            row.files_per_site,
+            row.kind.label(),
+            row.total_ops,
+            row.throughput,
+            row.events,
+            row.wall_events_per_sec,
+            comma
+        ));
+    }
+    json.push_str("  ]");
     if let Some(base) = baseline {
         // Splice the stored snapshot verbatim: it is already a JSON value.
         json.push_str(",\n  \"baseline\": ");

@@ -6,198 +6,80 @@
 //! repro --quick         # reduced sizes (seconds instead of minutes)
 //! repro --csv fig5      # CSV output instead of ASCII tables
 //! repro --chaos         # fault-injection matrix + invariant oracle
+//! repro scale           # beyond-paper sweep: 10k-100k files per site
+//! repro --jobs 8        # worker-pool width (default: GEOMETA_JOBS,
+//!                       # then the host's available parallelism)
 //! ```
+//!
+//! Output is byte-identical for every `--jobs` value: cells fan out to the
+//! pool but results are keyed by cell index (see `geometa_experiments::
+//! runner`). The report itself is assembled by `geometa_experiments::
+//! report`, which tests byte-compare across worker counts.
 
-use geometa_experiments::{chaos, fig1, fig10, fig5, fig6, fig7, fig8, table};
+use geometa_experiments::report::{generate, ReportOptions};
+use geometa_experiments::runner;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    // Chaos is opt-in: the figure set stays byte-stable across releases.
-    let run_chaos = args.iter().any(|a| a == "--chaos");
-    let wanted: Vec<&str> = args
+    // Accept both `--jobs N` and `--jobs=N`.
+    let jobs_spec = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
-    let emit = |t: geometa_experiments::table::Table| {
-        if csv {
-            print!("{}", t.to_csv());
-        } else {
-            println!("{}", t.render());
+        .position(|a| a == "--jobs")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--jobs=").map(str::to_string))
+        });
+    if let Some(spec) = jobs_spec {
+        let jobs = spec
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer, got '{spec}'");
+                std::process::exit(2);
+            });
+        runner::set_global_jobs(jobs);
+    }
+    let mut sections: Vec<String> = Vec::new();
+    let mut scale = false;
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
         }
+        if a == "--jobs" {
+            skip_next = true; // its value
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        if a == "scale" {
+            scale = true;
+        } else {
+            sections.push(a.clone());
+        }
+    }
+    // `repro scale` alone runs only the sweep; `repro scale fig5` adds it
+    // to a figure subset.
+    let figures = !(scale && sections.is_empty());
+    let opts = ReportOptions {
+        quick: args.iter().any(|a| a == "--quick"),
+        csv: args.iter().any(|a| a == "--csv"),
+        // Chaos is opt-in: the figure set stays byte-stable across releases.
+        chaos: args.iter().any(|a| a == "--chaos"),
+        scale,
+        figures,
+        sections,
     };
-
     let t0 = Instant::now();
-    if want("fig1") {
-        let cfg = if quick {
-            fig1::Fig1Config::quick()
-        } else {
-            fig1::Fig1Config::default()
-        };
-        eprintln!("[repro] fig1 ...");
-        emit(fig1::render(&fig1::run(&cfg)));
-    }
-    if want("fig5") {
-        let cfg = if quick {
-            fig5::Fig5Config::quick()
-        } else {
-            fig5::Fig5Config::default()
-        };
-        eprintln!("[repro] fig5 ...");
-        let rows = fig5::run(&cfg);
-        emit(fig5::render(&rows));
-        println!(
-            "headline: best decentralized gain over centralized at the largest point = {:.0}%\n",
-            fig5::headline_gain(&rows) * 100.0
-        );
-    }
-    if want("fig6") {
-        let cfg = if quick {
-            fig6::Fig6Config::quick()
-        } else {
-            fig6::Fig6Config::default()
-        };
-        eprintln!("[repro] fig6 ...");
-        let out = fig6::run(&cfg);
-        emit(fig6::render(&out));
-        emit(fig6::render_centrality(&out));
-        println!(
-            "headline: DR speedup over DN in the 20-70% band = {:.2}x\n",
-            fig6::midband_speedup(&out)
-        );
-    }
-    if want("fig7") {
-        let cfg = if quick {
-            fig7::Fig7Config::quick()
-        } else {
-            fig7::Fig7Config::default()
-        };
-        eprintln!("[repro] fig7 ...");
-        emit(fig7::render(&fig7::run(&cfg)));
-    }
-    if want("fig8") {
-        let cfg = if quick {
-            fig8::Fig8Config::quick()
-        } else {
-            fig8::Fig8Config::default()
-        };
-        eprintln!("[repro] fig8 ...");
-        emit(fig8::render(&fig8::run(&cfg)));
-    }
-    if want("fig10") {
-        let cfg = if quick {
-            fig10::Fig10Config::quick()
-        } else {
-            fig10::Fig10Config::default()
-        };
-        eprintln!("[repro] fig10 ...");
-        let rows = fig10::run(&cfg);
-        emit(fig10::render(&rows));
-        for r in rows.iter().filter(|r| {
-            r.scenario == geometa_workflow::apps::synthetic::Scenario::MetadataIntensive
-        }) {
-            println!(
-                "headline: {} MI decentralized gain = {:.0}%",
-                r.app.label(),
-                fig10::decentralized_gain(r) * 100.0
-            );
-        }
-        println!();
-    }
-    if run_chaos {
-        eprintln!("[repro] chaos matrix ...");
-        emit(chaos_matrix(quick));
-    }
-    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
-}
-
-/// Run the chaos scenario matrix and render one row per cell. Any
-/// invariant violation prints the seed banner and aborts (`check_cell`).
-fn chaos_matrix(quick: bool) -> table::Table {
-    use geometa_core::strategy::StrategyKind;
-    let size = if quick {
-        chaos::ChaosSize::smoke()
-    } else {
-        chaos::ChaosSize::matrix()
-    };
-    let seeds = chaos::chaos_seeds(if quick {
-        &[3, 21]
-    } else {
-        &[1, 2, 3, 5, 8, 13, 21, 34]
-    });
-    let mut t = table::Table::new(
-        "Chaos matrix — all four oracle invariants enforced per cell",
-        &[
-            "strategy",
-            "fault",
-            "app",
-            "seed",
-            "acked",
-            "misses",
-            "dropped",
-            "dup",
-            "crashes",
-            "moved%",
-            "fingerprint",
-        ],
+    print!("{}", generate(&opts));
+    eprintln!(
+        "[repro] done in {:.1}s (jobs={})",
+        t0.elapsed().as_secs_f64(),
+        runner::global_jobs()
     );
-    for kind in StrategyKind::all() {
-        for fault in chaos::ChaosFault::all() {
-            for &seed in &seeds {
-                let cell = chaos::ChaosCell {
-                    kind,
-                    fault,
-                    app: chaos::ChaosApp::Synthetic,
-                    seed,
-                };
-                let r = chaos::check_cell(cell, &size);
-                let fs = r.fault_stats;
-                t.row(vec![
-                    kind.label().to_string(),
-                    fault.label().to_string(),
-                    "synthetic".into(),
-                    seed.to_string(),
-                    r.acked_writes.to_string(),
-                    r.read_misses.to_string(),
-                    (fs.dropped_partition + fs.dropped_crashed_dst + fs.dropped_chaos).to_string(),
-                    fs.duplicated.to_string(),
-                    fs.crashes.to_string(),
-                    r.moved_fraction
-                        .map_or("-".into(), |f| format!("{:.1}", f * 100.0)),
-                    format!("{:016x}", r.fingerprint),
-                ]);
-            }
-        }
-    }
-    // One Montage and one BuzzFlow spot cell per strategy.
-    for kind in StrategyKind::all() {
-        for app in [chaos::ChaosApp::Montage, chaos::ChaosApp::BuzzFlow] {
-            let cell = chaos::ChaosCell {
-                kind,
-                fault: chaos::ChaosFault::RegistryCrash,
-                app,
-                seed: seeds[0],
-            };
-            let r = chaos::check_cell(cell, &size);
-            let fs = r.fault_stats;
-            t.row(vec![
-                kind.label().to_string(),
-                "crash".into(),
-                app.label().to_string(),
-                seeds[0].to_string(),
-                r.acked_writes.to_string(),
-                r.read_misses.to_string(),
-                (fs.dropped_partition + fs.dropped_crashed_dst + fs.dropped_chaos).to_string(),
-                fs.duplicated.to_string(),
-                fs.crashes.to_string(),
-                "-".into(),
-                format!("{:016x}", r.fingerprint),
-            ]);
-        }
-    }
-    t
 }

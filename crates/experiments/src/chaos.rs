@@ -228,6 +228,44 @@ pub fn chaos_seeds(defaults: &[u64]) -> Vec<u64> {
     defaults.to_vec()
 }
 
+/// The synthetic chaos grid: every strategy × fault kind × seed, in
+/// matrix order. Single source of the cell layout for the `repro`
+/// matrix, the bench timing workload and the determinism gates.
+pub fn synthetic_grid(seeds: &[u64]) -> Vec<ChaosCell> {
+    let mut cells =
+        Vec::with_capacity(StrategyKind::all().len() * ChaosFault::all().len() * seeds.len());
+    for kind in StrategyKind::all() {
+        for fault in ChaosFault::all() {
+            for &seed in seeds {
+                cells.push(ChaosCell {
+                    kind,
+                    fault,
+                    app: ChaosApp::Synthetic,
+                    seed,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The workflow spot cells appended to the matrix: one Montage and one
+/// BuzzFlow registry-crash cell per strategy.
+pub fn spot_cells(seed: u64) -> Vec<ChaosCell> {
+    let mut cells = Vec::new();
+    for kind in StrategyKind::all() {
+        for app in [ChaosApp::Montage, ChaosApp::BuzzFlow] {
+            cells.push(ChaosCell {
+                kind,
+                fault: ChaosFault::RegistryCrash,
+                app,
+                seed,
+            });
+        }
+    }
+    cells
+}
+
 /// One-line reproduction command for a failing cell.
 pub fn repro_command(cell: &ChaosCell) -> String {
     format!(

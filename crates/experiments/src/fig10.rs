@@ -150,9 +150,12 @@ pub fn run_cell(
     run_workflow(&w, &placement, &SimConfig::new(kind, cfg.seed))
 }
 
-/// Run the full grid.
+/// Run the full grid: every (app, scenario, strategy) cell is an
+/// independent simulation, fanned out over the
+/// [`Runner`](crate::runner::Runner) worker pool and re-assembled by cell
+/// index so the rows are byte-identical to a sequential run.
 pub fn run(cfg: &Fig10Config) -> Vec<Fig10Row> {
-    let mut rows = Vec::new();
+    let mut shells: Vec<(App, Scenario, Workflow, Placement)> = Vec::new();
     for app in App::all() {
         for &scenario in &cfg.scenarios {
             let w = match app {
@@ -160,27 +163,34 @@ pub fn run(cfg: &Fig10Config) -> Vec<Fig10Row> {
                 App::Montage => montage_for(scenario, cfg),
             };
             let placement = placement_for(&w, cfg);
-            let mut makespan = [SimDuration::ZERO; 4];
-            for (i, kind) in StrategyKind::all().into_iter().enumerate() {
-                eprintln!(
-                    "[fig10] {} {} {} ({} ops)...",
-                    app.label(),
-                    scenario.label(),
-                    kind,
-                    w.total_metadata_ops()
-                );
-                makespan[i] =
-                    run_workflow(&w, &placement, &SimConfig::new(kind, cfg.seed)).makespan;
-            }
-            rows.push(Fig10Row {
-                app,
-                scenario,
-                total_ops: w.total_metadata_ops(),
-                makespan,
-            });
+            shells.push((app, scenario, w, placement));
         }
     }
-    rows
+    let kinds = StrategyKind::all();
+    let cells: Vec<(usize, StrategyKind)> = (0..shells.len())
+        .flat_map(|s| kinds.into_iter().map(move |kind| (s, kind)))
+        .collect();
+    let times = crate::runner::Runner::from_env().run(cells, |_, (s, kind)| {
+        let (app, scenario, w, placement) = &shells[s];
+        eprintln!(
+            "[fig10] {} {} {} ({} ops)...",
+            app.label(),
+            scenario.label(),
+            kind,
+            w.total_metadata_ops()
+        );
+        run_workflow(w, placement, &SimConfig::new(kind, cfg.seed)).makespan
+    });
+    shells
+        .iter()
+        .zip(times.chunks_exact(kinds.len()))
+        .map(|((app, scenario, w, _), t)| Fig10Row {
+            app: *app,
+            scenario: *scenario,
+            total_ops: w.total_metadata_ops(),
+            makespan: [t[0], t[1], t[2], t[3]],
+        })
+        .collect()
 }
 
 /// Render paper-style output.

@@ -67,20 +67,25 @@ pub fn run_cell(cfg: &Fig5Config, kind: StrategyKind, ops: usize) -> SyntheticOu
     run_synthetic(&spec, &SimConfig::new(kind, cfg.seed))
 }
 
-/// Run the full sweep.
+/// Run the full sweep: the (ops/node × strategy) grid fans out over the
+/// [`Runner`](crate::runner::Runner) worker pool, index-keyed so the rows
+/// are byte-identical to a sequential sweep.
 pub fn run(cfg: &Fig5Config) -> Vec<Fig5Row> {
+    let cells: Vec<(usize, StrategyKind)> = cfg
+        .ops_sweep
+        .iter()
+        .flat_map(|&ops| StrategyKind::all().into_iter().map(move |kind| (ops, kind)))
+        .collect();
+    let outcomes = crate::runner::Runner::from_env().run(cells, |_, (ops, kind)| {
+        run_cell(cfg, kind, ops).avg_node_completion
+    });
     cfg.ops_sweep
         .iter()
-        .map(|&ops| {
-            let mut times = [SimDuration::ZERO; 4];
-            for (i, kind) in StrategyKind::all().into_iter().enumerate() {
-                times[i] = run_cell(cfg, kind, ops).avg_node_completion;
-            }
-            Fig5Row {
-                ops_per_node: ops,
-                aggregate_ops: ops * cfg.nodes,
-                times,
-            }
+        .zip(outcomes.chunks_exact(StrategyKind::all().len()))
+        .map(|(&ops, t)| Fig5Row {
+            ops_per_node: ops,
+            aggregate_ops: ops * cfg.nodes,
+            times: [t[0], t[1], t[2], t[3]],
         })
         .collect()
 }

@@ -70,15 +70,26 @@ fn one(cfg: &Fig6Config, kind: StrategyKind) -> SyntheticOutcome {
     run_synthetic(&spec, &SimConfig::new(kind, cfg.seed))
 }
 
-/// Run the experiment.
+/// Run the experiment (the three strategy runs are independent cells on
+/// the [`Runner`](crate::runner::Runner) pool).
 pub fn run(cfg: &Fig6Config) -> Fig6Outcome {
-    let c = one(cfg, StrategyKind::Centralized);
-    let dn = one(cfg, StrategyKind::DhtNonReplicated);
-    let dr = one(cfg, StrategyKind::DhtLocalReplica);
+    let kinds = vec![
+        StrategyKind::Centralized,
+        StrategyKind::DhtNonReplicated,
+        StrategyKind::DhtLocalReplica,
+    ];
+    let mut outs = crate::runner::Runner::from_env()
+        .run(kinds, |_, kind| one(cfg, kind))
+        .into_iter();
+    let (c, dn, dr) = (
+        outs.next().expect("centralized cell"),
+        outs.next().expect("DN cell"),
+        outs.next().expect("DR cell"),
+    );
     Fig6Outcome {
         centralized: c.progress,
         dn: dn.progress,
-        dr: dr.progress.clone(),
+        dr: dr.progress,
         dr_per_site: dr.per_site,
     }
 }

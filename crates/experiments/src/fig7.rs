@@ -54,22 +54,34 @@ impl Fig7Config {
     }
 }
 
-/// Run the sweep.
+/// Run the sweep: the (node count × strategy) grid fans out over the
+/// [`Runner`](crate::runner::Runner) worker pool, index-keyed so rows stay
+/// byte-identical to a sequential sweep.
 pub fn run(cfg: &Fig7Config) -> Vec<Fig7Row> {
+    let cells: Vec<(usize, StrategyKind)> = cfg
+        .node_counts
+        .iter()
+        .flat_map(|&nodes| {
+            StrategyKind::all()
+                .into_iter()
+                .map(move |kind| (nodes, kind))
+        })
+        .collect();
+    let tp = crate::runner::Runner::from_env().run(cells, |_, (nodes, kind)| {
+        let spec = SyntheticSpec {
+            nodes,
+            ops_per_node: cfg.ops_per_node,
+            compute_per_op: SimDuration::ZERO,
+            seed: cfg.seed,
+        };
+        run_synthetic(&spec, &SimConfig::new(kind, cfg.seed)).throughput
+    });
     cfg.node_counts
         .iter()
-        .map(|&nodes| {
-            let spec = SyntheticSpec {
-                nodes,
-                ops_per_node: cfg.ops_per_node,
-                compute_per_op: SimDuration::ZERO,
-                seed: cfg.seed,
-            };
-            let mut throughput = [0.0; 4];
-            for (i, kind) in StrategyKind::all().into_iter().enumerate() {
-                throughput[i] = run_synthetic(&spec, &SimConfig::new(kind, cfg.seed)).throughput;
-            }
-            Fig7Row { nodes, throughput }
+        .zip(tp.chunks_exact(StrategyKind::all().len()))
+        .map(|(&nodes, t)| Fig7Row {
+            nodes,
+            throughput: [t[0], t[1], t[2], t[3]],
         })
         .collect()
 }

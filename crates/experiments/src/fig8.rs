@@ -53,22 +53,34 @@ impl Fig8Config {
     }
 }
 
-/// Run the sweep.
+/// Run the sweep: the (node count × strategy) grid fans out over the
+/// [`Runner`](crate::runner::Runner) worker pool, index-keyed so rows stay
+/// byte-identical to a sequential sweep.
 pub fn run(cfg: &Fig8Config) -> Vec<Fig8Row> {
+    let cells: Vec<(usize, StrategyKind)> = cfg
+        .node_counts
+        .iter()
+        .flat_map(|&nodes| {
+            StrategyKind::all()
+                .into_iter()
+                .map(move |kind| (nodes, kind))
+        })
+        .collect();
+    let times = crate::runner::Runner::from_env().run(cells, |_, (nodes, kind)| {
+        let spec = SyntheticSpec {
+            nodes,
+            ops_per_node: cfg.total_ops / nodes,
+            compute_per_op: SimDuration::ZERO,
+            seed: cfg.seed,
+        };
+        run_synthetic(&spec, &SimConfig::new(kind, cfg.seed)).makespan
+    });
     cfg.node_counts
         .iter()
-        .map(|&nodes| {
-            let spec = SyntheticSpec {
-                nodes,
-                ops_per_node: cfg.total_ops / nodes,
-                compute_per_op: SimDuration::ZERO,
-                seed: cfg.seed,
-            };
-            let mut completion = [SimDuration::ZERO; 4];
-            for (i, kind) in StrategyKind::all().into_iter().enumerate() {
-                completion[i] = run_synthetic(&spec, &SimConfig::new(kind, cfg.seed)).makespan;
-            }
-            Fig8Row { nodes, completion }
+        .zip(times.chunks_exact(StrategyKind::all().len()))
+        .map(|(&nodes, t)| Fig8Row {
+            nodes,
+            completion: [t[0], t[1], t[2], t[3]],
         })
         .collect()
 }

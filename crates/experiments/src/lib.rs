@@ -11,6 +11,13 @@
 //! | [`fig7`]  | Fig. 7 — throughput vs node count |
 //! | [`fig8`]  | Fig. 8 — fixed 32k-op batch completion vs node count |
 //! | [`fig10`] | Fig. 10 — BuzzFlow/Montage makespans, Table I scenarios |
+//! | [`scale`] | beyond-paper sweep: 10k–100k files per site |
+//!
+//! Experiment grids are matrices of independent cells; [`runner`] executes
+//! them on a deterministic worker pool (`repro --jobs N` / `GEOMETA_JOBS`)
+//! whose aggregated output is byte-identical to sequential order.
+//! [`report`] assembles the full `repro` output as a string so tests can
+//! byte-compare it across worker counts.
 //!
 //! [`simbind`] binds the real middleware (`geometa-core` registry
 //! instances, strategies, sync-agent state machine) into the
@@ -28,11 +35,15 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod report;
+pub mod runner;
+pub mod scale;
 pub mod simbind;
 pub mod table;
 
 pub use calibration::Calibration;
 pub use chaos::{ChaosApp, ChaosCell, ChaosFault, ChaosReport, ChaosSize, ChaosViolation};
+pub use runner::Runner;
 pub use simbind::{
     run_synthetic, run_workflow, SimArtifacts, SimConfig, SyntheticOutcome, WorkflowOutcome,
 };

@@ -149,6 +149,12 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Send with an extra sender-side delay before the message enters the
     /// network (e.g. the service time of a request being answered).
+    ///
+    /// The payload is cloned **only** when the fault RNG actually
+    /// scheduled a duplicate delivery; the common single-delivery path
+    /// moves `msg` straight into the queue (one clone per *extra* copy —
+    /// exactly [`FaultStats::duplicated`] clones over a whole run, zero in
+    /// a healthy one).
     pub fn send_delayed(&mut self, dst: ActorId, msg: M, size_bytes: u64, extra: SimDuration)
     where
         M: Clone,
@@ -157,25 +163,26 @@ impl<'a, M> Ctx<'a, M> {
         let Some(copies) = self.faults.roll_link(self.self_site, dst_site) else {
             return; // partitioned or chaos-dropped; counted by the roll
         };
+        // Duplicated copies take their own paths through the network
+        // (independent jitter draws). They are pushed *before* the
+        // original so sequence numbers — and therefore same-instant
+        // tie-break order — stay byte-identical to earlier engines.
         for _ in 1..copies {
-            // A duplicated copy takes its own path through the network
-            // (independent jitter draw).
-            let net = self.network.delay(self.self_site, dst_site, size_bytes);
-            let deliver_at = self.now + extra + net;
-            self.trace.message(self.now, self.self_id, dst, deliver_at);
-            self.queue.push(
-                deliver_at,
-                EventKind::Deliver {
-                    dst,
-                    env: Envelope {
-                        from: self.self_id,
-                        from_site: self.self_site,
-                        sent_at: self.now,
-                        msg: msg.clone(),
-                    },
-                },
-            );
+            self.push_delivery(dst, dst_site, msg.clone(), size_bytes, extra);
         }
+        self.push_delivery(dst, dst_site, msg, size_bytes, extra);
+    }
+
+    /// Draw a network delay and enqueue one delivery (takes the payload by
+    /// value; the caller decides whether a clone is ever made).
+    fn push_delivery(
+        &mut self,
+        dst: ActorId,
+        dst_site: SiteId,
+        msg: M,
+        size_bytes: u64,
+        extra: SimDuration,
+    ) {
         let net = self.network.delay(self.self_site, dst_site, size_bytes);
         let deliver_at = self.now + extra + net;
         self.trace.message(self.now, self.self_id, dst, deliver_at);
@@ -453,8 +460,18 @@ impl<M> Engine<M> {
     /// next queued event. Crash/restart actions notify every actor at the
     /// affected site, which may schedule new events — the queue is
     /// re-inspected after every action.
+    ///
+    /// The plan is moved out of `self` for the duration of the loop so
+    /// each action can be applied by reference while `notify_site_fault`
+    /// takes `&mut self` — no per-action clone of partition site lists.
+    /// Nothing reached from an actor handler can touch `fault_events`
+    /// (actors only see [`Ctx`]), so the temporary empty vec is invisible.
     fn apply_due_faults(&mut self, deadline: SimTime) {
-        while let Some(next) = self.fault_events.get(self.fault_cursor) {
+        if self.fault_cursor >= self.fault_events.len() {
+            return;
+        }
+        let events = std::mem::take(&mut self.fault_events);
+        while let Some(next) = events.get(self.fault_cursor) {
             let at = next.at;
             if at > deadline {
                 break;
@@ -464,12 +481,11 @@ impl<M> Engine<M> {
                     break; // an ordinary event comes strictly first
                 }
             }
-            let action = next.action.clone();
             self.fault_cursor += 1;
             if at > self.now {
                 self.now = at;
             }
-            match &action {
+            match &next.action {
                 FaultAction::DegradeWan {
                     latency_mult,
                     bandwidth_div,
@@ -484,6 +500,7 @@ impl<M> Engine<M> {
                 }
             }
         }
+        self.fault_events = events;
     }
 
     /// Deliver a crash/restart notice to every actor at `site`, in
@@ -1011,6 +1028,103 @@ mod tests {
         };
         assert_eq!(run(11), run(11), "same seed, same chaos, same run");
         assert_ne!(run(11).2, run(12).2, "chaos rolls must vary with seed");
+    }
+
+    /// A payload whose `Clone` impl counts invocations: proves the
+    /// send path moves messages into the queue and clones only for
+    /// fault-scheduled duplicate deliveries.
+    #[derive(Debug)]
+    struct Counted {
+        n: u32,
+        clones: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+    impl Clone for Counted {
+        fn clone(&self) -> Self {
+            self.clones
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Counted {
+                n: self.n,
+                clones: std::sync::Arc::clone(&self.clones),
+            }
+        }
+    }
+
+    struct CountedPinger {
+        peer: ActorId,
+        clones: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+    impl Actor<Counted> for CountedPinger {
+        fn on_start(&mut self, ctx: &mut Ctx<Counted>) {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<Counted>, _id: TimerId, _tag: u64) {
+            ctx.send(
+                self.peer,
+                Counted {
+                    n: 0,
+                    clones: std::sync::Arc::clone(&self.clones),
+                },
+                64,
+            );
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<Counted>, env: Envelope<Counted>) {
+            ctx.metrics().incr("received", u64::from(env.msg.n == 0));
+        }
+    }
+    struct CountedEcho;
+    impl Actor<Counted> for CountedEcho {
+        fn on_message(&mut self, ctx: &mut Ctx<Counted>, env: Envelope<Counted>) {
+            let mut msg = env.msg;
+            msg.n += 1;
+            ctx.send(env.from, msg, 64);
+        }
+    }
+
+    fn counted_run(schedule: FaultSchedule) -> (u64, u64 /* clones, duplicated */) {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut engine: Engine<Counted> = Engine::new(no_jitter_topo(), 9);
+        let echo = engine.add_actor(SiteId(1), CountedEcho);
+        engine.add_actor(
+            SiteId(0),
+            CountedPinger {
+                peer: echo,
+                clones: std::sync::Arc::clone(&clones),
+            },
+        );
+        engine.set_faults(schedule);
+        engine.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let dup = engine.fault_stats().duplicated;
+        (clones.load(std::sync::atomic::Ordering::Relaxed), dup)
+    }
+
+    #[test]
+    fn healthy_runs_never_clone_message_payloads() {
+        let (clones, dup) = counted_run(FaultSchedule::new());
+        assert_eq!(dup, 0);
+        assert_eq!(
+            clones, 0,
+            "dispatch and send must move payloads, not clone them"
+        );
+    }
+
+    #[test]
+    fn duplication_clones_exactly_once_per_extra_copy() {
+        let mut schedule = FaultSchedule::new();
+        schedule.link_chaos_window(
+            SiteId(0),
+            SiteId(1),
+            0.0,
+            0.35, // duplicate ~a third of messages on one direction
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(2),
+        );
+        let (clones, dup) = counted_run(schedule);
+        assert!(dup > 0, "chaos window must duplicate something");
+        assert_eq!(
+            clones, dup,
+            "exactly one clone per fault-scheduled duplicate delivery"
+        );
     }
 
     #[test]

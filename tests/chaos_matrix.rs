@@ -16,6 +16,7 @@ use geometa::core::strategy::StrategyKind;
 use geometa::experiments::chaos::{
     chaos_seeds, check_cell, ChaosApp, ChaosCell, ChaosFault, ChaosSize,
 };
+use geometa::experiments::runner::Runner;
 
 /// Default seed set: ≥8 seeds as the acceptance matrix requires.
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
@@ -25,17 +26,26 @@ const APP_SEEDS: [u64; 2] = [3, 21];
 
 fn synthetic_matrix(fault: ChaosFault) {
     let size = ChaosSize::matrix();
+    let mut cells = Vec::new();
     for kind in StrategyKind::all() {
         for seed in chaos_seeds(&SEEDS) {
-            let cell = ChaosCell {
+            cells.push(ChaosCell {
                 kind,
                 fault,
                 app: ChaosApp::Synthetic,
                 seed,
-            };
-            let report = check_cell(cell, &size);
-            assert!(report.acked_writes > 0, "[{cell}] no writes recorded");
+            });
         }
+    }
+    // Independent hermetic cells: fan out over the worker pool
+    // (`GEOMETA_JOBS`); reports come back in cell order, and an oracle
+    // violation re-raises the lowest failing cell's seed banner.
+    for report in Runner::from_env().run(cells, |_, cell| check_cell(cell, &size)) {
+        assert!(
+            report.acked_writes > 0,
+            "[{}] no writes recorded",
+            report.cell
+        );
     }
 }
 
@@ -60,24 +70,31 @@ fn synthetic_flaky_link_cells() {
 }
 
 /// Montage and BuzzFlow under every strategy, rotating the fault kind by
-/// seed so each app × strategy pair sees several fault kinds.
+/// seed so each app × strategy pair sees several fault kinds. The grid
+/// fans out over the worker pool like the synthetic matrix.
 #[test]
 fn workflow_app_cells() {
     let size = ChaosSize::matrix();
+    let mut cells = Vec::new();
     for app in [ChaosApp::Montage, ChaosApp::BuzzFlow] {
         for kind in StrategyKind::all() {
             for (i, seed) in chaos_seeds(&APP_SEEDS).into_iter().enumerate() {
                 let fault = ChaosFault::all()[(i + seed as usize) % 4];
-                let cell = ChaosCell {
+                cells.push(ChaosCell {
                     kind,
                     fault,
                     app,
                     seed,
-                };
-                let report = check_cell(cell, &size);
-                assert!(report.acked_writes > 0, "[{cell}] no writes recorded");
+                });
             }
         }
+    }
+    for report in Runner::from_env().run(cells, |_, cell| check_cell(cell, &size)) {
+        assert!(
+            report.acked_writes > 0,
+            "[{}] no writes recorded",
+            report.cell
+        );
     }
 }
 

@@ -1,0 +1,84 @@
+//! The determinism gate for the parallel scenario runner: the *entire*
+//! `repro --quick --csv` report and the chaos-matrix fingerprints must be
+//! byte-identical between `--jobs 1` and `--jobs 8`. Cells are hermetic
+//! seeded simulations and results are keyed by cell index, so the worker
+//! count may change wall-clock only — never one byte of output.
+
+use geometa::core::strategy::StrategyKind;
+use geometa::experiments::report::{generate, ReportOptions};
+use geometa::experiments::runner::{set_global_jobs, Runner};
+use geometa::experiments::{chaos, scale};
+
+/// `repro --quick --csv` (all figures + chaos matrix + scale table),
+/// generated sequentially and with an 8-worker pool, compared byte for
+/// byte.
+///
+/// Both worker counts run inside this one test function because the jobs
+/// override is process-global; no other test in this binary touches it.
+#[test]
+fn repro_quick_csv_is_byte_identical_across_worker_counts() {
+    let opts = ReportOptions {
+        quick: true,
+        csv: true,
+        chaos: true,
+        scale: true,
+        figures: true,
+        sections: Vec::new(),
+    };
+    set_global_jobs(1);
+    let sequential = generate(&opts);
+    set_global_jobs(8);
+    let parallel = generate(&opts);
+    set_global_jobs(0); // restore env/host resolution
+                        // CSV emits headers, not table titles: spot the figure sweep
+                        // ("ops/node"), the chaos matrix ("fingerprint") and the scale sweep
+                        // ("files/site") by their header columns.
+    for header in ["ops/node", "fingerprint", "files/site"] {
+        assert!(
+            sequential.contains(header),
+            "report must include the {header} section"
+        );
+    }
+    assert_eq!(
+        sequential, parallel,
+        "worker count leaked into the report bytes"
+    );
+}
+
+/// Chaos-matrix fingerprints under explicit runners: every cell's replay
+/// fingerprint from an 8-worker pool must equal the sequential one.
+#[test]
+fn chaos_fingerprints_are_identical_across_worker_counts() {
+    let size = chaos::ChaosSize::smoke();
+    let cells = chaos::synthetic_grid(&[21]);
+    let fingerprints = |jobs: usize| -> Vec<u64> {
+        Runner::new(jobs)
+            .run(cells.clone(), |_, cell| {
+                chaos::run_cell(cell, &size)
+                    .unwrap_or_else(|v| panic!("{v}"))
+                    .fingerprint
+            })
+            .into_iter()
+            .collect()
+    };
+    let seq = fingerprints(1);
+    let par = fingerprints(8);
+    assert_eq!(seq, par, "fingerprints must not depend on the worker pool");
+    assert_eq!(seq.len(), 16);
+}
+
+/// The scale sweep's deterministic table, same comparison.
+#[test]
+fn scale_table_is_identical_across_worker_counts() {
+    let cfg = scale::ScaleConfig::quick();
+    let csv = |jobs: usize| {
+        let cells: Vec<(usize, StrategyKind)> = cfg
+            .files_per_site
+            .iter()
+            .flat_map(|&f| cfg.kinds.iter().map(move |&k| (f, k)))
+            .collect();
+        let rows = Runner::new(jobs).run(cells, |_, (f, k)| scale::run_cell(&cfg, f, k));
+        scale::render(&rows).to_csv()
+    };
+    assert_eq!(csv(1), csv(8));
+}

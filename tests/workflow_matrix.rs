@@ -87,25 +87,35 @@ fn engine_runs_every_pattern_under_every_strategy() {
 }
 
 /// The same matrix in the simulator: op counts must match the DAG exactly.
+/// Every (pattern × strategy) cell is an independent seeded simulation, so
+/// the grid fans out over the scenario worker pool (`GEOMETA_JOBS`).
 #[test]
 fn simulated_engine_op_counts_match_dag() {
     let nodes = node_grid(&sites4(), 2);
     let cal = Calibration::test_fast();
-    for w in patterns() {
-        for kind in [StrategyKind::Centralized, StrategyKind::DhtLocalReplica] {
-            let placement = schedule(&w, &nodes, SchedulerPolicy::RoundRobin);
-            let cfg = SimConfig {
-                cal,
-                ..SimConfig::new(kind, 7)
-            };
-            let out = run_workflow(&w, &placement, &cfg);
-            assert_eq!(
-                out.total_ops,
-                w.total_metadata_ops(),
-                "{} under {kind:?}",
-                w.name()
-            );
-        }
+    let cells: Vec<(Workflow, StrategyKind)> = patterns()
+        .into_iter()
+        .flat_map(|w| {
+            [StrategyKind::Centralized, StrategyKind::DhtLocalReplica]
+                .into_iter()
+                .map(move |kind| (w.clone(), kind))
+        })
+        .collect();
+    let results = geometa::experiments::runner::Runner::from_env().run(cells, |_, (w, kind)| {
+        let placement = schedule(&w, &nodes, SchedulerPolicy::RoundRobin);
+        let cfg = SimConfig {
+            cal,
+            ..SimConfig::new(kind, 7)
+        };
+        (
+            run_workflow(&w, &placement, &cfg).total_ops,
+            w.total_metadata_ops(),
+            w.name().to_string(),
+            kind,
+        )
+    });
+    for (got, want, name, kind) in results {
+        assert_eq!(got, want, "{name} under {kind:?}");
     }
 }
 

@@ -1,9 +1,19 @@
 //! Offline stand-in for `crossbeam`, providing the `channel` module the
 //! workspace uses (`bounded`, `unbounded`, `Sender`, `Receiver`) over
 //! `std::sync::mpsc`.
+//!
+//! Like the real crate — and unlike bare `mpsc` — the [`channel::Receiver`]
+//! is cloneable and shareable across threads (multi-producer
+//! *multi-consumer*), which is what lets a worker pool pull work items off
+//! one shared injector channel. The stand-in gets that property by
+//! serializing receivers through a mutex. Blocking waits never pin the
+//! mutex: `recv`/`recv_timeout` poll in ≤ 1 ms slices, releasing the lock
+//! between slices, so a sibling clone's `try_recv` stays effectively
+//! non-blocking (bounded by one slice) instead of parking behind an
+//! indefinite wait. Coarse, but correct for the scenario fan-out it backs.
 
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex};
     use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when all receivers are gone;
@@ -82,29 +92,68 @@ pub mod channel {
         }
     }
 
-    /// The receiving half of a channel.
+    /// The receiving half of a channel. Cloneable: clones share the same
+    /// queue, so each message is delivered to exactly one receiver
+    /// (multi-consumer work distribution, as in the real crossbeam).
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
     }
 
     impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            // A poisoned lock means another consumer panicked *between*
+            // queue operations; the queue itself is still consistent.
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Upper bound on how long one blocking wait may hold the lock.
+        const POLL_SLICE: Duration = Duration::from_millis(1);
+
         /// Block until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            loop {
+                // Wait in short slices, dropping the lock between them so
+                // sibling clones' try_recv/recv_timeout can interleave.
+                match self.lock().recv_timeout(Self::POLL_SLICE) {
+                    Ok(v) => return Ok(v),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return Err(RecvError),
+                }
+            }
         }
 
         /// Block until a message arrives, the timeout fires, or all
         /// senders disconnect.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            let deadline = std::time::Instant::now() + timeout;
+            loop {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                let slice = left.min(Self::POLL_SLICE);
+                match self.lock().recv_timeout(slice) {
+                    Ok(v) => return Ok(v),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if left <= Self::POLL_SLICE {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(RecvTimeoutError::Disconnected)
+                    }
+                }
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
+            self.lock().try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
@@ -112,15 +161,27 @@ pub mod channel {
 
         /// Drain whatever is currently queued.
         pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.inner.try_iter()
+            std::iter::from_fn(move || self.try_recv().ok())
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
         fn into_iter(self) -> Self::IntoIter {
-            self.inner.into_iter()
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over a channel's messages (ends at disconnect).
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
@@ -131,7 +192,9 @@ pub mod channel {
             Sender {
                 inner: SenderInner::Unbounded(tx),
             },
-            Receiver { inner: rx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
         )
     }
 
@@ -143,7 +206,9 @@ pub mod channel {
             Sender {
                 inner: SenderInner::Bounded(tx),
             },
-            Receiver { inner: rx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
         )
     }
 
@@ -161,6 +226,37 @@ pub mod channel {
             assert_eq!(rx.recv().unwrap(), 2);
             drop((tx, tx2));
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx) = unbounded();
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let rx2 = rx.clone();
+            let h = std::thread::spawn(move || rx2.into_iter().count());
+            let local = rx.into_iter().count();
+            let remote = h.join().unwrap();
+            assert_eq!(local + remote, 100, "each message consumed exactly once");
+        }
+
+        #[test]
+        fn blocked_recv_does_not_starve_sibling_try_recv() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            let blocker = std::thread::spawn(move || rx2.recv());
+            // Give the blocker time to park inside recv.
+            std::thread::sleep(Duration::from_millis(10));
+            let t = std::time::Instant::now();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            assert!(
+                t.elapsed() < Duration::from_millis(200),
+                "try_recv must not park behind a blocked sibling recv"
+            );
+            tx.send(7).unwrap();
+            assert_eq!(blocker.join().unwrap(), Ok(7));
         }
 
         #[test]
