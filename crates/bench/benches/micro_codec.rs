@@ -83,6 +83,39 @@ fn bench_zero_copy_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The RPC wire codec (what framed TCP ships): full request/response
+/// messages, not just entries.
+fn bench_wire_codec(c: &mut Criterion) {
+    use geometa_core::protocol::{RegistryRequest, RegistryResponse};
+    let mut group = c.benchmark_group("wire_codec");
+    let put = RegistryRequest::Put {
+        entry: entry_with_locations(2),
+    };
+    group.bench_function("request_put_encode", |b| b.iter(|| black_box(put.encode())));
+    let put_wire = put.encode();
+    group.bench_function("request_put_decode", |b| {
+        b.iter(|| black_box(RegistryRequest::decode(put_wire.clone()).unwrap()))
+    });
+    let absorb = RegistryRequest::Absorb {
+        entries: (0..8).map(|_| entry_with_locations(2)).collect(),
+    };
+    let absorb_wire = absorb.encode();
+    group.bench_function("request_absorb8_roundtrip", |b| {
+        b.iter(|| black_box(RegistryRequest::decode(absorb_wire.clone()).unwrap()))
+    });
+    let found = RegistryResponse::Found {
+        entry: entry_with_locations(2),
+    };
+    let found_wire = found.encode();
+    group.bench_function("response_found_roundtrip", |b| {
+        b.iter(|| {
+            black_box(found.encode());
+            black_box(RegistryResponse::decode(found_wire.clone()).unwrap())
+        })
+    });
+    group.finish();
+}
+
 fn bench_roundtrip_and_merge(c: &mut Criterion) {
     c.bench_function("entry_roundtrip", |b| {
         let e = entry_with_locations(4);
@@ -102,7 +135,7 @@ fn bench_roundtrip_and_merge(c: &mut Criterion) {
 criterion_group! {
     name = micro_codec;
     config = fast();
-    targets = bench_encode, bench_decode, bench_zero_copy_paths, bench_roundtrip_and_merge
+    targets = bench_encode, bench_decode, bench_zero_copy_paths, bench_wire_codec, bench_roundtrip_and_merge
 }
 fn fast() -> Criterion {
     Criterion::default()

@@ -34,9 +34,16 @@
 //!   (the §VIII "server volatility" problem);
 //! * [`client`] + [`transport`] — strategy-driven client logic over an
 //!   abstract transport;
-//! * [`live`] — a real multi-threaded deployment: per-site registry service
-//!   threads, WAN-delay injection, a background sync agent, usable from any
-//!   thread.
+//! * [`protocol`] — the RPC types and their length-prefixed binary wire
+//!   codec (the same messages flow over channels, the DES network model,
+//!   and framed TCP);
+//! * [`runtime`] — the transport-generic service runtime: registry
+//!   ownership, dispatch, delay line, sync-agent driving, failure
+//!   injection and graceful shutdown, parameterized over a
+//!   [`runtime::ConnectionLayer`];
+//! * [`live`] — the channel connection layer: per-site registry service
+//!   threads, WAN-delay injection via sleeps, usable from any thread. The
+//!   framed-TCP layer lives in the `geometa-net` crate.
 
 pub mod advisor;
 pub mod client;
@@ -51,6 +58,7 @@ pub mod plan;
 pub mod protocol;
 pub mod rebalance;
 pub mod registry;
+pub mod runtime;
 pub mod strategy;
 pub mod sync_agent;
 pub mod transport;

@@ -7,8 +7,12 @@
 //! through a delay line, and — for the replicated strategy — a background
 //! synchronization agent thread.
 //!
-//! A downstream user replaces the channel transport with real sockets and
-//! the latency scale with 1.0; nothing else changes.
+//! All of the generic machinery (registry ownership, dispatch, thread
+//! tracking, sync-agent driving, failure injection, graceful shutdown)
+//! lives in [`crate::runtime::ServiceRuntime`]; this module only supplies
+//! the *connection layer* — in-process channels plus a latency sleep. The
+//! framed-TCP deployment (`geometa-net`) plugs a socket layer into the
+//! same runtime; nothing else changes.
 //!
 //! ```
 //! use geometa_core::live::{LiveCluster, LiveConfig};
@@ -28,22 +32,21 @@
 //! cluster.shutdown();
 //! ```
 
-use crate::client::{ClientConfig, StrategyClient};
+use crate::client::StrategyClient;
 use crate::controller::ArchitectureController;
 use crate::protocol::{RegistryRequest, RegistryResponse};
 use crate::registry::RegistryInstance;
+use crate::runtime::{ConnectionLayer, RuntimeConfig, ServiceCore, ServiceRuntime, Spawner};
 use crate::strategy::StrategyKind;
-use crate::sync_agent::SyncAgentState;
-use crate::transport::{InProcessTransport, RegistryTransport};
+use crate::transport::RegistryTransport;
 use crate::MetaError;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use geometa_sim::topology::{SiteId, Topology};
-use parking_lot::{Condvar, Mutex};
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::HashMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+pub use crate::runtime::DelayLine;
 
 /// Configuration of a live cluster.
 #[derive(Clone)]
@@ -84,87 +87,60 @@ enum ServiceMsg {
     Shutdown,
 }
 
-/// A deferred job executed by the delay line.
-struct DelayedJob {
-    due: Instant,
-    seq: u64,
-    job: Box<dyn FnOnce() + Send>,
+/// The channel connection layer: one service thread per site draining a
+/// channel, clients sleeping the (scaled) WAN latency around each send.
+pub struct ChannelLayer {
+    scale: f64,
+    senders: HashMap<SiteId, Sender<ServiceMsg>>,
 }
 
-impl PartialEq for DelayedJob {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl Eq for DelayedJob {}
-impl PartialOrd for DelayedJob {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for DelayedJob {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed for a min-heap on (due, seq).
-        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+impl ChannelLayer {
+    /// A channel layer sleeping `topology latency × scale` per flight.
+    pub fn new(scale: f64) -> ChannelLayer {
+        ChannelLayer {
+            scale,
+            senders: HashMap::new(),
+        }
     }
 }
 
-/// Executes closures at deadlines; the asynchronous-propagation spine.
-pub struct DelayLine {
-    heap: Mutex<BinaryHeap<DelayedJob>>,
-    cond: Condvar,
-    seq: AtomicU64,
-    shutdown: AtomicBool,
-}
+impl ConnectionLayer for ChannelLayer {
+    type Transport = LiveTransport;
 
-impl DelayLine {
-    fn new() -> Arc<DelayLine> {
-        Arc::new(DelayLine {
-            heap: Mutex::new(BinaryHeap::new()),
-            cond: Condvar::new(),
-            seq: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-        })
-    }
-
-    /// Schedule `job` to run after `delay`.
-    pub fn schedule(&self, delay: Duration, job: Box<dyn FnOnce() + Send>) {
-        let due = Instant::now() + delay;
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.heap.lock().push(DelayedJob { due, seq, job });
-        self.cond.notify_one();
-    }
-
-    fn run_worker(self: &Arc<Self>) {
-        loop {
-            let job = {
-                let mut heap = self.heap.lock();
-                loop {
-                    if self.shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    match heap.peek() {
-                        None => {
-                            self.cond.wait(&mut heap);
+    fn start(&mut self, core: &Arc<ServiceCore>, spawner: &mut Spawner) {
+        for site in core.topology().site_ids() {
+            let (tx, rx) = unbounded();
+            self.senders.insert(site, tx);
+            let core = Arc::clone(core);
+            spawner.spawn(format!("registry-{site}"), move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ServiceMsg::Request { req, reply } => {
+                            let _ = reply.send(core.serve(site, req));
                         }
-                        Some(top) => {
-                            let now = Instant::now();
-                            if top.due <= now {
-                                break heap.pop().expect("peeked job exists");
-                            }
-                            let due = top.due;
-                            self.cond.wait_until(&mut heap, due);
+                        ServiceMsg::Cast { req } => {
+                            let _ = core.serve(site, req);
                         }
+                        ServiceMsg::Shutdown => break,
                     }
                 }
-            };
-            (job.job)();
+            });
         }
     }
 
-    fn stop(&self) {
-        self.shutdown.store(true, Ordering::Release);
-        self.cond.notify_all();
+    fn transport(&self, core: &Arc<ServiceCore>, site: SiteId) -> Arc<LiveTransport> {
+        Arc::new(LiveTransport {
+            site,
+            senders: self.senders.clone(),
+            core: Arc::clone(core),
+            scale: self.scale,
+        })
+    }
+
+    fn unblock(&self) {
+        for tx in self.senders.values() {
+            let _ = tx.send(ServiceMsg::Shutdown);
+        }
     }
 }
 
@@ -172,15 +148,17 @@ impl DelayLine {
 pub struct LiveTransport {
     site: SiteId,
     senders: HashMap<SiteId, Sender<ServiceMsg>>,
-    topology: Arc<Topology>,
+    core: Arc<ServiceCore>,
     scale: f64,
-    delay: Arc<DelayLine>,
-    epoch: Instant,
 }
 
 impl LiveTransport {
     fn one_way(&self, to: SiteId) -> Duration {
-        let micros = self.topology.one_way_latency(self.site, to).as_micros();
+        let micros = self
+            .core
+            .topology()
+            .one_way_latency(self.site, to)
+            .as_micros();
         Duration::from_nanos((micros as f64 * 1_000.0 * self.scale) as u64)
     }
 }
@@ -218,13 +196,15 @@ impl RegistryTransport for LiveTransport {
         resp
     }
 
+    /// Fire-and-forget: the send is deferred onto the delay line for the
+    /// flight latency, so the caller never blocks on the target.
     fn cast(&self, target: SiteId, req: RegistryRequest) {
         let Some(sender) = self.senders.get(&target) else {
             return;
         };
         let sender = sender.clone();
         let lat = self.one_way(target);
-        self.delay.schedule(
+        self.core.delay_line().schedule(
             lat,
             Box::new(move || {
                 let _ = sender.send(ServiceMsg::Cast { req });
@@ -233,7 +213,7 @@ impl RegistryTransport for LiveTransport {
     }
 
     fn now_micros(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.core.now_micros()
     }
 
     fn sites(&self) -> Vec<SiteId> {
@@ -243,188 +223,40 @@ impl RegistryTransport for LiveTransport {
     }
 }
 
-/// A running live deployment: registry service threads, delay line, and
-/// (for the replicated strategy) a sync-agent thread.
+/// A running live deployment: the service runtime behind a channel layer.
 pub struct LiveCluster {
-    config: LiveConfig,
-    topology: Arc<Topology>,
-    registries: HashMap<SiteId, Arc<RegistryInstance>>,
-    senders: HashMap<SiteId, Sender<ServiceMsg>>,
-    controller: Arc<ArchitectureController>,
-    delay: Arc<DelayLine>,
-    threads: Vec<JoinHandle<()>>,
-    shutdown: Arc<AtomicBool>,
-    epoch: Instant,
+    runtime: ServiceRuntime<ChannelLayer>,
 }
 
 impl LiveCluster {
     /// Start service threads for every site and, if needed, the sync agent.
     pub fn start(config: LiveConfig) -> LiveCluster {
-        let topology = Arc::new(config.topology.clone());
-        let sites: Vec<SiteId> = topology.site_ids().collect();
-        let controller = Arc::new(ArchitectureController::with_kind(
-            config.kind,
-            sites.clone(),
-        ));
-        let epoch = Instant::now();
-        let delay = DelayLine::new();
-        let shutdown = Arc::new(AtomicBool::new(false));
-
-        let mut registries = HashMap::new();
-        let mut senders = HashMap::new();
-        let mut threads = Vec::new();
-
-        for &site in &sites {
-            let registry = Arc::new(RegistryInstance::new(site, config.shards));
-            let (tx, rx): (Sender<ServiceMsg>, Receiver<ServiceMsg>) = unbounded();
-            registries.insert(site, Arc::clone(&registry));
-            senders.insert(site, tx);
-            let epoch_c = epoch;
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("registry-{site}"))
-                    .spawn(move || {
-                        while let Ok(msg) = rx.recv() {
-                            match msg {
-                                ServiceMsg::Request { req, reply } => {
-                                    let now = epoch_c.elapsed().as_micros() as u64;
-                                    let resp = InProcessTransport::serve(&registry, req, now);
-                                    let _ = reply.send(resp);
-                                }
-                                ServiceMsg::Cast { req } => {
-                                    let now = epoch_c.elapsed().as_micros() as u64;
-                                    let _ = InProcessTransport::serve(&registry, req, now);
-                                }
-                                ServiceMsg::Shutdown => break,
-                            }
-                        }
-                    })
-                    .expect("spawn registry thread"),
-            );
+        LiveCluster {
+            runtime: ServiceRuntime::start(
+                RuntimeConfig {
+                    topology: config.topology,
+                    kind: config.kind,
+                    shards: config.shards,
+                    sync_interval: config.sync_interval,
+                },
+                ChannelLayer::new(config.latency_scale),
+            ),
         }
-
-        // Delay-line worker.
-        {
-            let delay = Arc::clone(&delay);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("delay-line".into())
-                    .spawn(move || delay.run_worker())
-                    .expect("spawn delay line"),
-            );
-        }
-
-        let mut cluster = LiveCluster {
-            config,
-            topology,
-            registries,
-            senders,
-            controller,
-            delay,
-            threads,
-            shutdown,
-            epoch,
-        };
-        if cluster.config.kind == StrategyKind::Replicated {
-            cluster.spawn_sync_agent();
-        }
-        cluster
-    }
-
-    fn spawn_sync_agent(&mut self) {
-        let sites: Vec<SiteId> = self.topology.site_ids().collect();
-        let agent_site = sites[0];
-        let senders = self.senders.clone();
-        let topology = Arc::clone(&self.topology);
-        let scale = self.config.latency_scale;
-        let interval = self.config.sync_interval;
-        let shutdown = Arc::clone(&self.shutdown);
-        let epoch = self.epoch;
-        self.threads.push(
-            std::thread::Builder::new()
-                .name("sync-agent".into())
-                .spawn(move || {
-                    let mut state = SyncAgentState::new(sites.clone());
-                    let one_way = |to: SiteId| {
-                        let us = topology.one_way_latency(agent_site, to).as_micros();
-                        Duration::from_nanos((us as f64 * 1_000.0 * scale) as u64)
-                    };
-                    while !shutdown.load(Ordering::Acquire) {
-                        for &site in &sites.clone() {
-                            if shutdown.load(Ordering::Acquire) {
-                                return;
-                            }
-                            let Some(tx) = senders.get(&site) else {
-                                continue;
-                            };
-                            let lat = one_way(site);
-                            std::thread::sleep(lat);
-                            let pull_time = epoch.elapsed().as_micros() as u64;
-                            let (reply_tx, reply_rx) = bounded(1);
-                            if tx
-                                .send(ServiceMsg::Request {
-                                    req: RegistryRequest::DeltaPull {
-                                        since: state.watermark(site),
-                                    },
-                                    reply: reply_tx,
-                                })
-                                .is_err()
-                            {
-                                return;
-                            }
-                            let Ok(resp) = reply_rx.recv() else { return };
-                            std::thread::sleep(lat);
-                            let delta = match resp {
-                                RegistryResponse::Delta { entries } => entries,
-                                _ => Vec::new(),
-                            };
-                            // Back the watermark off by 1us so same-tick
-                            // writes are re-pulled (absorb is idempotent).
-                            let pushes = state.integrate(site, delta, pull_time.saturating_sub(1));
-                            for push in pushes {
-                                if let Some(dst) = senders.get(&push.target) {
-                                    std::thread::sleep(one_way(push.target));
-                                    let _ = dst.send(ServiceMsg::Cast {
-                                        req: RegistryRequest::Absorb {
-                                            entries: push.entries,
-                                        },
-                                    });
-                                }
-                            }
-                        }
-                        state.cycle_done();
-                        std::thread::sleep(interval);
-                    }
-                })
-                .expect("spawn sync agent"),
-        );
     }
 
     /// Create a client for a node at `site`.
     pub fn client(&self, site: SiteId, node: u32) -> StrategyClient<LiveTransport> {
-        let transport = LiveTransport {
-            site,
-            senders: self.senders.clone(),
-            topology: Arc::clone(&self.topology),
-            scale: self.config.latency_scale,
-            delay: Arc::clone(&self.delay),
-            epoch: self.epoch,
-        };
-        StrategyClient::new(
-            Arc::new(transport),
-            Arc::clone(&self.controller),
-            ClientConfig { site, node },
-        )
+        self.runtime.client(site, node)
     }
 
     /// The strategy controller (for runtime switching).
     pub fn controller(&self) -> &Arc<ArchitectureController> {
-        &self.controller
+        self.runtime.controller()
     }
 
     /// Direct handle to a site's registry (diagnostics/tests).
     pub fn registry(&self, site: SiteId) -> Option<&Arc<RegistryInstance>> {
-        self.registries.get(&site)
+        self.runtime.registry(site)
     }
 
     /// Fault injection: kill `site`'s primary cache mid-traffic (the live
@@ -433,42 +265,17 @@ impl LiveCluster {
     /// HaCache primary→replica promotion, exactly as in the DES chaos
     /// scenarios. Returns whether the site hosts a registry.
     pub fn inject_registry_failure(&self, site: SiteId) -> bool {
-        match self.registries.get(&site) {
-            Some(r) => {
-                r.fail_primary();
-                true
-            }
-            None => false,
-        }
+        self.runtime.inject_registry_failure(site)
     }
 
     /// The deployment's topology.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        self.runtime.topology()
     }
 
-    /// Stop all threads and drain. Idempotent.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
-    }
-
-    fn shutdown_inner(&mut self) {
-        if self.shutdown.swap(true, Ordering::AcqRel) {
-            return;
-        }
-        self.delay.stop();
-        for tx in self.senders.values() {
-            let _ = tx.send(ServiceMsg::Shutdown);
-        }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for LiveCluster {
-    fn drop(&mut self) {
-        self.shutdown_inner();
+    /// Stop all threads and drain. Idempotent (also runs on drop).
+    pub fn shutdown(self) {
+        self.runtime.shutdown();
     }
 }
 
@@ -601,31 +408,5 @@ mod tests {
         let c = cluster.client(SiteId(0), 0);
         c.publish("x", 1).unwrap();
         drop(cluster); // Drop path must join all threads without hanging.
-    }
-
-    #[test]
-    fn delay_line_executes_in_deadline_order() {
-        let delay = DelayLine::new();
-        let d2 = Arc::clone(&delay);
-        let worker = std::thread::spawn(move || d2.run_worker());
-        let (tx, rx) = unbounded();
-        let t1 = tx.clone();
-        let t2 = tx.clone();
-        delay.schedule(
-            Duration::from_millis(20),
-            Box::new(move || {
-                let _ = t1.send(2u32);
-            }),
-        );
-        delay.schedule(
-            Duration::from_millis(5),
-            Box::new(move || {
-                let _ = t2.send(1u32);
-            }),
-        );
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
-        delay.stop();
-        worker.join().unwrap();
     }
 }

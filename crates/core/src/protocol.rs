@@ -7,18 +7,26 @@
 
 use crate::entry::RegistryEntry;
 use crate::MetaError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use geometa_cache::Key;
 
 /// Fixed per-message framing overhead (headers, request ids) charged by the
 /// network model on top of the payload.
 pub const FRAME_OVERHEAD: usize = 48;
 
+/// Hard cap on the entry count of one `Absorb`/`Delta` message. Decoders
+/// reject anything larger before allocating (codec totality on garbage).
+pub const MAX_WIRE_ENTRIES: usize = 1 << 20;
+
+/// Hard cap on one length-prefixed element (key or encoded entry).
+const MAX_WIRE_ELEMENT: usize = 64 * 1024 * 1024;
+
 /// A request to a registry instance.
 ///
 /// Key-addressed requests carry an interned [`Key`]: the client interns
 /// (one allocation + one hash) and every server-side map probe reuses the
 /// precomputed hash. Cloning a request for retry/fan-out is O(1) per key.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RegistryRequest {
     /// Read one entry by key.
     Get { key: Key },
@@ -60,7 +68,7 @@ impl RegistryRequest {
 }
 
 /// A registry instance's response.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RegistryResponse {
     /// Entry found.
     Found { entry: RegistryEntry },
@@ -101,6 +109,273 @@ impl RegistryResponse {
             RegistryResponse::Ack => Ok(()),
             RegistryResponse::Error { error } => Err(error),
             other => Err(MetaError::Codec(format!("expected Ack, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+//
+// The RPC types — not just entries — are serializable, so a transport can
+// ship them over any byte stream. The format mirrors the entry codec:
+// little-endian, length-prefixed, one leading tag byte per message. Every
+// variable-length element (key, encoded entry, error text) carries its own
+// u32 length prefix, so decoding slices the shared wire buffer and entry
+// strings stay zero-copy (`MetaStr` views into the frame).
+//
+// Decoders are *total*: any byte sequence either decodes or returns
+// `MetaError::Codec` — never a panic, never an unbounded allocation
+// (counts and lengths are sanity-capped before any reservation).
+// ---------------------------------------------------------------------------
+
+mod tag {
+    pub const REQ_GET: u8 = 1;
+    pub const REQ_PUT: u8 = 2;
+    pub const REQ_ABSORB: u8 = 3;
+    pub const REQ_REMOVE: u8 = 4;
+    pub const REQ_DELTA_PULL: u8 = 5;
+
+    pub const RESP_FOUND: u8 = 1;
+    pub const RESP_ACK: u8 = 2;
+    pub const RESP_DELTA: u8 = 3;
+    pub const RESP_ERROR: u8 = 4;
+
+    pub const ERR_NOT_FOUND: u8 = 1;
+    pub const ERR_UNAVAILABLE: u8 = 2;
+    pub const ERR_CONTENTION: u8 = 3;
+    pub const ERR_CODEC: u8 = 4;
+}
+
+fn put_prefixed(buf: &mut BytesMut, bytes: &[u8]) {
+    buf.put_u32_le(bytes.len() as u32);
+    buf.put_slice(bytes);
+}
+
+fn get_prefixed(buf: &mut Bytes) -> Result<Bytes, MetaError> {
+    if buf.remaining() < 4 {
+        return Err(MetaError::Codec("truncated length prefix".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > MAX_WIRE_ELEMENT {
+        return Err(MetaError::Codec(format!(
+            "implausible element length {len}"
+        )));
+    }
+    if buf.remaining() < len {
+        return Err(MetaError::Codec("truncated element body".into()));
+    }
+    Ok(buf.split_to(len))
+}
+
+fn put_key(buf: &mut BytesMut, key: &Key) {
+    put_prefixed(buf, key.as_str().as_bytes());
+}
+
+fn get_key(buf: &mut Bytes) -> Result<Key, MetaError> {
+    let raw = get_prefixed(buf)?;
+    let s = std::str::from_utf8(&raw).map_err(|e| MetaError::Codec(e.to_string()))?;
+    Ok(Key::new(s))
+}
+
+fn put_entries(buf: &mut BytesMut, entries: &[RegistryEntry]) {
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_u32_le(e.encoded_len() as u32);
+        buf.put_slice(&e.to_bytes());
+    }
+}
+
+fn get_entries(buf: &mut Bytes) -> Result<Vec<RegistryEntry>, MetaError> {
+    if buf.remaining() < 4 {
+        return Err(MetaError::Codec("truncated entry count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if n > MAX_WIRE_ENTRIES {
+        return Err(MetaError::Codec(format!("implausible entry count {n}")));
+    }
+    // Each entry needs at least its 4-byte prefix: reject before reserving.
+    if buf.remaining() < n * 4 {
+        return Err(MetaError::Codec("truncated entry batch".into()));
+    }
+    // Cap the up-front reservation: a garbage count that passed the
+    // prefix check could otherwise reserve ~100 bytes per claimed entry
+    // before the first decode fails. Honest batches grow past 1024
+    // entries through ordinary doubling.
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(RegistryEntry::from_bytes(get_prefixed(buf)?)?);
+    }
+    Ok(out)
+}
+
+fn entries_encoded_len(entries: &[RegistryEntry]) -> usize {
+    4 + entries.iter().map(|e| 4 + e.encoded_len()).sum::<usize>()
+}
+
+fn finish(buf: Bytes) -> Result<(), MetaError> {
+    if buf.has_remaining() {
+        Err(MetaError::Codec(format!(
+            "{} trailing bytes after message",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl RegistryRequest {
+    /// Serialize for a byte-stream transport. `encoded_len` is exact.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            RegistryRequest::Get { key } => {
+                buf.put_u8(tag::REQ_GET);
+                put_key(&mut buf, key);
+            }
+            RegistryRequest::Put { entry } => {
+                buf.put_u8(tag::REQ_PUT);
+                buf.put_u32_le(entry.encoded_len() as u32);
+                buf.put_slice(&entry.to_bytes());
+            }
+            RegistryRequest::Absorb { entries } => {
+                buf.put_u8(tag::REQ_ABSORB);
+                put_entries(&mut buf, entries);
+            }
+            RegistryRequest::Remove { key } => {
+                buf.put_u8(tag::REQ_REMOVE);
+                put_key(&mut buf, key);
+            }
+            RegistryRequest::DeltaPull { since } => {
+                buf.put_u8(tag::REQ_DELTA_PULL);
+                buf.put_u64_le(*since);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize one request. Total: errors on garbage, truncation, and
+    /// trailing bytes; entry strings are zero-copy views into `buf`.
+    pub fn decode(mut buf: Bytes) -> Result<RegistryRequest, MetaError> {
+        if !buf.has_remaining() {
+            return Err(MetaError::Codec("empty request".into()));
+        }
+        let req = match buf.get_u8() {
+            tag::REQ_GET => RegistryRequest::Get {
+                key: get_key(&mut buf)?,
+            },
+            tag::REQ_PUT => RegistryRequest::Put {
+                entry: RegistryEntry::from_bytes(get_prefixed(&mut buf)?)?,
+            },
+            tag::REQ_ABSORB => RegistryRequest::Absorb {
+                entries: get_entries(&mut buf)?,
+            },
+            tag::REQ_REMOVE => RegistryRequest::Remove {
+                key: get_key(&mut buf)?,
+            },
+            tag::REQ_DELTA_PULL => {
+                if buf.remaining() < 8 {
+                    return Err(MetaError::Codec("truncated delta-pull watermark".into()));
+                }
+                RegistryRequest::DeltaPull {
+                    since: buf.get_u64_le(),
+                }
+            }
+            other => return Err(MetaError::Codec(format!("bad request tag {other}"))),
+        };
+        finish(buf)?;
+        Ok(req)
+    }
+
+    /// Exact serialized size in bytes (`encode().len()`), used for frame
+    /// accounting by the network transports.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            RegistryRequest::Get { key } | RegistryRequest::Remove { key } => 4 + key.len(),
+            RegistryRequest::Put { entry } => 4 + entry.encoded_len(),
+            RegistryRequest::Absorb { entries } => entries_encoded_len(entries),
+            RegistryRequest::DeltaPull { .. } => 8,
+        }
+    }
+}
+
+impl RegistryResponse {
+    /// Serialize for a byte-stream transport. `encoded_len` is exact.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            RegistryResponse::Found { entry } => {
+                buf.put_u8(tag::RESP_FOUND);
+                buf.put_u32_le(entry.encoded_len() as u32);
+                buf.put_slice(&entry.to_bytes());
+            }
+            RegistryResponse::Ack => buf.put_u8(tag::RESP_ACK),
+            RegistryResponse::Delta { entries } => {
+                buf.put_u8(tag::RESP_DELTA);
+                put_entries(&mut buf, entries);
+            }
+            RegistryResponse::Error { error } => {
+                buf.put_u8(tag::RESP_ERROR);
+                match error {
+                    MetaError::NotFound => buf.put_u8(tag::ERR_NOT_FOUND),
+                    MetaError::Unavailable => buf.put_u8(tag::ERR_UNAVAILABLE),
+                    MetaError::Contention => buf.put_u8(tag::ERR_CONTENTION),
+                    MetaError::Codec(msg) => {
+                        buf.put_u8(tag::ERR_CODEC);
+                        put_prefixed(&mut buf, msg.as_bytes());
+                    }
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize one response. Total, like [`RegistryRequest::decode`].
+    pub fn decode(mut buf: Bytes) -> Result<RegistryResponse, MetaError> {
+        if !buf.has_remaining() {
+            return Err(MetaError::Codec("empty response".into()));
+        }
+        let resp = match buf.get_u8() {
+            tag::RESP_FOUND => RegistryResponse::Found {
+                entry: RegistryEntry::from_bytes(get_prefixed(&mut buf)?)?,
+            },
+            tag::RESP_ACK => RegistryResponse::Ack,
+            tag::RESP_DELTA => RegistryResponse::Delta {
+                entries: get_entries(&mut buf)?,
+            },
+            tag::RESP_ERROR => {
+                if !buf.has_remaining() {
+                    return Err(MetaError::Codec("truncated error tag".into()));
+                }
+                let error = match buf.get_u8() {
+                    tag::ERR_NOT_FOUND => MetaError::NotFound,
+                    tag::ERR_UNAVAILABLE => MetaError::Unavailable,
+                    tag::ERR_CONTENTION => MetaError::Contention,
+                    tag::ERR_CODEC => {
+                        let raw = get_prefixed(&mut buf)?;
+                        let msg = std::str::from_utf8(&raw)
+                            .map_err(|e| MetaError::Codec(e.to_string()))?;
+                        MetaError::Codec(msg.to_string())
+                    }
+                    other => return Err(MetaError::Codec(format!("bad error tag {other}"))),
+                };
+                RegistryResponse::Error { error }
+            }
+            other => return Err(MetaError::Codec(format!("bad response tag {other}"))),
+        };
+        finish(buf)?;
+        Ok(resp)
+    }
+
+    /// Exact serialized size in bytes (`encode().len()`).
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            RegistryResponse::Found { entry } => 4 + entry.encoded_len(),
+            RegistryResponse::Ack => 0,
+            RegistryResponse::Delta { entries } => entries_encoded_len(entries),
+            RegistryResponse::Error { error } => match error {
+                MetaError::Codec(msg) => 1 + 4 + msg.len(),
+                _ => 1,
+            },
         }
     }
 }
@@ -170,5 +445,93 @@ mod tests {
         );
         assert!(RegistryResponse::Ack.into_entry().is_err());
         assert!(RegistryResponse::Found { entry: e }.into_ack().is_err());
+    }
+
+    fn request_shapes() -> Vec<RegistryRequest> {
+        vec![
+            RegistryRequest::Get { key: "a/b".into() },
+            RegistryRequest::Put { entry: entry("f") },
+            RegistryRequest::Absorb { entries: vec![] },
+            RegistryRequest::Absorb {
+                entries: (0..3).map(|i| entry(&format!("e{i}"))).collect(),
+            },
+            RegistryRequest::Remove { key: "gone".into() },
+            RegistryRequest::DeltaPull { since: u64::MAX },
+        ]
+    }
+
+    fn response_shapes() -> Vec<RegistryResponse> {
+        vec![
+            RegistryResponse::Found { entry: entry("f") },
+            RegistryResponse::Ack,
+            RegistryResponse::Delta { entries: vec![] },
+            RegistryResponse::Delta {
+                entries: (0..3).map(|i| entry(&format!("d{i}"))).collect(),
+            },
+            RegistryResponse::Error {
+                error: MetaError::NotFound,
+            },
+            RegistryResponse::Error {
+                error: MetaError::Unavailable,
+            },
+            RegistryResponse::Error {
+                error: MetaError::Contention,
+            },
+            RegistryResponse::Error {
+                error: MetaError::Codec("bad frame".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn wire_roundtrip_every_variant() {
+        for req in request_shapes() {
+            let wire = req.encode();
+            assert_eq!(wire.len(), req.encoded_len(), "{req:?}");
+            assert_eq!(RegistryRequest::decode(wire).unwrap(), req);
+        }
+        for resp in response_shapes() {
+            let wire = resp.encode();
+            assert_eq!(wire.len(), resp.encoded_len(), "{resp:?}");
+            assert_eq!(RegistryResponse::decode(wire).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_trailing_bytes() {
+        let mut wire = bytes::BytesMut::new();
+        wire.extend_from_slice(&RegistryRequest::DeltaPull { since: 3 }.encode());
+        wire.extend_from_slice(b"x");
+        assert!(RegistryRequest::decode(wire.freeze()).is_err());
+        let mut wire = bytes::BytesMut::new();
+        wire.extend_from_slice(&RegistryResponse::Ack.encode());
+        wire.extend_from_slice(b"x");
+        assert!(RegistryResponse::decode(wire.freeze()).is_err());
+    }
+
+    #[test]
+    fn wire_decode_is_zero_copy_for_entry_strings() {
+        let wire = RegistryRequest::Put {
+            entry: entry("montage/tile_0042.fits"),
+        }
+        .encode();
+        let range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        match RegistryRequest::decode(wire.clone()).unwrap() {
+            RegistryRequest::Put { entry } => {
+                assert!(range.contains(&(entry.name.as_str().as_ptr() as usize)));
+            }
+            other => panic!("decoded wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_implausible_counts() {
+        // Absorb claiming 2^30 entries with a 10-byte body must be rejected
+        // before any allocation.
+        let mut raw = bytes::BytesMut::new();
+        raw.put_u8(3); // REQ_ABSORB
+        raw.put_u32_le(1 << 30);
+        raw.extend_from_slice(&[0u8; 10]);
+        assert!(RegistryRequest::decode(raw.freeze()).is_err());
     }
 }

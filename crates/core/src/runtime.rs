@@ -1,0 +1,716 @@
+//! The transport-generic service runtime.
+//!
+//! Every real deployment of the registry — threads + channels
+//! ([`crate::live`]), TCP sockets (`geometa-net`), or any future backend
+//! (UDS, real WAN) — needs the same machinery: registry instances per
+//! site, a serving dispatch, tracked service threads, a delay line for
+//! asynchronous propagation, sync-agent driving for the replicated
+//! strategy, failure injection, and graceful shutdown. This module owns
+//! all of it once; a deployment only supplies a [`ConnectionLayer`] — the
+//! piece that moves `RegistryRequest`/`RegistryResponse` bytes between a
+//! client and a site's server.
+//!
+//! Layering:
+//!
+//! ```text
+//! StrategyClient<L::Transport>            (plans → RPCs)
+//!         │ call / cast
+//! L::Transport: RegistryTransport         (connection layer, client side)
+//!         │ channel send / framed TCP / …
+//! ConnectionLayer serving loops           (connection layer, server side)
+//!         │ ServiceCore::serve
+//! RegistryInstance                        (one per site; shared by sim,
+//!                                          live and net deployments)
+//! ```
+//!
+//! The DES binding (`geometa_experiments::simbind`) intentionally stays
+//! outside: virtual time cannot run on real threads. Everything below the
+//! transport — `RegistryInstance`, the strategies, `SyncAgentState` — is
+//! the exact code the simulator drives, which is what makes live/net runs
+//! comparable to simulated ones.
+
+use crate::client::{ClientConfig, StrategyClient};
+use crate::controller::ArchitectureController;
+use crate::protocol::{RegistryRequest, RegistryResponse};
+use crate::registry::RegistryInstance;
+use crate::strategy::StrategyKind;
+use crate::sync_agent::SyncAgentState;
+use crate::transport::{InProcessTransport, RegistryTransport};
+use crate::MetaError;
+use geometa_sim::topology::{SiteId, Topology};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration shared by every runtime-backed deployment.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    /// Site layout and latency matrix.
+    pub topology: Topology,
+    /// Which of the four strategies to run.
+    pub kind: StrategyKind,
+    /// Shards per registry cache.
+    pub shards: usize,
+    /// Real-time interval between sync-agent cycles (replicated strategy).
+    pub sync_interval: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            topology: Topology::azure_4dc(),
+            kind: StrategyKind::DhtLocalReplica,
+            shards: 16,
+            sync_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A deferred job executed by the delay line.
+struct DelayedJob {
+    due: Instant,
+    seq: u64,
+    job: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for DelayedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedJob {}
+impl PartialOrd for DelayedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (due, seq).
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Executes closures at deadlines; the asynchronous-propagation spine.
+pub struct DelayLine {
+    heap: Mutex<BinaryHeap<DelayedJob>>,
+    cond: Condvar,
+    seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl DelayLine {
+    /// A fresh delay line (the runtime spawns its worker).
+    pub fn new() -> Arc<DelayLine> {
+        Arc::new(DelayLine {
+            heap: Mutex::new(BinaryHeap::new()),
+            cond: Condvar::new(),
+            seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Schedule `job` to run after `delay`.
+    pub fn schedule(&self, delay: Duration, job: Box<dyn FnOnce() + Send>) {
+        let due = Instant::now() + delay;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.heap.lock().push(DelayedJob { due, seq, job });
+        self.cond.notify_one();
+    }
+
+    /// The worker loop: pops jobs in deadline order until [`Self::stop`].
+    pub fn run_worker(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut heap = self.heap.lock();
+                loop {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match heap.peek() {
+                        None => {
+                            self.cond.wait(&mut heap);
+                        }
+                        Some(top) => {
+                            let now = Instant::now();
+                            if top.due <= now {
+                                break heap.pop().expect("peeked job exists");
+                            }
+                            let due = top.due;
+                            self.cond.wait_until(&mut heap, due);
+                        }
+                    }
+                }
+            };
+            (job.job)();
+        }
+    }
+
+    /// Stop the worker; pending jobs are dropped.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+}
+
+/// Everything a connection layer serves from: the registry instances, the
+/// strategy controller, the logical clock, the delay line and the
+/// shutdown flag. Shared (via `Arc`) between the runtime, the layer's
+/// serving threads, and client transports.
+pub struct ServiceCore {
+    topology: Arc<Topology>,
+    registries: HashMap<SiteId, Arc<RegistryInstance>>,
+    controller: Arc<ArchitectureController>,
+    delay: Arc<DelayLine>,
+    epoch: Instant,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServiceCore {
+    fn new(config: &RuntimeConfig) -> Arc<ServiceCore> {
+        let topology = Arc::new(config.topology.clone());
+        let sites: Vec<SiteId> = topology.site_ids().collect();
+        let registries = sites
+            .iter()
+            .map(|&s| (s, Arc::new(RegistryInstance::new(s, config.shards))))
+            .collect();
+        Arc::new(ServiceCore {
+            topology,
+            registries,
+            controller: Arc::new(ArchitectureController::with_kind(config.kind, sites)),
+            delay: DelayLine::new(),
+            epoch: Instant::now(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The strategy controller (runtime switching).
+    pub fn controller(&self) -> &Arc<ArchitectureController> {
+        &self.controller
+    }
+
+    /// The shared delay line (asynchronous propagation).
+    pub fn delay_line(&self) -> &Arc<DelayLine> {
+        &self.delay
+    }
+
+    /// Monotonic logical clock in microseconds since runtime start.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Whether shutdown has begun (serving loops poll this).
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Direct handle to a site's registry (diagnostics/tests).
+    pub fn registry(&self, site: SiteId) -> Option<&Arc<RegistryInstance>> {
+        self.registries.get(&site)
+    }
+
+    /// Serve one request against `site`'s registry — the single dispatch
+    /// every connection layer calls, so registry semantics live in exactly
+    /// one place ([`InProcessTransport::serve`]).
+    pub fn serve(&self, site: SiteId, req: RegistryRequest) -> RegistryResponse {
+        match self.registries.get(&site) {
+            Some(r) => InProcessTransport::serve(r, req, self.now_micros()),
+            None => RegistryResponse::Error {
+                error: MetaError::Unavailable,
+            },
+        }
+    }
+
+    /// Fault injection: kill `site`'s primary cache mid-traffic. The
+    /// serving loops keep running; the next operation drives the HaCache
+    /// primary→replica promotion. Returns whether the site hosts a
+    /// registry.
+    pub fn fail_primary(&self, site: SiteId) -> bool {
+        match self.registries.get(&site) {
+            Some(r) => {
+                r.fail_primary();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Tracked thread spawning: every thread a layer starts is joined by
+/// [`ServiceRuntime::shutdown`], which is what makes the no-leaked-threads
+/// guarantee checkable.
+pub struct Spawner {
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Spawner {
+    /// Spawn a named service thread owned by the runtime.
+    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce() + Send + 'static) {
+        self.threads.push(
+            std::thread::Builder::new()
+                .name(name.into())
+                .spawn(f)
+                .expect("spawn service thread"),
+        );
+    }
+}
+
+/// The piece a deployment supplies: how request/response bytes move
+/// between a client and a site's server. Implementations: channels +
+/// injected WAN sleep (`crate::live::ChannelLayer`), framed TCP
+/// (`geometa_net::TcpLayer`).
+pub trait ConnectionLayer: Send {
+    /// The client-side transport this layer hands to [`StrategyClient`]s.
+    type Transport: RegistryTransport + 'static;
+
+    /// Start the serving side for every site in `core`'s topology. All
+    /// threads must go through `spawner` so shutdown can join them.
+    fn start(&mut self, core: &Arc<ServiceCore>, spawner: &mut Spawner);
+
+    /// A client transport viewed from `site`. Returned as `Arc` so layers
+    /// whose transports are location-independent (TCP: routing is per
+    /// target, and the pooled connections + cast pump are expensive) can
+    /// hand every client a clone of one shared instance.
+    fn transport(&self, core: &Arc<ServiceCore>, site: SiteId) -> Arc<Self::Transport>;
+
+    /// Called once at shutdown, after the core's shutdown flag is set:
+    /// unblock any serving threads parked in a blocking wait (channel
+    /// `recv`, socket `accept`) so they can observe the flag and exit.
+    fn unblock(&self);
+}
+
+/// A running deployment: the [`ServiceCore`], the connection layer, and
+/// every service thread (serving loops, delay line, sync agent).
+pub struct ServiceRuntime<L: ConnectionLayer> {
+    core: Arc<ServiceCore>,
+    layer: L,
+    threads: Vec<JoinHandle<()>>,
+    sync_interval: Duration,
+}
+
+impl<L: ConnectionLayer> ServiceRuntime<L> {
+    /// Boot registries for every site, start the layer's serving side, the
+    /// delay-line worker and — for the replicated strategy — the sync
+    /// agent (driven over the layer's own transport, so propagation pays
+    /// the same latency clients do).
+    pub fn start(config: RuntimeConfig, mut layer: L) -> ServiceRuntime<L> {
+        let core = ServiceCore::new(&config);
+        let mut spawner = Spawner {
+            threads: Vec::new(),
+        };
+        {
+            let delay = Arc::clone(core.delay_line());
+            spawner.spawn("delay-line", move || delay.run_worker());
+        }
+        layer.start(&core, &mut spawner);
+        let mut runtime = ServiceRuntime {
+            core,
+            layer,
+            threads: spawner.threads,
+            sync_interval: config.sync_interval,
+        };
+        if config.kind == StrategyKind::Replicated {
+            runtime.spawn_sync_agent();
+        }
+        runtime
+    }
+
+    fn spawn_sync_agent(&mut self) {
+        let sites: Vec<SiteId> = self.core.topology.site_ids().collect();
+        let agent_site = sites[0];
+        let transport = self.layer.transport(&self.core, agent_site);
+        let shutdown = Arc::clone(&self.core.shutdown);
+        let interval = self.sync_interval;
+        let mut spawner = Spawner {
+            threads: std::mem::take(&mut self.threads),
+        };
+        spawner.spawn("sync-agent", move || {
+            drive_sync_agent(&*transport, &sites, interval, &shutdown)
+        });
+        self.threads = spawner.threads;
+    }
+
+    /// The shared service core.
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// The connection layer (e.g. to read bound socket addresses).
+    pub fn layer(&self) -> &L {
+        &self.layer
+    }
+
+    /// Create a client for a node at `site`.
+    pub fn client(&self, site: SiteId, node: u32) -> StrategyClient<L::Transport> {
+        StrategyClient::new(
+            self.layer.transport(&self.core, site),
+            Arc::clone(&self.core.controller),
+            ClientConfig { site, node },
+        )
+    }
+
+    /// The strategy controller (for runtime switching).
+    pub fn controller(&self) -> &Arc<ArchitectureController> {
+        &self.core.controller
+    }
+
+    /// Direct handle to a site's registry (diagnostics/tests).
+    pub fn registry(&self, site: SiteId) -> Option<&Arc<RegistryInstance>> {
+        self.core.registry(site)
+    }
+
+    /// Fault injection; see [`ServiceCore::fail_primary`].
+    pub fn inject_registry_failure(&self, site: SiteId) -> bool {
+        self.core.fail_primary(site)
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
+    }
+
+    /// Stop and join every service thread. Idempotent; returns the number
+    /// of threads joined (0 on a repeated call).
+    pub fn shutdown(mut self) -> usize {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> usize {
+        if self.core.shutdown.swap(true, Ordering::AcqRel) {
+            return 0;
+        }
+        self.core.delay.stop();
+        self.layer.unblock();
+        let joined = self.threads.len();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        joined
+    }
+}
+
+impl<L: ConnectionLayer> Drop for ServiceRuntime<L> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Entries per Absorb push issued by the sync agent. A recovering site
+/// can face an arbitrarily large re-pulled window (rollback keeps the
+/// window open while writes accumulate); pushing it as one message
+/// would eventually exceed a network transport's frame/entry caps and
+/// livelock replication. Bounded chunks (~a few hundred KB each) always
+/// fit, and a mid-window failure just re-pulls — absorb is idempotent.
+pub const SYNC_PUSH_CHUNK: usize = 4096;
+
+/// The generic sync-agent loop: poll every site for its delta through
+/// `transport`, integrate, and push to the others — the live and net
+/// deployments run the exact same driver over their own transports.
+///
+/// Delivery is *acked*: pushes go through blocking `call` (the agent is
+/// a background thread; the paper's agent is sequential anyway), because
+/// a fire-and-forget `cast` may legitimately be dropped by a network
+/// transport (bounded pump queue, unreachable peer) and the agent is the
+/// replicated strategy's durability mechanism — it must not advance past
+/// entries that never arrived. Failures roll the source watermark back
+/// so the window is re-pulled and re-pushed next cycle (absorb is
+/// idempotent, so double delivery is harmless). A failed pull likewise
+/// leaves the watermark untouched.
+pub fn drive_sync_agent<T: RegistryTransport>(
+    transport: &T,
+    sites: &[SiteId],
+    interval: Duration,
+    shutdown: &AtomicBool,
+) {
+    let mut state = SyncAgentState::new(sites.to_vec());
+    while !shutdown.load(Ordering::Acquire) {
+        for &site in sites {
+            if shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let prev_watermark = state.watermark(site);
+            let pull_time = transport.now_micros();
+            let resp = transport.call(
+                site,
+                RegistryRequest::DeltaPull {
+                    since: prev_watermark,
+                },
+            );
+            let delta = match resp {
+                RegistryResponse::Delta { entries } => entries,
+                _ => continue, // pull failed: keep the watermark, retry next cycle
+            };
+            // Back the watermark off by 1us so same-tick writes are
+            // re-pulled (absorb is idempotent).
+            let pushes = state.integrate(site, delta, pull_time.saturating_sub(1));
+            'pushes: for push in pushes {
+                for chunk in push.entries.chunks(SYNC_PUSH_CHUNK) {
+                    let resp = transport.call(
+                        push.target,
+                        RegistryRequest::Absorb {
+                            entries: chunk.to_vec(),
+                        },
+                    );
+                    if resp.into_ack().is_err() {
+                        state.rollback_watermark(site, prev_watermark);
+                        break 'pushes; // re-pull this window next cycle
+                    }
+                }
+            }
+        }
+        state.cycle_done();
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn delay_line_executes_in_deadline_order() {
+        let delay = DelayLine::new();
+        let d2 = Arc::clone(&delay);
+        let worker = std::thread::spawn(move || d2.run_worker());
+        let (tx, rx) = unbounded();
+        let t1 = tx.clone();
+        let t2 = tx.clone();
+        delay.schedule(
+            Duration::from_millis(20),
+            Box::new(move || {
+                let _ = t1.send(2u32);
+            }),
+        );
+        delay.schedule(
+            Duration::from_millis(5),
+            Box::new(move || {
+                let _ = t2.send(1u32);
+            }),
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+        delay.stop();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn failed_pull_keeps_the_watermark() {
+        // A transport whose DeltaPull to site 1 always errors: the agent
+        // must keep polling it with `since == 0` rather than advancing
+        // past updates it never saw.
+        struct Flaky {
+            pulls: std::sync::Mutex<Vec<(SiteId, u64)>>,
+        }
+        impl RegistryTransport for Flaky {
+            fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+                if let RegistryRequest::DeltaPull { since } = req {
+                    self.pulls.lock().unwrap().push((target, since));
+                }
+                if target == SiteId(1) {
+                    RegistryResponse::Error {
+                        error: MetaError::Unavailable,
+                    }
+                } else {
+                    RegistryResponse::Delta {
+                        entries: Vec::new(),
+                    }
+                }
+            }
+            fn cast(&self, _target: SiteId, _req: RegistryRequest) {}
+            fn now_micros(&self) -> u64 {
+                42
+            }
+            fn sites(&self) -> Vec<SiteId> {
+                vec![SiteId(0), SiteId(1)]
+            }
+        }
+        let transport = Flaky {
+            pulls: std::sync::Mutex::new(Vec::new()),
+        };
+        let shutdown = AtomicBool::new(false);
+        let sites = [SiteId(0), SiteId(1)];
+        // Run exactly two cycles by flipping the flag from a watcher
+        // thread after a short delay.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                shutdown.store(true, Ordering::Release);
+            });
+            drive_sync_agent(&transport, &sites, Duration::from_millis(5), &shutdown);
+        });
+        let pulls = transport.pulls.lock().unwrap();
+        let site1: Vec<u64> = pulls
+            .iter()
+            .filter(|(s, _)| *s == SiteId(1))
+            .map(|(_, since)| *since)
+            .collect();
+        assert!(site1.len() >= 2, "agent ran at least two cycles");
+        assert!(
+            site1.iter().all(|&w| w == 0),
+            "failed pulls must not advance the watermark: {site1:?}"
+        );
+        let site0: Vec<u64> = pulls
+            .iter()
+            .filter(|(s, _)| *s == SiteId(0))
+            .map(|(_, since)| *since)
+            .collect();
+        assert!(
+            site0.iter().skip(1).all(|&w| w == 41),
+            "successful pulls advance to pull_time-1: {site0:?}"
+        );
+    }
+
+    #[test]
+    fn failed_push_rolls_the_watermark_back() {
+        use crate::entry::{FileLocation, RegistryEntry};
+        // Site 0 always has a delta; pushes to site 1 always fail. The
+        // agent must keep re-pulling site 0 from 0 (rollback), not
+        // advance past entries site 1 never received.
+        struct PushBlackhole {
+            pulls: std::sync::Mutex<Vec<u64>>,
+        }
+        impl RegistryTransport for PushBlackhole {
+            fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+                match req {
+                    RegistryRequest::DeltaPull { since } => {
+                        if target == SiteId(0) {
+                            self.pulls.lock().unwrap().push(since);
+                            RegistryResponse::Delta {
+                                entries: vec![RegistryEntry::new(
+                                    "f",
+                                    1,
+                                    FileLocation {
+                                        site: SiteId(0),
+                                        node: 0,
+                                    },
+                                    5,
+                                )],
+                            }
+                        } else {
+                            RegistryResponse::Delta {
+                                entries: Vec::new(),
+                            }
+                        }
+                    }
+                    RegistryRequest::Absorb { .. } => RegistryResponse::Error {
+                        error: MetaError::Unavailable,
+                    },
+                    _ => RegistryResponse::Ack,
+                }
+            }
+            fn cast(&self, _target: SiteId, _req: RegistryRequest) {}
+            fn now_micros(&self) -> u64 {
+                42
+            }
+            fn sites(&self) -> Vec<SiteId> {
+                vec![SiteId(0), SiteId(1)]
+            }
+        }
+        let transport = PushBlackhole {
+            pulls: std::sync::Mutex::new(Vec::new()),
+        };
+        let shutdown = AtomicBool::new(false);
+        let sites = [SiteId(0), SiteId(1)];
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                shutdown.store(true, Ordering::Release);
+            });
+            drive_sync_agent(&transport, &sites, Duration::from_millis(5), &shutdown);
+        });
+        let pulls = transport.pulls.lock().unwrap();
+        assert!(pulls.len() >= 2, "agent ran at least two cycles");
+        assert!(
+            pulls.iter().all(|&w| w == 0),
+            "undelivered pushes must roll the watermark back for a re-pull: {pulls:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_windows_push_in_bounded_chunks() {
+        use crate::entry::{FileLocation, RegistryEntry};
+        // A re-pulled window larger than one frame can carry must go out
+        // as several bounded Absorbs, not one undeliverable message.
+        let n_entries = SYNC_PUSH_CHUNK * 2 + 17;
+        struct BigDelta {
+            served: std::sync::atomic::AtomicBool,
+            n: usize,
+            absorb_sizes: std::sync::Mutex<Vec<usize>>,
+        }
+        impl RegistryTransport for BigDelta {
+            fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+                match req {
+                    RegistryRequest::DeltaPull { .. } => {
+                        if target == SiteId(0) && !self.served.swap(true, Ordering::AcqRel) {
+                            RegistryResponse::Delta {
+                                entries: (0..self.n)
+                                    .map(|i| {
+                                        RegistryEntry::new(
+                                            format!("f{i}"),
+                                            1,
+                                            FileLocation {
+                                                site: SiteId(0),
+                                                node: 0,
+                                            },
+                                            5,
+                                        )
+                                    })
+                                    .collect(),
+                            }
+                        } else {
+                            RegistryResponse::Delta {
+                                entries: Vec::new(),
+                            }
+                        }
+                    }
+                    RegistryRequest::Absorb { entries } => {
+                        self.absorb_sizes.lock().unwrap().push(entries.len());
+                        RegistryResponse::Ack
+                    }
+                    _ => RegistryResponse::Ack,
+                }
+            }
+            fn cast(&self, _target: SiteId, _req: RegistryRequest) {}
+            fn now_micros(&self) -> u64 {
+                42
+            }
+            fn sites(&self) -> Vec<SiteId> {
+                vec![SiteId(0), SiteId(1)]
+            }
+        }
+        let transport = BigDelta {
+            served: std::sync::atomic::AtomicBool::new(false),
+            n: n_entries,
+            absorb_sizes: std::sync::Mutex::new(Vec::new()),
+        };
+        let shutdown = AtomicBool::new(false);
+        let sites = [SiteId(0), SiteId(1)];
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                shutdown.store(true, Ordering::Release);
+            });
+            drive_sync_agent(&transport, &sites, Duration::from_millis(5), &shutdown);
+        });
+        let sizes = transport.absorb_sizes.lock().unwrap();
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            n_entries,
+            "window delivered whole"
+        );
+        assert!(
+            sizes.iter().all(|&s| s <= SYNC_PUSH_CHUNK),
+            "every push bounded: {sizes:?}"
+        );
+        assert!(sizes.len() >= 3, "window split into chunks: {sizes:?}");
+    }
+}

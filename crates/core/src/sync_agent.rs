@@ -88,6 +88,17 @@ impl SyncAgentState {
             .collect()
     }
 
+    /// Roll `site`'s watermark back to at most `to` (no-op if already
+    /// lower). Drivers call this when a push derived from the site's
+    /// delta could not be delivered: the next cycle re-pulls the same
+    /// window and re-pushes everywhere (absorb is idempotent, so targets
+    /// that did receive the first attempt are unharmed).
+    pub fn rollback_watermark(&mut self, site: SiteId, to: u64) {
+        if let Some(w) = self.watermark.get_mut(&site) {
+            *w = (*w).min(to);
+        }
+    }
+
     /// Mark a full poll cycle complete.
     pub fn cycle_done(&mut self) {
         self.cycles += 1;
@@ -184,5 +195,15 @@ mod tests {
     #[should_panic(expected = "at least two instances")]
     fn single_site_agent_is_rejected() {
         let _ = SyncAgentState::new(vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn rollback_lowers_but_never_raises() {
+        let mut a = agent();
+        a.integrate(SiteId(0), vec![], 100);
+        a.rollback_watermark(SiteId(0), 40);
+        assert_eq!(a.watermark(SiteId(0)), 40);
+        a.rollback_watermark(SiteId(0), 90);
+        assert_eq!(a.watermark(SiteId(0)), 40, "rollback must not advance");
     }
 }

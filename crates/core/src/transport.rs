@@ -1,13 +1,14 @@
 //! Transport abstraction between metadata clients and registry instances.
 //!
 //! The strategy layer produces *plans*; a transport executes individual
-//! RPCs. Three transports exist in the project:
+//! RPCs. Four transports exist in the project:
 //!
 //! * [`InProcessTransport`] (here) — direct function calls into registry
 //!   instances, zero latency. Used by unit tests, examples and as the
 //!   building block of the others.
 //! * `geometa_core::live` — real threads and channels with injected WAN
 //!   delay.
+//! * `geometa_net` — framed TCP sockets (pooling, reconnecting client).
 //! * `geometa_experiments::simbind` — the discrete-event simulation
 //!   binding.
 
@@ -24,11 +25,17 @@ pub trait RegistryTransport: Send + Sync {
     /// Blocking RPC to the registry instance at `target`.
     fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse;
 
-    /// Fire-and-forget send (the lazy propagation path). Default: a
-    /// blocking call whose response is dropped.
-    fn cast(&self, target: SiteId, req: RegistryRequest) {
-        let _ = self.call(target, req);
-    }
+    /// Fire-and-forget send (the lazy propagation path).
+    ///
+    /// **Contract:** `cast` must not block on the target's flight latency
+    /// or service time — a slow or unreachable target cannot be allowed to
+    /// stall the caller's lazy path. There is deliberately *no* default
+    /// implementation: an earlier default ("blocking `call`, drop the
+    /// response") silently violated this for any transport with real
+    /// latency, so every transport now states its delivery mechanism
+    /// explicitly (in-process: serve inline — zero latency; live: delay
+    /// line; net: background cast pump).
+    fn cast(&self, target: SiteId, req: RegistryRequest);
 
     /// Monotonic logical clock in microseconds (stamped onto writes).
     fn now_micros(&self) -> u64;
@@ -95,6 +102,16 @@ impl RegistryTransport for InProcessTransport {
             None => RegistryResponse::Error {
                 error: MetaError::Unavailable,
             },
+        }
+    }
+
+    /// Zero-latency fire-and-forget: serve inline, drop the response. With
+    /// no network in the way there is nothing to defer — the registry op
+    /// itself is the only cost, so the caller cannot be stalled by flight
+    /// latency.
+    fn cast(&self, target: SiteId, req: RegistryRequest) {
+        if let Some(r) = self.registries.get(&target) {
+            let _ = Self::serve(r, req, self.now_micros());
         }
     }
 

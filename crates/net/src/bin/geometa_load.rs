@@ -1,0 +1,202 @@
+//! `geometa-load` — closed-loop seeded load generator for a TCP registry
+//! cluster.
+//!
+//! ```text
+//! geometa-load [--quick] [--connect ip:port,ip:port,...] [--sites 4]
+//!              [--strategy dht-local-replica] [--workload all|synthetic|montage|buzzflow]
+//!              [--nodes 32] [--ops 200] [--seed 61444]
+//!              [--out BENCH_5.json] [--baseline BENCH_4.json]
+//! ```
+//!
+//! Without `--connect`, spawns its own 4-site cluster on ephemeral
+//! loopback ports (still real sockets) — the CI `net-smoke` path uses an
+//! external `geometa-server` instead. Workers replay the synthetic and
+//! Montage/BuzzFlow op streams (`geometa_workflow::apps::ops`) closed
+//! loop — one client thread per execution node, next op only after the
+//! previous completed — and the run reports sustained throughput plus
+//! p50/p90/p99 latency into `BENCH_5.json`, embedding `--baseline` (the
+//! committed BENCH_4 snapshot) for review-time comparison.
+
+use geometa_core::controller::ArchitectureController;
+use geometa_core::runtime::{RuntimeConfig, ServiceRuntime};
+use geometa_core::strategy::StrategyKind;
+use geometa_core::{ClientConfig, StrategyClient};
+use geometa_net::cli::{flag_value, parse_strategy};
+use geometa_net::loadgen::{run_stream, LoadOptions, LoadReport};
+use geometa_net::{loopback_topology, transport_for, TcpClientTransport, TcpLayer};
+use geometa_sim::time::SimDuration;
+use geometa_sim::topology::SiteId;
+use geometa_workflow::apps::buzzflow::buzzflow_with_total_ops;
+use geometa_workflow::apps::montage::montage_with_total_ops;
+use geometa_workflow::apps::ops::{synthetic_streams, workflow_streams, OpStream};
+use geometa_workflow::apps::synthetic::SyntheticSpec;
+use geometa_workflow::scheduler::{node_grid, schedule, SchedulerPolicy};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct WorkloadResult {
+    name: &'static str,
+    report: LoadReport,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let strategy = flag_value(&args, "--strategy")
+        .map(|v| parse_strategy(&v).unwrap_or_else(|| panic!("unknown strategy '{v}'")))
+        .unwrap_or(StrategyKind::DhtLocalReplica);
+    let workload = flag_value(&args, "--workload").unwrap_or_else(|| "all".into());
+    let nodes: usize = flag_value(&args, "--nodes")
+        .map(|v| v.parse().expect("--nodes takes a positive integer"))
+        .unwrap_or(32);
+    let ops_per_node: usize = flag_value(&args, "--ops")
+        .map(|v| v.parse().expect("--ops takes a positive integer"))
+        .unwrap_or(if quick { 40 } else { 200 });
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(0xF004);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_5.json".into());
+    let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_4.json".into());
+    let connect = flag_value(&args, "--connect");
+    let n_sites: usize = flag_value(&args, "--sites")
+        .map(|v| v.parse().expect("--sites takes a positive integer"))
+        .unwrap_or(4);
+
+    // The cluster: external (--connect) or self-spawned on ephemeral ports.
+    let mut spawned: Option<ServiceRuntime<TcpLayer>> = None;
+    let addrs: Vec<SocketAddr> = match &connect {
+        Some(list) => list
+            .split(',')
+            .map(|a| {
+                a.parse()
+                    .unwrap_or_else(|e| panic!("bad address '{a}': {e}"))
+            })
+            .collect(),
+        None => {
+            let rt = ServiceRuntime::start(
+                RuntimeConfig {
+                    topology: loopback_topology(n_sites),
+                    kind: strategy,
+                    shards: 16,
+                    sync_interval: Duration::from_millis(5),
+                },
+                TcpLayer::ephemeral(),
+            );
+            let mut pairs: Vec<_> = rt.layer().addrs().iter().map(|(s, a)| (*s, *a)).collect();
+            pairs.sort_by_key(|(s, _)| *s);
+            let addrs = pairs.into_iter().map(|(_, a)| a).collect();
+            spawned = Some(rt);
+            addrs
+        }
+    };
+    let sites: Vec<SiteId> = (0..addrs.len() as u16).map(SiteId).collect();
+    eprintln!(
+        "geometa-load: {} sites ({}), strategy {}, workload {workload}, quick={quick}",
+        sites.len(),
+        if connect.is_some() {
+            "external"
+        } else {
+            "spawned"
+        },
+        strategy.label()
+    );
+
+    // One shared pooling transport + client-side controller; every worker
+    // thread gets its own StrategyClient view over them.
+    let transport = transport_for(&addrs, Duration::from_secs(10));
+    let controller = Arc::new(ArchitectureController::with_kind(strategy, sites.clone()));
+    let make_client = |site: SiteId, node: u32| -> StrategyClient<TcpClientTransport> {
+        StrategyClient::new(
+            Arc::clone(&transport),
+            Arc::clone(&controller),
+            ClientConfig { site, node },
+        )
+    };
+
+    let opts = LoadOptions::default();
+    let mut results: Vec<WorkloadResult> = Vec::new();
+    let run = |name: &'static str, stream: &OpStream| -> WorkloadResult {
+        let report = run_stream(make_client, stream, &opts)
+            .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+        eprintln!(
+            "  {name:<10} {:>8} ops  {:>10.0} ops/s  p50 {:>7.1}us  p90 {:>7.1}us  p99 {:>7.1}us  max {:>8.1}us  ({} retries)",
+            report.total_ops, report.throughput, report.p50_us, report.p90_us, report.p99_us, report.max_us, report.retries
+        );
+        WorkloadResult { name, report }
+    };
+
+    if workload == "all" || workload == "synthetic" {
+        let spec = SyntheticSpec {
+            nodes,
+            ops_per_node,
+            compute_per_op: SimDuration::ZERO,
+            seed,
+        };
+        let stream = synthetic_streams(&spec, &sites);
+        results.push(run("synthetic", &stream));
+    }
+    if workload == "all" || workload == "montage" {
+        let target = if quick { 2_000 } else { 16_000 };
+        let w = montage_with_total_ops(target, 32, SimDuration::ZERO);
+        let grid = node_grid(&sites, (nodes / sites.len()).max(1) as u32);
+        let placement = schedule(&w, &grid, SchedulerPolicy::LocalityAware);
+        let stream = workflow_streams(&w, &placement);
+        results.push(run("montage", &stream));
+    }
+    if workload == "all" || workload == "buzzflow" {
+        let target = if quick { 1_500 } else { 7_200 };
+        let w = buzzflow_with_total_ops(target, 6, 8, SimDuration::ZERO);
+        let grid = node_grid(&sites, (nodes / sites.len()).max(1) as u32);
+        let placement = schedule(&w, &grid, SchedulerPolicy::LocalityAware);
+        let stream = workflow_streams(&w, &placement);
+        results.push(run("buzzflow", &stream));
+    }
+    assert!(!results.is_empty(), "unknown --workload '{workload}'");
+
+    if out != "none" {
+        let baseline = std::fs::read_to_string(&baseline_path).ok();
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"schema\": \"geometa-net-load/1\",\n  \"quick\": {quick},\n  \
+             \"strategy\": \"{}\",\n  \"sites\": {},\n  \"transport\": \"tcp-loopback\",\n  \
+             \"workloads\": {{\n",
+            strategy.label(),
+            sites.len()
+        ));
+        for (i, r) in results.iter().enumerate() {
+            let comma = if i + 1 == results.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    \"{}\": {{\"total_ops\": {}, \"wall_secs\": {:.3}, \
+                 \"throughput_ops_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"max_us\": {:.1}, \"resolve_retries\": {}}}{}\n",
+                r.name,
+                r.report.total_ops,
+                r.report.wall.as_secs_f64(),
+                r.report.throughput,
+                r.report.p50_us,
+                r.report.p90_us,
+                r.report.p99_us,
+                r.report.max_us,
+                r.report.retries,
+                comma
+            ));
+        }
+        json.push_str("  }");
+        if let Some(base) = baseline {
+            json.push_str(",\n  \"baseline\": ");
+            json.push_str(base.trim_end());
+            json.push('\n');
+        } else {
+            json.push('\n');
+        }
+        json.push_str("}\n");
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        eprintln!("wrote {out}");
+    }
+
+    if let Some(rt) = spawned {
+        let joined = rt.shutdown();
+        eprintln!("cluster shut down ({joined} threads joined)");
+    }
+}

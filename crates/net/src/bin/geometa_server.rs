@@ -1,0 +1,72 @@
+//! `geometa-server` — boot an N-site registry cluster on loopback TCP.
+//!
+//! ```text
+//! geometa-server [--sites 4] [--base-port 7420] [--strategy dht-local-replica]
+//!                [--shards 16] [--duration SECS]
+//! ```
+//!
+//! Prints one `LISTEN site=<i> addr=<ip:port>` line per site and then
+//! `READY`. Runs until stdin closes (so a parent process owns the
+//! lifetime) or, with `--duration`, for a fixed wall-clock window.
+//! `--base-port 0` picks ephemeral ports (the printed addresses are the
+//! source of truth either way).
+
+use geometa_core::runtime::{RuntimeConfig, ServiceRuntime};
+use geometa_core::strategy::StrategyKind;
+use geometa_net::cli::{flag_value, parse_strategy};
+use geometa_net::{loopback_topology, TcpConfig, TcpLayer};
+use std::io::Read;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sites: usize = flag_value(&args, "--sites")
+        .map(|v| v.parse().expect("--sites takes a positive integer"))
+        .unwrap_or(4);
+    let base_port: u16 = flag_value(&args, "--base-port")
+        .map(|v| v.parse().expect("--base-port takes a port number"))
+        .unwrap_or(7420);
+    let strategy = flag_value(&args, "--strategy")
+        .map(|v| parse_strategy(&v).unwrap_or_else(|| panic!("unknown strategy '{v}'")))
+        .unwrap_or(StrategyKind::DhtLocalReplica);
+    let shards: usize = flag_value(&args, "--shards")
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(16);
+    let duration = flag_value(&args, "--duration")
+        .map(|v| Duration::from_secs_f64(v.parse().expect("--duration takes seconds")));
+
+    let runtime = ServiceRuntime::start(
+        RuntimeConfig {
+            topology: loopback_topology(sites),
+            kind: strategy,
+            shards,
+            sync_interval: Duration::from_millis(5),
+        },
+        TcpLayer::new(TcpConfig {
+            base_port,
+            ..TcpConfig::default()
+        }),
+    );
+
+    let mut addrs: Vec<_> = runtime.layer().addrs().iter().collect();
+    addrs.sort_by_key(|(site, _)| **site);
+    for (site, addr) in addrs {
+        println!("LISTEN site={} addr={addr}", site.0);
+    }
+    println!("READY strategy={} sites={sites}", strategy.label());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    match duration {
+        Some(d) => std::thread::sleep(d),
+        None => {
+            // Parent owns our lifetime: run until stdin closes.
+            let mut sink = [0u8; 1024];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    let joined = runtime.shutdown();
+    println!("STOPPED joined_threads={joined}");
+}

@@ -1,0 +1,57 @@
+//! Tiny argument helpers shared by the `geometa-server` and
+//! `geometa-load` binaries (one strategy vocabulary, one flag syntax —
+//! the two processes of the CI smoke flow must never diverge).
+
+use geometa_core::strategy::StrategyKind;
+
+/// Parse the kebab-case strategy names the binaries accept.
+pub fn parse_strategy(s: &str) -> Option<StrategyKind> {
+    match s {
+        "centralized" => Some(StrategyKind::Centralized),
+        "replicated" => Some(StrategyKind::Replicated),
+        "dht" | "dht-non-replicated" => Some(StrategyKind::DhtNonReplicated),
+        "dht-local-replica" | "dr" => Some(StrategyKind::DhtLocalReplica),
+        _ => None,
+    }
+}
+
+/// The value of `--name VALUE` or `--name=VALUE`, if present.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_flag_syntaxes_parse() {
+        let args: Vec<String> = ["--sites", "4", "--strategy=dr"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--sites").as_deref(), Some("4"));
+        assert_eq!(flag_value(&args, "--strategy").as_deref(), Some("dr"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn every_strategy_has_a_name() {
+        for (name, kind) in [
+            ("centralized", StrategyKind::Centralized),
+            ("replicated", StrategyKind::Replicated),
+            ("dht-non-replicated", StrategyKind::DhtNonReplicated),
+            ("dht-local-replica", StrategyKind::DhtLocalReplica),
+        ] {
+            assert_eq!(parse_strategy(name), Some(kind));
+        }
+        assert_eq!(parse_strategy("bogus"), None);
+    }
+}

@@ -1,0 +1,305 @@
+//! The TCP client transport: pooled, reconnecting, with a background
+//! cast pump so the lazy path never blocks on a slow target.
+
+use crate::frame::{write_frame_with_mode, Fill, FrameReader};
+use crate::server::{MODE_CALL, MODE_CAST};
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use geometa_core::protocol::{RegistryRequest, RegistryResponse};
+use geometa_core::transport::RegistryTransport;
+use geometa_core::MetaError;
+use geometa_sim::topology::SiteId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// TCP connect deadline for calls.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Cast-pump connect deadline: shorter, so a down site costs little.
+const CAST_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// Cast-pump per-write deadline: a target that accepts but stops reading
+/// (full socket buffer) fails the write instead of head-of-line-blocking
+/// lazy pushes to every other site — and instead of hanging the pump
+/// join in `Drop`.
+const CAST_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+/// Bounded cast queue: when the pump falls this far behind, new casts are
+/// dropped. Lazy pushes are best-effort — a miss at the hash owner is
+/// repaired by the next read probing further, and the *sync agent* never
+/// uses `cast` (it requires acked delivery; see
+/// `geometa_core::runtime::drive_sync_agent`).
+const CAST_QUEUE: usize = 4096;
+/// After a failed connect/write to a target, the pump skips that target's
+/// casts for this long instead of paying connect timeouts per message — a
+/// black-holed site must not head-of-line-block pushes to healthy sites.
+const CAST_DEAD_PEER_COOLDOWN: Duration = Duration::from_secs(1);
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// A pooled, reconnecting [`RegistryTransport`] over framed TCP.
+///
+/// * **Pooling** — completed calls return their connection to a per-site
+///   free list; concurrent calls from many threads each check out their
+///   own connection (the server is thread-per-connection).
+/// * **Reconnecting** — an I/O error drops the connection and the call
+///   retries once on a fresh one before reporting `Unavailable`.
+/// * **Fire-and-forget casts** — `cast` hands the pre-encoded frame to a
+///   background pump thread with its own connections; the caller returns
+///   immediately, so a slow or dead target cannot stall the lazy path.
+pub struct TcpClientTransport {
+    addrs: HashMap<SiteId, SocketAddr>,
+    pool: Mutex<HashMap<SiteId, Vec<Conn>>>,
+    pool_per_site: usize,
+    cast_tx: Option<Sender<(SiteId, bytes::Bytes)>>,
+    cast_worker: Option<std::thread::JoinHandle<()>>,
+    closing: Arc<std::sync::atomic::AtomicBool>,
+    call_timeout: Duration,
+    epoch: Instant,
+}
+
+impl TcpClientTransport {
+    /// A transport dialing `addrs` (lazily, per call). Routing is fully
+    /// determined by the target argument of each call, so one instance is
+    /// shared by clients at every site. `pool_per_site` should cover the
+    /// expected call concurrency — below it, excess connections are
+    /// closed after each call (fresh handshake + server thread churn).
+    pub fn new(
+        addrs: HashMap<SiteId, SocketAddr>,
+        pool_per_site: usize,
+        call_timeout: Duration,
+    ) -> TcpClientTransport {
+        let (cast_tx, cast_rx) = bounded::<(SiteId, bytes::Bytes)>(CAST_QUEUE);
+        let pump_addrs = addrs.clone();
+        let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let pump_closing = Arc::clone(&closing);
+        let cast_worker = std::thread::Builder::new()
+            .name("tcp-cast-pump".into())
+            .spawn(move || {
+                let mut conns: HashMap<SiteId, TcpStream> = HashMap::new();
+                let mut dead_until: HashMap<SiteId, Instant> = HashMap::new();
+                while let Ok((target, body)) = cast_rx.recv() {
+                    // On close, discard the backlog instead of pushing it
+                    // through (possibly wedged) peers — otherwise Drop
+                    // could wait queue_len × write_timeout.
+                    if pump_closing.load(std::sync::atomic::Ordering::Acquire) {
+                        break;
+                    }
+                    let Some(&addr) = pump_addrs.get(&target) else {
+                        continue;
+                    };
+                    // Dead-peer cooldown: casts to a recently failed
+                    // target drop instantly rather than paying connect
+                    // timeouts per message and starving other sites.
+                    if dead_until.get(&target).is_some_and(|&t| Instant::now() < t) {
+                        continue;
+                    }
+                    // One reconnect attempt per message; on failure the
+                    // cast is dropped (lazy pushes are best-effort — the
+                    // strategies re-converge via absorb idempotence).
+                    // Every write is deadline-armed, so a stalled target
+                    // costs at most CAST_WRITE_TIMEOUT before the pump
+                    // moves on to the next message.
+                    let mut delivered = false;
+                    for _ in 0..2 {
+                        let ok = match conns.entry(target) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                let ok = write_frame_with_mode(e.get_mut(), MODE_CAST, &body)
+                                    .and_then(|()| e.get_mut().flush())
+                                    .is_ok();
+                                if !ok {
+                                    e.remove();
+                                }
+                                ok
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                match TcpStream::connect_timeout(&addr, CAST_CONNECT_TIMEOUT) {
+                                    Ok(mut s) => {
+                                        let _ = s.set_nodelay(true);
+                                        let _ = s.set_write_timeout(Some(CAST_WRITE_TIMEOUT));
+                                        let ok = write_frame_with_mode(&mut s, MODE_CAST, &body)
+                                            .and_then(|()| s.flush())
+                                            .is_ok();
+                                        if ok {
+                                            e.insert(s);
+                                        }
+                                        ok
+                                    }
+                                    Err(_) => false,
+                                }
+                            }
+                        };
+                        if ok {
+                            delivered = true;
+                            break;
+                        }
+                    }
+                    if delivered {
+                        dead_until.remove(&target);
+                    } else {
+                        dead_until.insert(target, Instant::now() + CAST_DEAD_PEER_COOLDOWN);
+                    }
+                }
+            })
+            .expect("spawn cast pump");
+        TcpClientTransport {
+            addrs,
+            pool: Mutex::new(HashMap::new()),
+            pool_per_site: pool_per_site.max(1),
+            cast_tx: Some(cast_tx),
+            cast_worker: Some(cast_worker),
+            closing,
+            call_timeout,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A connection to `target`: pooled if allowed, else freshly dialed.
+    fn checkout(&self, target: SiteId, fresh: bool) -> std::io::Result<Conn> {
+        if !fresh {
+            if let Some(conn) = self
+                .pool
+                .lock()
+                .get_mut(&target)
+                .and_then(|free| free.pop())
+            {
+                return Ok(conn);
+            }
+        }
+        let addr = self
+            .addrs
+            .get(&target)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unknown site"))?;
+        let stream = TcpStream::connect_timeout(addr, CONNECT_TIMEOUT)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+        Ok(Conn {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    fn checkin(&self, target: SiteId, conn: Conn) {
+        // A connection with buffered partial state is out of sync: drop it.
+        if !conn.reader.is_clean() {
+            return;
+        }
+        let mut pool = self.pool.lock();
+        let free = pool.entry(target).or_default();
+        if free.len() < self.pool_per_site {
+            free.push(conn);
+        }
+    }
+
+    /// One request/response exchange on one connection.
+    fn exchange(&self, conn: &mut Conn, body: &[u8]) -> std::io::Result<RegistryResponse> {
+        write_frame_with_mode(&mut conn.stream, MODE_CALL, body)?;
+        conn.stream.flush()?;
+        let deadline = Instant::now() + self.call_timeout;
+        loop {
+            if let Some(body) = conn.reader.next_frame()? {
+                return RegistryResponse::decode(body).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                });
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "call deadline exceeded",
+                ));
+            }
+            match conn.reader.fill(&mut conn.stream)? {
+                Fill::Progress | Fill::Idle => {}
+                Fill::Eof => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed mid-call",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl RegistryTransport for TcpClientTransport {
+    fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+        let body = req.encode();
+        // First attempt on a pooled (possibly stale) connection; the
+        // retry bypasses the pool entirely so a batch of connections
+        // staled together (server restart) cannot burn both attempts.
+        for attempt in 0..2 {
+            let mut conn = match self.checkout(target, attempt > 0) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            match self.exchange(&mut conn, &body) {
+                Ok(resp) => {
+                    self.checkin(target, conn);
+                    return resp;
+                }
+                Err(_) if attempt == 0 => {} // drop the conn, retry fresh
+                Err(_) => break,
+            }
+        }
+        RegistryResponse::Error {
+            error: MetaError::Unavailable,
+        }
+    }
+
+    /// Enqueue on the cast pump; never blocks on the target. When the
+    /// pump is `CAST_QUEUE` messages behind, the cast is dropped rather
+    /// than growing the queue without bound (best-effort semantics).
+    fn cast(&self, target: SiteId, req: RegistryRequest) {
+        if let Some(tx) = &self.cast_tx {
+            if let Err(TrySendError::Full(_)) = tx.try_send((target, req.encode())) {
+                // Dropped: the pump is saturated or wedged on a slow peer.
+            }
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn sites(&self) -> Vec<SiteId> {
+        let mut s: Vec<SiteId> = self.addrs.keys().copied().collect();
+        s.sort();
+        s
+    }
+}
+
+impl Drop for TcpClientTransport {
+    fn drop(&mut self) {
+        // Flag first so the pump discards any backlog, then close the
+        // channel so it wakes and exits; join is bounded by at most one
+        // in-flight write timeout.
+        self.closing
+            .store(true, std::sync::atomic::Ordering::Release);
+        drop(self.cast_tx.take());
+        if let Some(h) = self.cast_worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Idle-pool depth when the caller doesn't tune it: covers the load
+/// generator's default 32 worker threads spread over 4 sites.
+pub const DEFAULT_POOL_PER_SITE: usize = 16;
+
+/// Convenience: a transport for a cluster listening on `addrs[i]` for
+/// site *i* (the `geometa-load --connect` path).
+pub fn transport_for(addrs: &[SocketAddr], call_timeout: Duration) -> Arc<TcpClientTransport> {
+    let map = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (SiteId(i as u16), a))
+        .collect();
+    Arc::new(TcpClientTransport::new(
+        map,
+        DEFAULT_POOL_PER_SITE,
+        call_timeout,
+    ))
+}

@@ -1,0 +1,226 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame is `u32_le body_len` followed by `body_len` bytes. The reader
+//! is *incremental*: it accumulates whatever the stream yields and pops
+//! complete frames when available, so a read timeout in the middle of a
+//! frame (the server's shutdown-observation tick) loses nothing — the
+//! partial bytes stay buffered and the next fill continues where the
+//! stream left off.
+
+use bytes::Bytes;
+use std::io::{Read, Write};
+
+/// Hard cap on one frame body; larger prefixes are a protocol error
+/// (protects the server from a garbage length burning 4 GiB).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Write one frame (length prefix + body).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Write one frame whose body is a mode byte followed by `body` — without
+/// materializing the concatenation (the request hot path would otherwise
+/// copy every encoded message just to prepend one byte). Two writes: a
+/// 5-byte stack header, then the payload.
+pub fn write_frame_with_mode(w: &mut impl Write, mode: u8, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(body.len() < MAX_FRAME);
+    let mut head = [0u8; 5];
+    head[..4].copy_from_slice(&((body.len() + 1) as u32).to_le_bytes());
+    head[4] = mode;
+    w.write_all(&head)?;
+    w.write_all(body)
+}
+
+/// What one [`FrameReader::fill`] call observed on the stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Fill {
+    /// Bytes arrived (complete frames may now be poppable).
+    Progress,
+    /// The peer closed the stream cleanly.
+    Eof,
+    /// The read timed out / would block; buffered state is intact.
+    Idle,
+}
+
+/// Incremental frame decoder for a blocking (possibly timeout-armed)
+/// stream.
+///
+/// Consumed frames advance a cursor instead of memmoving the buffer
+/// tail, so popping N pipelined frames is O(total bytes), not
+/// O(N × buffered). The one remaining copy per frame (buffer → owned
+/// `Bytes`) is what lets the decoded message's `MetaStr` views outlive
+/// the reusable read buffer.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    start: usize,
+}
+
+impl FrameReader {
+    /// A fresh reader with no buffered bytes.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Pull more bytes off `r`. Timeouts surface as [`Fill::Idle`] rather
+    /// than errors so callers can poll a shutdown flag and carry on.
+    pub fn fill(&mut self, r: &mut impl Read) -> std::io::Result<Fill> {
+        let mut chunk = [0u8; 16 * 1024];
+        match r.read(&mut chunk) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(n) => {
+                self.compact();
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(Fill::Progress)
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(Fill::Idle)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(Fill::Idle),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reclaim consumed space (amortized: only when fully drained or the
+    /// dead prefix has grown past a threshold).
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Pop one complete frame if buffered. `Err` on an implausible length
+    /// prefix (the connection should be dropped).
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Bytes>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds cap {MAX_FRAME}"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = Bytes::copy_from_slice(&avail[4..4 + len]);
+        self.start += 4 + len;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Whether any partial bytes are buffered (a pooled connection must be
+    /// clean before reuse).
+    pub fn is_clean(&self) -> bool {
+        self.start == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Read that yields its script one slice per call, then EOF.
+    struct Script {
+        parts: Vec<Vec<u8>>,
+        at: usize,
+    }
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.at >= self.parts.len() {
+                return Ok(0);
+            }
+            let part = &self.parts[self.at];
+            out[..part.len()].copy_from_slice(part);
+            self.at += 1;
+            Ok(part.len())
+        }
+    }
+
+    fn framed(body: &[u8]) -> Vec<u8> {
+        let mut v = (body.len() as u32).to_le_bytes().to_vec();
+        v.extend_from_slice(body);
+        v
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_fragmentation() {
+        let wire: Vec<u8> = [framed(b"hello"), framed(b""), framed(b"world!")].concat();
+        // Split the wire at every byte boundary pair.
+        for split in 0..wire.len() {
+            let mut r = FrameReader::new();
+            let mut src = Script {
+                parts: vec![wire[..split].to_vec(), wire[split..].to_vec()]
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .collect(),
+                at: 0,
+            };
+            let mut got = Vec::new();
+            loop {
+                while let Some(f) = r.next_frame().unwrap() {
+                    got.push(f);
+                }
+                match r.fill(&mut src).unwrap() {
+                    Fill::Eof => break,
+                    _ => continue,
+                }
+            }
+            assert_eq!(got.len(), 3, "split at {split}");
+            assert_eq!(&got[0][..], b"hello");
+            assert_eq!(&got[1][..], b"");
+            assert_eq!(&got[2][..], b"world!");
+            assert!(r.is_clean());
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_an_error_not_an_allocation() {
+        let mut r = FrameReader::new();
+        let mut src = Script {
+            parts: vec![u32::MAX.to_le_bytes().to_vec()],
+            at: 0,
+        };
+        assert_eq!(r.fill(&mut src).unwrap(), Fill::Progress);
+        assert!(r.next_frame().is_err());
+    }
+
+    #[test]
+    fn mode_framing_matches_concatenation() {
+        let mut a = Vec::new();
+        write_frame(&mut a, &[7u8, 1, 2, 3]).unwrap();
+        let mut b = Vec::new();
+        write_frame_with_mode(&mut b, 7, &[1, 2, 3]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        write_frame(&mut wire, &[0u8; 100]).unwrap();
+        let mut r = FrameReader::new();
+        let mut src = Script {
+            parts: vec![wire],
+            at: 0,
+        };
+        r.fill(&mut src).unwrap();
+        assert_eq!(&r.next_frame().unwrap().unwrap()[..], b"abc");
+        assert_eq!(r.next_frame().unwrap().unwrap().len(), 100);
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! # geometa-net — the registry over real TCP sockets
+//!
+//! The first real network binding of the metadata registry: the same
+//! [`ServiceRuntime`](geometa_core::runtime::ServiceRuntime) that powers
+//! the threaded channel deployment (`geometa_core::live`), plugged into a
+//! framed-TCP [`ConnectionLayer`](geometa_core::runtime::ConnectionLayer).
+//! `std::net` only — no external networking crates.
+//!
+//! * [`frame`] — length-prefixed framing with a timeout-safe incremental
+//!   reader;
+//! * [`server`] — [`TcpLayer`]: one loopback listener per site,
+//!   thread-per-connection with a bounded accept pool, requests served
+//!   through the shared `ServiceCore` dispatch;
+//! * [`client`] — [`TcpClientTransport`]: pooling, reconnecting, with a
+//!   background cast pump so lazy pushes never stall on a slow target;
+//! * [`loadgen`] — the closed-loop seeded load generator driving
+//!   synthetic / Montage / BuzzFlow op streams
+//!   (`geometa_workflow::apps::ops`) and reporting latency percentiles.
+//!
+//! Binaries: `geometa-server` boots an N-site cluster on loopback ports;
+//! `geometa-load` drives it (or a self-spawned cluster) and writes
+//! `BENCH_5.json`.
+//!
+//! ```
+//! use geometa_core::runtime::{RuntimeConfig, ServiceRuntime};
+//! use geometa_net::TcpLayer;
+//! use geometa_sim::topology::SiteId;
+//!
+//! let cluster = ServiceRuntime::start(RuntimeConfig::default(), TcpLayer::ephemeral());
+//! let client = cluster.client(SiteId(0), 0);
+//! client.publish("over-tcp.dat", 4096).unwrap();   // a real socket round trip
+//! assert_eq!(client.resolve("over-tcp.dat").unwrap().size, 4096);
+//! cluster.shutdown();
+//! ```
+
+pub mod cli;
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod server;
+
+pub use client::{transport_for, TcpClientTransport};
+pub use loadgen::{LoadOptions, LoadReport};
+pub use server::{TcpConfig, TcpLayer};
+
+/// A loopback topology with `n` sites (for deployments that are not the
+/// paper's 4-DC testbed; latencies are the builder's same-region
+/// defaults, which only matter to the strategies' plan geometry here —
+/// real flight time comes from the actual sockets).
+pub fn loopback_topology(n: usize) -> geometa_sim::topology::Topology {
+    assert!(n >= 1, "need at least one site");
+    if n == 4 {
+        return geometa_sim::topology::Topology::azure_4dc();
+    }
+    let mut b = geometa_sim::topology::Topology::builder();
+    for i in 0..n {
+        b = b.site(&format!("site-{i}"), geometa_sim::topology::Region(0));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometa_core::protocol::{RegistryRequest, RegistryResponse};
+    use geometa_core::runtime::{ConnectionLayer, RuntimeConfig, ServiceRuntime};
+    use geometa_core::strategy::StrategyKind;
+    use geometa_core::transport::RegistryTransport;
+    use geometa_sim::topology::SiteId;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    fn runtime(kind: StrategyKind) -> ServiceRuntime<TcpLayer> {
+        ServiceRuntime::start(
+            RuntimeConfig {
+                kind,
+                shards: 8,
+                ..RuntimeConfig::default()
+            },
+            TcpLayer::ephemeral(),
+        )
+    }
+
+    #[test]
+    fn call_roundtrip_over_sockets() {
+        let rt = runtime(StrategyKind::Centralized);
+        let c = rt.client(SiteId(1), 0);
+        for i in 0..25 {
+            c.publish(&format!("tcp/{i}"), 10).unwrap();
+        }
+        let r = rt.client(SiteId(3), 0);
+        for i in 0..25 {
+            assert_eq!(r.resolve(&format!("tcp/{i}")).unwrap().size, 10);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn lazy_pushes_propagate_over_sockets() {
+        let rt = runtime(StrategyKind::DhtLocalReplica);
+        let w = rt.client(SiteId(0), 0);
+        for i in 0..25 {
+            w.publish(&format!("lazy/{i}"), 10).unwrap();
+        }
+        let remote = rt.client(SiteId(2), 0);
+        for i in 0..25 {
+            let res = remote.resolve_with_retry(&format!("lazy/{i}"), 400, |_| {
+                std::thread::sleep(Duration::from_millis(1))
+            });
+            assert!(res.is_ok(), "lazy/{i} never arrived over TCP");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn replicated_sync_agent_runs_over_sockets() {
+        let rt = runtime(StrategyKind::Replicated);
+        let w = rt.client(SiteId(1), 0);
+        for i in 0..10 {
+            w.publish(&format!("rep/{i}"), 10).unwrap();
+        }
+        let r = rt.client(SiteId(3), 0);
+        for i in 0..10 {
+            let res = r.resolve_with_retry(&format!("rep/{i}"), 500, |_| {
+                std::thread::sleep(Duration::from_millis(2))
+            });
+            assert!(res.is_ok(), "rep/{i} never synced over TCP");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unavailable_after_shutdown_and_unknown_site() {
+        let rt = runtime(StrategyKind::Centralized);
+        let transport = rt.layer().transport(rt.core(), SiteId(0));
+        assert!(matches!(
+            transport.call(SiteId(9), RegistryRequest::DeltaPull { since: 0 }),
+            RegistryResponse::Error { .. }
+        ));
+        rt.shutdown();
+        assert!(matches!(
+            transport.call(SiteId(0), RegistryRequest::DeltaPull { since: 0 }),
+            RegistryResponse::Error { .. }
+        ));
+    }
+
+    /// The satellite regression: a target that accepts but never serves
+    /// must not stall the caller's lazy path. `cast` returns in
+    /// microseconds while the sink sits on the bytes forever.
+    #[test]
+    fn slow_target_cannot_stall_the_lazy_path() {
+        // A black-hole server: accepts the pump's connection, never reads.
+        let sink = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = sink.local_addr().unwrap();
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let sink_thread = std::thread::spawn(move || {
+            let held = sink.accept().ok();
+            let _ = stop_rx.recv_timeout(Duration::from_secs(5));
+            drop(held);
+        });
+
+        let addrs = std::iter::once((SiteId(0), addr)).collect();
+        let transport = TcpClientTransport::new(addrs, 4, Duration::from_secs(5));
+        // Batches big enough that the total (64 × ~120 KB ≈ 8 MB) far
+        // exceeds any loopback socket buffer: the pump's *writes* wedge,
+        // not just its queue — exercising the write-timeout path.
+        let entries: Vec<geometa_core::RegistryEntry> = (0..2000)
+            .map(|i| {
+                geometa_core::RegistryEntry::new(
+                    format!("lazy/slow/{i}"),
+                    1,
+                    geometa_core::FileLocation {
+                        site: SiteId(0),
+                        node: 0,
+                    },
+                    0,
+                )
+            })
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..64 {
+            transport.cast(
+                SiteId(0),
+                RegistryRequest::Absorb {
+                    entries: entries.clone(),
+                },
+            );
+        }
+        let enqueue = t0.elapsed();
+        assert!(
+            enqueue < Duration::from_millis(250),
+            "64 casts to a black-hole target took {enqueue:?} — the lazy path stalled"
+        );
+        // Teardown must be bounded too: the pump discards its backlog on
+        // close instead of pushing 8 MB through a peer that never reads.
+        let t0 = Instant::now();
+        drop(transport);
+        let teardown = t0.elapsed();
+        assert!(
+            teardown < Duration::from_secs(3),
+            "dropping the transport blocked {teardown:?} on the wedged target"
+        );
+        let _ = stop_tx.send(());
+        sink_thread.join().unwrap();
+    }
+
+    /// Garbage frames get an error response (CALL) or are dropped (CAST);
+    /// the connection and the server survive.
+    #[test]
+    fn malformed_frames_do_not_kill_the_server() {
+        let rt = runtime(StrategyKind::Centralized);
+        let addr = rt.layer().addrs()[&SiteId(0)];
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        // CALL mode with a garbage body: expect an Error response.
+        crate::frame::write_frame(&mut raw, &[super::server::MODE_CALL, 0xFF, 0xFF]).unwrap();
+        let mut reader = crate::frame::FrameReader::new();
+        let resp = loop {
+            if let Some(f) = reader.next_frame().unwrap() {
+                break RegistryResponse::decode(f).unwrap();
+            }
+            let mut chunk = [0u8; 1024];
+            let n = raw.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed instead of answering");
+            reader_extend(&mut reader, &chunk[..n]);
+        };
+        assert!(matches!(resp, RegistryResponse::Error { .. }));
+        // The same server still serves real traffic.
+        let c = rt.client(SiteId(0), 0);
+        c.publish("after-garbage", 1).unwrap();
+        assert!(c.resolve("after-garbage").is_ok());
+        rt.shutdown();
+    }
+
+    // Feed raw bytes into a FrameReader via its Read-based fill.
+    fn reader_extend(reader: &mut crate::frame::FrameReader, mut bytes: &[u8]) {
+        let _ = reader.fill(&mut bytes);
+    }
+}

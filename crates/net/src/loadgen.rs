@@ -1,0 +1,216 @@
+//! Closed-loop, seeded load generation over any [`RegistryTransport`].
+//!
+//! One OS thread per node stream replays its operations back-to-back
+//! (closed loop: the next op issues only when the previous completed), so
+//! offered load adapts to service capacity instead of overrunning it.
+//! Resolves of not-yet-published files retry with backoff, exactly like
+//! the workflow engine's input polling. Every completed operation's
+//! latency (including its retries — that is the latency the workflow
+//! would observe) lands in a per-thread buffer; buffers merge into exact
+//! percentiles at the end.
+
+use geometa_core::transport::RegistryTransport;
+use geometa_core::{MetaError, StrategyClient};
+use geometa_workflow::apps::ops::{MetaOp, OpStream};
+use std::time::{Duration, Instant};
+
+/// Executor tuning.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Attempts for a `Resolve` that keeps missing before the run fails.
+    pub max_resolve_attempts: usize,
+    /// Backoff between resolve attempts.
+    pub resolve_backoff: Duration,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            max_resolve_attempts: 10_000,
+            resolve_backoff: Duration::from_micros(200),
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Completed metadata operations.
+    pub total_ops: u64,
+    /// Resolve retries (reads that raced propagation).
+    pub retries: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Operations per second (closed-loop sustained throughput).
+    pub throughput: f64,
+    /// Latency percentiles over every completed op, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Slowest op.
+    pub max_us: f64,
+}
+
+impl LoadReport {
+    fn from_latencies(mut lat_ns: Vec<u64>, retries: u64, wall: Duration) -> LoadReport {
+        lat_ns.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if lat_ns.is_empty() {
+                return 0.0;
+            }
+            let idx = ((lat_ns.len() as f64 * p).ceil() as usize).clamp(1, lat_ns.len()) - 1;
+            lat_ns[idx] as f64 / 1_000.0
+        };
+        let total_ops = lat_ns.len() as u64;
+        LoadReport {
+            total_ops,
+            retries,
+            wall,
+            throughput: total_ops as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            max_us: lat_ns.last().map_or(0.0, |&n| n as f64 / 1_000.0),
+        }
+    }
+}
+
+/// Replay `stream` closed-loop, one thread per node, building each node's
+/// client with `make_client`. Returns the merged latency report, or the
+/// first per-node error.
+pub fn run_stream<T, F>(
+    make_client: F,
+    stream: &OpStream,
+    opts: &LoadOptions,
+) -> Result<LoadReport, String>
+where
+    T: RegistryTransport,
+    F: Fn(geometa_sim::topology::SiteId, u32) -> StrategyClient<T> + Sync,
+{
+    // Pre-publish external inputs (they "exist" before the run).
+    if let Some(first) = stream.nodes.first() {
+        let bootstrap = make_client(first.site, first.node);
+        for (name, size) in &stream.externals {
+            bootstrap
+                .publish(name, *size)
+                .map_err(|e| format!("pre-publish {name}: {e}"))?;
+        }
+    }
+
+    let start = Instant::now();
+    let results: Vec<Result<(Vec<u64>, u64), String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(stream.nodes.len());
+        for node in &stream.nodes {
+            let make_client = &make_client;
+            handles.push(scope.spawn(move || {
+                let client = make_client(node.site, node.node);
+                let mut lat_ns = Vec::with_capacity(node.ops.len());
+                let mut retries = 0u64;
+                for op in &node.ops {
+                    let t0 = Instant::now();
+                    match op {
+                        MetaOp::Publish { name, size } => {
+                            client
+                                .publish(name, *size)
+                                .map_err(|e| format!("publish {name}: {e}"))?;
+                        }
+                        MetaOp::Resolve { name } => {
+                            let mut attempt = 0;
+                            loop {
+                                match client.resolve(name) {
+                                    Ok(_) => break,
+                                    Err(MetaError::NotFound)
+                                        if attempt + 1 < opts.max_resolve_attempts =>
+                                    {
+                                        attempt += 1;
+                                        retries += 1;
+                                        std::thread::sleep(opts.resolve_backoff);
+                                    }
+                                    Err(e) => return Err(format!("resolve {name}: {e}")),
+                                }
+                            }
+                        }
+                    }
+                    lat_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+                Ok((lat_ns, retries))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("node thread panicked".into()))
+            })
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let mut lat_ns = Vec::new();
+    let mut retries = 0;
+    for r in results {
+        let (l, n) = r?;
+        lat_ns.extend(l);
+        retries += n;
+    }
+    Ok(LoadReport::from_latencies(lat_ns, retries, wall))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometa_core::controller::ArchitectureController;
+    use geometa_core::strategy::StrategyKind;
+    use geometa_core::transport::InProcessTransport;
+    use geometa_core::ClientConfig;
+    use geometa_sim::topology::SiteId;
+    use geometa_workflow::apps::ops::synthetic_streams;
+    use geometa_workflow::apps::synthetic::SyntheticSpec;
+    use std::sync::Arc;
+
+    #[test]
+    fn closed_loop_synthetic_over_in_process_transport() {
+        let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+        let transport = Arc::new(InProcessTransport::new(&sites, 8));
+        let controller = Arc::new(ArchitectureController::with_kind(
+            StrategyKind::DhtLocalReplica,
+            sites.clone(),
+        ));
+        let spec = SyntheticSpec {
+            nodes: 8,
+            ops_per_node: 50,
+            compute_per_op: geometa_sim::time::SimDuration::ZERO,
+            seed: 7,
+        };
+        let stream = synthetic_streams(&spec, &sites);
+        let report = run_stream(
+            |site, node| {
+                StrategyClient::new(
+                    Arc::clone(&transport),
+                    Arc::clone(&controller),
+                    ClientConfig { site, node },
+                )
+            },
+            &stream,
+            &LoadOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.total_ops, spec.total_ops() as u64);
+        assert!(report.throughput > 0.0);
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.p99_us <= report.max_us);
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_known_data() {
+        let lat: Vec<u64> = (1..=100).map(|i| i * 1_000).collect(); // 1..100 us
+        let r = LoadReport::from_latencies(lat, 0, Duration::from_secs(1));
+        assert_eq!(r.p50_us, 50.0);
+        assert_eq!(r.p90_us, 90.0);
+        assert_eq!(r.p99_us, 99.0);
+        assert_eq!(r.max_us, 100.0);
+        assert_eq!(r.total_ops, 100);
+    }
+}

@@ -1,0 +1,300 @@
+//! The framed-TCP connection layer: one listener per site, a bounded
+//! thread-per-connection accept pool, and the shared request dispatch.
+//!
+//! Wire protocol (on top of [`crate::frame`]):
+//!
+//! * client → server: frame body = `[mode u8][RegistryRequest]` where
+//!   mode 0 = CALL (a response frame follows) and mode 1 = CAST
+//!   (fire-and-forget, no response);
+//! * server → client: frame body = `[RegistryResponse]`.
+//!
+//! A malformed request never kills the connection thread: CALLs answer
+//! with `RegistryResponse::Error` (the codec is total), CASTs are
+//! dropped. Connection threads arm a short read timeout so they observe
+//! the runtime's shutdown flag; the accept loop is unblocked at shutdown
+//! by a dummy loopback connection and then joins every connection thread
+//! it spawned — which is what lets the runtime guarantee no leaked
+//! threads.
+
+use crate::client::TcpClientTransport;
+use crate::frame::{write_frame, Fill, FrameReader};
+use geometa_core::protocol::{RegistryRequest, RegistryResponse};
+use geometa_core::runtime::{ConnectionLayer, ServiceCore, Spawner};
+use geometa_core::MetaError;
+use geometa_sim::topology::SiteId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Frame-body mode byte: blocking RPC, a response frame follows.
+pub const MODE_CALL: u8 = 0;
+/// Frame-body mode byte: fire-and-forget, no response.
+pub const MODE_CAST: u8 = 1;
+
+/// Tuning for the TCP layer.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Port for site 0 (site *i* binds `base_port + i`); 0 = ephemeral
+    /// ports chosen by the OS (tests).
+    pub base_port: u16,
+    /// Bounded accept pool: at most this many live connection threads per
+    /// site; further accepts wait for a slot.
+    pub max_conns_per_site: usize,
+    /// Connection-thread read poll tick (shutdown observation latency).
+    pub read_timeout: Duration,
+    /// Client-side deadline for one call's response.
+    pub call_timeout: Duration,
+    /// Client-side idle connections kept per target site; size to the
+    /// expected call concurrency or calls churn fresh handshakes.
+    pub pool_per_site: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            base_port: 0,
+            max_conns_per_site: 128,
+            read_timeout: Duration::from_millis(25),
+            call_timeout: Duration::from_secs(10),
+            pool_per_site: crate::client::DEFAULT_POOL_PER_SITE,
+        }
+    }
+}
+
+/// Counting gate bounding live connection threads per site.
+struct ConnGate {
+    max: usize,
+    live: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl ConnGate {
+    fn new(max: usize) -> Arc<ConnGate> {
+        Arc::new(ConnGate {
+            max: max.max(1),
+            live: Mutex::new(0),
+            freed: Condvar::new(),
+        })
+    }
+
+    fn acquire(&self) {
+        let mut live = self.live.lock();
+        while *live >= self.max {
+            self.freed.wait(&mut live);
+        }
+        *live += 1;
+    }
+
+    fn release(&self) {
+        *self.live.lock() -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// The TCP [`ConnectionLayer`]: binds one loopback listener per site on
+/// start, serves framed requests through [`ServiceCore::serve`], and
+/// hands out pooling [`TcpClientTransport`]s.
+pub struct TcpLayer {
+    config: TcpConfig,
+    addrs: HashMap<SiteId, SocketAddr>,
+    /// One transport shared by every client of this runtime: routing is
+    /// per call target, and the connection pool + cast-pump thread are
+    /// too expensive to duplicate per client.
+    shared: Mutex<Option<Arc<TcpClientTransport>>>,
+}
+
+impl TcpLayer {
+    /// A layer with the given tuning (not yet bound).
+    pub fn new(config: TcpConfig) -> TcpLayer {
+        TcpLayer {
+            config,
+            addrs: HashMap::new(),
+            shared: Mutex::new(None),
+        }
+    }
+
+    /// Ephemeral loopback ports with default tuning (tests, `--spawn`).
+    pub fn ephemeral() -> TcpLayer {
+        TcpLayer::new(TcpConfig::default())
+    }
+
+    /// The bound address of every site (valid after the runtime started).
+    pub fn addrs(&self) -> &HashMap<SiteId, SocketAddr> {
+        &self.addrs
+    }
+
+    /// The layer's tuning.
+    pub fn config(&self) -> &TcpConfig {
+        &self.config
+    }
+}
+
+impl ConnectionLayer for TcpLayer {
+    type Transport = TcpClientTransport;
+
+    fn start(&mut self, core: &Arc<ServiceCore>, spawner: &mut Spawner) {
+        for site in core.topology().site_ids() {
+            let port = if self.config.base_port == 0 {
+                0
+            } else {
+                self.config.base_port + site.0
+            };
+            let listener = TcpListener::bind(("127.0.0.1", port))
+                .unwrap_or_else(|e| panic!("bind 127.0.0.1:{port} for {site}: {e}"));
+            let addr = listener.local_addr().expect("bound listener has an addr");
+            self.addrs.insert(site, addr);
+            let core = Arc::clone(core);
+            let gate = ConnGate::new(self.config.max_conns_per_site);
+            let read_timeout = self.config.read_timeout;
+            spawner.spawn(format!("tcp-accept-{site}"), move || {
+                accept_loop(&listener, &core, site, &gate, read_timeout)
+            });
+        }
+    }
+
+    fn transport(&self, _core: &Arc<ServiceCore>, _site: SiteId) -> Arc<TcpClientTransport> {
+        Arc::clone(self.shared.lock().get_or_insert_with(|| {
+            Arc::new(TcpClientTransport::new(
+                self.addrs.clone(),
+                self.config.pool_per_site,
+                self.config.call_timeout,
+            ))
+        }))
+    }
+
+    fn unblock(&self) {
+        // One dummy connection per listener pops its blocking accept; the
+        // loop then observes the shutdown flag and drains.
+        for addr in self.addrs.values() {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(250));
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    core: &Arc<ServiceCore>,
+    site: SiteId,
+    gate: &Arc<ConnGate>,
+    read_timeout: Duration,
+) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        // Bounded pool: wait for a slot *before* accepting, so the backlog
+        // queues in the kernel instead of as unbounded threads.
+        gate.acquire();
+        if core.is_shutdown() {
+            gate.release();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if core.is_shutdown() {
+                    gate.release();
+                    break;
+                }
+                conns.retain(|h| !h.is_finished());
+                let core = Arc::clone(core);
+                let gate = Arc::clone(gate);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name(format!("tcp-conn-{site}"))
+                        .spawn(move || {
+                            serve_connection(stream, &core, site, read_timeout);
+                            gate.release();
+                        })
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(_) => {
+                gate.release();
+                if core.is_shutdown() {
+                    break;
+                }
+                // A persistently failing accept (e.g. fd exhaustion under
+                // EMFILE) must not busy-spin the core; back off briefly so
+                // connection threads can finish and release descriptors.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    core: &Arc<ServiceCore>,
+    site: SiteId,
+    read_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new();
+    loop {
+        loop {
+            match reader.next_frame() {
+                Ok(Some(body)) => {
+                    if !handle_frame(&mut stream, core, site, body) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // implausible frame length: drop the conn
+            }
+        }
+        if core.is_shutdown() {
+            return;
+        }
+        match reader.fill(&mut stream) {
+            Ok(Fill::Progress) => {}
+            Ok(Fill::Idle) => {}
+            Ok(Fill::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Serve one frame; returns false when the connection should close.
+fn handle_frame(
+    stream: &mut TcpStream,
+    core: &Arc<ServiceCore>,
+    site: SiteId,
+    body: bytes::Bytes,
+) -> bool {
+    if body.is_empty() {
+        return false;
+    }
+    let mode = body[0];
+    let decoded = RegistryRequest::decode(body.slice(1..));
+    match mode {
+        MODE_CALL => {
+            let resp = match decoded {
+                Ok(req) => core.serve(site, req),
+                Err(error) => RegistryResponse::Error { error },
+            };
+            write_frame(stream, &resp.encode())
+                .and_then(|()| stream.flush())
+                .is_ok()
+        }
+        MODE_CAST => {
+            if let Ok(req) = decoded {
+                let _ = core.serve(site, req);
+            }
+            true
+        }
+        _ => {
+            // Unknown mode: answer CALL-style so a confused client fails
+            // fast instead of hanging on a missing response.
+            let resp = RegistryResponse::Error {
+                error: MetaError::Codec(format!("unknown frame mode {mode}")),
+            };
+            write_frame(stream, &resp.encode()).is_ok()
+        }
+    }
+}

@@ -9,9 +9,13 @@
 //!   workflow."
 //! * [`synthetic`] — the §VI-B concurrent metadata benchmark (half
 //!   writers, half readers) and the Table I scenario presets.
+//! * [`ops`] — the workloads flattened into replayable per-node
+//!   metadata-operation streams (what `geometa-load` drives over TCP).
 
 pub mod buzzflow;
 pub mod montage;
+pub mod ops;
 pub mod synthetic;
 
+pub use ops::{MetaOp, NodeStream, OpStream};
 pub use synthetic::{Scenario, SyntheticSpec};

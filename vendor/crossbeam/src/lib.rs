@@ -55,6 +55,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent message.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
     enum SenderInner<T> {
         Unbounded(mpsc::Sender<T>),
         Bounded(mpsc::SyncSender<T>),
@@ -88,6 +97,21 @@ pub mod channel {
             match &self.inner {
                 SenderInner::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
                 SenderInner::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Send without blocking: a full bounded channel returns
+        /// [`TrySendError::Full`] instead of waiting (unbounded channels
+        /// are never full).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(s) => {
+                    s.send(msg).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderInner::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
             }
         }
     }
