@@ -102,7 +102,6 @@ impl<'a> OccCell<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn b(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
@@ -156,12 +155,11 @@ mod tests {
 
     #[test]
     fn concurrent_updates_all_apply() {
-        let store = Arc::new(ShardedStore::new(4));
+        let store = ShardedStore::new(4);
         store.put("n", b("0"), 0).unwrap();
-        let threads: Vec<_> = (0..4)
-            .map(|_| {
-                let store = Arc::clone(&store);
-                std::thread::spawn(move || {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
                     for _ in 0..250 {
                         OccCell::new(&store, "n")
                             .with_max_retries(10_000)
@@ -172,12 +170,9 @@ mod tests {
                             })
                             .unwrap();
                     }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
+                });
+            }
+        });
         let n: u64 = std::str::from_utf8(&store.get("n").unwrap().value)
             .unwrap()
             .parse()

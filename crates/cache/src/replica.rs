@@ -316,27 +316,24 @@ mod tests {
 
     #[test]
     fn concurrent_access_during_failover() {
-        use std::sync::Arc as StdArc;
-        let ha = StdArc::new(HaCache::new(16));
+        let ha = HaCache::new(16);
         for i in 0..500 {
             ha.put(&format!("pre{i}"), b("v"), 0).unwrap();
         }
-        let mut handles = Vec::new();
-        for t in 0..4 {
-            let ha = StdArc::clone(&ha);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..500 {
-                    ha.put(&format!("t{t}-{i}"), b("v"), 1).unwrap();
-                    let _ = ha.get(&format!("pre{}", i % 500));
-                }
-            }));
-        }
-        // Fail the primary mid-traffic.
-        std::thread::sleep(std::time::Duration::from_millis(2));
-        ha.fail_primary();
-        for h in handles {
-            h.join().unwrap();
-        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ha = &ha;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        ha.put(&format!("t{t}-{i}"), b("v"), 1).unwrap();
+                        let _ = ha.get(&format!("pre{}", i % 500));
+                    }
+                });
+            }
+            // Fail the primary mid-traffic.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            ha.fail_primary();
+        });
         // All pre-failure and post-failure keys present.
         for i in 0..500 {
             assert!(ha.get(&format!("pre{i}")).is_ok());

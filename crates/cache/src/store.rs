@@ -916,62 +916,60 @@ mod tests {
 
     #[test]
     fn concurrent_writers_do_not_lose_updates() {
-        use std::sync::Arc;
-        let store = Arc::new(ShardedStore::new(16));
-        let threads: Vec<_> = (0..8)
-            .map(|t| {
-                let store = Arc::clone(&store);
-                std::thread::spawn(move || {
+        let store = ShardedStore::new(16);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let store = &store;
+                s.spawn(move || {
                     for i in 0..1000 {
                         store
                             .put(&format!("t{t}-k{i}"), Bytes::from_static(b"v"), i)
                             .unwrap();
                     }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
+                });
+            }
+        });
         assert_eq!(store.len(), 8 * 1000);
     }
 
     #[test]
     fn concurrent_cas_on_one_key_serializes() {
-        use std::sync::Arc;
-        let store = Arc::new(ShardedStore::new(16));
+        let store = ShardedStore::new(16);
         store.put("counter", Bytes::from_static(b"0"), 0).unwrap();
-        let threads: Vec<_> = (0..4)
-            .map(|_| {
-                let store = Arc::clone(&store);
-                std::thread::spawn(move || {
-                    let key = Key::new("counter");
-                    let mut successes = 0u64;
-                    for _ in 0..500 {
-                        loop {
-                            let cur = store.get_key(&key).unwrap();
-                            let n: u64 = std::str::from_utf8(&cur.value).unwrap().parse().unwrap();
-                            let next = Bytes::from((n + 1).to_string().into_bytes());
-                            match store.put_if_key(
-                                &key,
-                                PutCondition::VersionIs(cur.version),
-                                next,
-                                0,
-                            ) {
-                                Ok(_) => {
-                                    successes += 1;
-                                    break;
+        let total: u64 = std::thread::scope(|s| {
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = &store;
+                    s.spawn(move || {
+                        let key = Key::new("counter");
+                        let mut successes = 0u64;
+                        for _ in 0..500 {
+                            loop {
+                                let cur = store.get_key(&key).unwrap();
+                                let n: u64 =
+                                    std::str::from_utf8(&cur.value).unwrap().parse().unwrap();
+                                let next = Bytes::from((n + 1).to_string().into_bytes());
+                                match store.put_if_key(
+                                    &key,
+                                    PutCondition::VersionIs(cur.version),
+                                    next,
+                                    0,
+                                ) {
+                                    Ok(_) => {
+                                        successes += 1;
+                                        break;
+                                    }
+                                    Err(CacheError::VersionMismatch { .. }) => continue,
+                                    Err(e) => panic!("unexpected {e}"),
                                 }
-                                Err(CacheError::VersionMismatch { .. }) => continue,
-                                Err(e) => panic!("unexpected {e}"),
                             }
                         }
-                    }
-                    successes
+                        successes
+                    })
                 })
-            })
-            .collect();
-        let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+                .collect();
+            threads.into_iter().map(|t| t.join().unwrap()).sum()
+        });
         assert_eq!(total, 2000);
         let final_val = store.get("counter").unwrap();
         let n: u64 = std::str::from_utf8(&final_val.value)

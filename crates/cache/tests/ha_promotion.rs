@@ -6,7 +6,6 @@
 use bytes::Bytes;
 use geometa_cache::{CacheError, HaCache, PutCondition};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 fn b(s: &str) -> Bytes {
     Bytes::copy_from_slice(s.as_bytes())
@@ -69,35 +68,37 @@ fn absent_condition_respects_promoted_state() {
 /// must never regress.
 #[test]
 fn write_through_during_repeated_promotions_loses_nothing() {
-    let ha = Arc::new(HaCache::new(16));
-    let stop = Arc::new(AtomicBool::new(false));
-    let writers: Vec<_> = (0..4)
-        .map(|t| {
-            let ha = Arc::clone(&ha);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                let mut acked = Vec::new();
-                let mut i = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    let key = format!("t{t}-{i}");
-                    ha.put(&key, b("v"), i).unwrap();
-                    acked.push(key);
-                    i += 1;
-                }
-                acked
+    let ha = HaCache::new(16);
+    let stop = AtomicBool::new(false);
+    let acked_per_writer: Vec<Vec<String>> = std::thread::scope(|s| {
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let (ha, stop) = (&ha, &stop);
+                s.spawn(move || {
+                    let mut acked = Vec::new();
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = format!("t{t}-{i}");
+                        ha.put(&key, b("v"), i).unwrap();
+                        acked.push(key);
+                        i += 1;
+                    }
+                    acked
+                })
             })
-        })
-        .collect();
-    // Kill the primary several times mid-traffic.
-    for _ in 0..3 {
+            .collect();
+        // Kill the primary several times mid-traffic.
+        for _ in 0..3 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            ha.fail_primary();
+        }
         std::thread::sleep(std::time::Duration::from_millis(5));
-        ha.fail_primary();
-    }
-    std::thread::sleep(std::time::Duration::from_millis(5));
-    stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed);
+        writers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
     let mut total = 0;
-    for w in writers {
-        for key in w.join().unwrap() {
+    for acked in acked_per_writer {
+        for key in acked {
             assert!(
                 ha.get(&key).is_ok(),
                 "acked write {key} lost across promotions"
@@ -141,24 +142,20 @@ fn freshly_rebuilt_replica_is_complete_before_any_write() {
 /// against a single failure coalesce into one promotion.
 #[test]
 fn concurrent_readers_coalesce_into_one_promotion() {
-    let ha = Arc::new(HaCache::new(8));
+    let ha = HaCache::new(8);
     for i in 0..50u64 {
         ha.put(&format!("k{i}"), b("v"), i).unwrap();
     }
     ha.fail_primary();
-    let readers: Vec<_> = (0..8)
-        .map(|_| {
-            let ha = Arc::clone(&ha);
-            std::thread::spawn(move || {
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
                 for i in 0..50u64 {
                     ha.get(&format!("k{i}")).unwrap();
                 }
-            })
-        })
-        .collect();
-    for r in readers {
-        r.join().unwrap();
-    }
+            });
+        }
+    });
     assert_eq!(
         ha.promotions(),
         1,

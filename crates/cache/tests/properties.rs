@@ -337,65 +337,59 @@ proptest! {
 #[test]
 fn grouped_batch_ops_survive_concurrent_storm() {
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
-
     const WRITERS: usize = 4;
     const READERS: usize = 3;
     const ROUNDS: u64 = 200;
     const KEYS: usize = 64;
 
-    let store = Arc::new(ShardedStore::new(8));
-    let names: Arc<Vec<String>> = Arc::new((0..KEYS).map(|i| format!("b{i}")).collect());
-    let stop = Arc::new(AtomicBool::new(false));
+    let store = ShardedStore::new(8);
+    let names: Vec<String> = (0..KEYS).map(|i| format!("b{i}")).collect();
+    let stop = AtomicBool::new(false);
 
-    let mut handles = Vec::new();
-    for w in 0..WRITERS {
-        let store = Arc::clone(&store);
-        let names = Arc::clone(&names);
-        handles.push(std::thread::spawn(move || {
-            let keys: Vec<Key> = names.iter().map(Key::from).collect();
-            for round in 0..ROUNDS {
-                let payload = ((w as u64) << 32) | round;
-                let items = keys
-                    .iter()
-                    .map(|k| (k.clone(), Bytes::from(payload.to_le_bytes().to_vec())));
-                let applied = store.multi_put(items, round).unwrap();
-                assert_eq!(applied, KEYS);
-            }
-        }));
-    }
-    for _ in 0..READERS {
-        let store = Arc::clone(&store);
-        let names = Arc::clone(&names);
-        let stop = Arc::clone(&stop);
-        handles.push(std::thread::spawn(move || {
-            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            while !stop.load(Ordering::Relaxed) {
-                let res = store.multi_get(&refs);
-                assert_eq!(res.len(), refs.len());
-                for r in res {
-                    match r {
-                        Ok(e) => {
-                            let raw: [u8; 8] = e.value.as_ref().try_into().unwrap();
-                            let payload = u64::from_le_bytes(raw);
-                            assert!((payload >> 32) < WRITERS as u64, "garbage payload");
-                            assert!((payload & 0xFFFF_FFFF) < ROUNDS, "garbage round");
+    std::thread::scope(|s| {
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let (store, names) = (&store, &names);
+            writers.push(s.spawn(move || {
+                let keys: Vec<Key> = names.iter().map(Key::from).collect();
+                for round in 0..ROUNDS {
+                    let payload = ((w as u64) << 32) | round;
+                    let items = keys
+                        .iter()
+                        .map(|k| (k.clone(), Bytes::from(payload.to_le_bytes().to_vec())));
+                    let applied = store.multi_put(items, round).unwrap();
+                    assert_eq!(applied, KEYS);
+                }
+            }));
+        }
+        for _ in 0..READERS {
+            let (store, names, stop) = (&store, &names, &stop);
+            s.spawn(move || {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                while !stop.load(Ordering::Relaxed) {
+                    let res = store.multi_get(&refs);
+                    assert_eq!(res.len(), refs.len());
+                    for r in res {
+                        match r {
+                            Ok(e) => {
+                                let raw: [u8; 8] = e.value.as_ref().try_into().unwrap();
+                                let payload = u64::from_le_bytes(raw);
+                                assert!((payload >> 32) < WRITERS as u64, "garbage payload");
+                                assert!((payload & 0xFFFF_FFFF) < ROUNDS, "garbage round");
+                            }
+                            Err(CacheError::NotFound) => {} // before first write
+                            Err(e) => panic!("unexpected batch read error {e}"),
                         }
-                        Err(CacheError::NotFound) => {} // before first write
-                        Err(e) => panic!("unexpected batch read error {e}"),
                     }
                 }
-            }
-        }));
-    }
-    // Join writers first, then release the readers.
-    for h in handles.drain(..WRITERS) {
-        h.join().unwrap();
-    }
-    stop.store(true, Ordering::Relaxed);
-    for h in handles {
-        h.join().unwrap();
-    }
+            });
+        }
+        // Join writers first, then release the readers (scope joins them).
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
 
     assert_eq!(store.len(), KEYS);
     for name in names.iter() {

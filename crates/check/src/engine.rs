@@ -1,0 +1,399 @@
+//! The lint engine: deterministic file walk, waiver application, and
+//! report assembly.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Waiver};
+use crate::rules::{self, Finding, RULE_NAMES};
+
+/// One unwaived violation, located in the tree.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// The underlying rule finding.
+    pub finding: Finding,
+}
+
+/// One waiver actually suppressing a finding.
+#[derive(Debug, Clone)]
+pub struct UsedWaiver {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// The waiver comment.
+    pub waiver: Waiver,
+}
+
+/// The result of linting the whole tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by a waiver — these fail the build.
+    pub violations: Vec<Violation>,
+    /// The waiver inventory: every waiver that suppressed a finding.
+    pub waivers: Vec<UsedWaiver>,
+    /// Files examined.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean (no unwaived findings).
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lint the repository rooted at `root`.
+pub fn run(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort(); // deterministic walk order regardless of readdir order
+    for rel in files {
+        let Some(set) = rules::rules_for(&rel) else {
+            continue;
+        };
+        report.files_checked += 1;
+        let source = fs::read_to_string(root.join(&rel))?;
+        lint_file(&rel, &source, set, &mut report);
+    }
+    report.violations.sort_by(|a, b| {
+        (&a.path, a.finding.line, a.finding.rule).cmp(&(&b.path, b.finding.line, b.finding.rule))
+    });
+    report
+        .waivers
+        .sort_by(|a, b| (&a.path, a.waiver.line).cmp(&(&b.path, b.waiver.line)));
+    Ok(report)
+}
+
+/// Lint one file's source, appending to `report`. Public for tests.
+pub fn lint_file(rel: &str, source: &str, set: rules::RuleSet, report: &mut LintReport) {
+    let all_test = rel.contains("/tests/") || rel.contains("/benches/");
+    let lexed = lexer::lex(source, all_test);
+    let findings = rules::check(&lexed.tokens, set);
+
+    // A waiver covers its own line and the line below it (so it can
+    // trail the offending statement or sit on the line above).
+    let mut used = vec![false; lexed.waivers.len()];
+    for f in findings {
+        let waived = lexed.waivers.iter().enumerate().find(|(_, w)| {
+            (w.line == f.line || w.line + 1 == f.line) && w.rules.iter().any(|r| r == f.rule)
+        });
+        match waived {
+            Some((idx, _)) => used[idx] = true,
+            None => report.violations.push(Violation {
+                path: rel.to_string(),
+                finding: f,
+            }),
+        }
+    }
+
+    for (idx, w) in lexed.waivers.iter().enumerate() {
+        // Unknown rule names in a waiver are themselves violations: a
+        // typo would otherwise silently waive nothing forever.
+        for r in &w.rules {
+            if !RULE_NAMES.contains(&r.as_str()) {
+                report.violations.push(Violation {
+                    path: rel.to_string(),
+                    finding: Finding {
+                        rule: "malformed-waiver",
+                        line: w.line,
+                        message: format!(
+                            "waiver names unknown rule `{r}` (known: {})",
+                            RULE_NAMES.join(", ")
+                        ),
+                    },
+                });
+            }
+        }
+        if used[idx] {
+            report.waivers.push(UsedWaiver {
+                path: rel.to_string(),
+                waiver: w.clone(),
+            });
+        } else if w.rules.iter().all(|r| RULE_NAMES.contains(&r.as_str())) {
+            report.violations.push(Violation {
+                path: rel.to_string(),
+                finding: Finding {
+                    rule: "unused-waiver",
+                    line: w.line,
+                    message: format!(
+                        "waiver for {} suppresses nothing — remove it so the \
+                         inventory stays honest",
+                        w.rules.join(", ")
+                    ),
+                },
+            });
+        }
+    }
+
+    for m in &lexed.malformed {
+        report.violations.push(Violation {
+            path: rel.to_string(),
+            finding: Finding {
+                rule: "malformed-waiver",
+                line: m.line,
+                message: m.problem.clone(),
+            },
+        });
+    }
+}
+
+/// Directories never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path: PathBuf = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Render the report as human-readable text.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            v.path, v.finding.line, v.finding.rule, v.finding.message
+        ));
+    }
+    if !report.violations.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "geometa-lint: {} file(s) checked, {} violation(s), {} waiver(s) in effect\n",
+        report.files_checked,
+        report.violations.len(),
+        report.waivers.len()
+    ));
+    out
+}
+
+/// Render the waiver inventory (one line per waiver, plus per-rule
+/// totals) — uploaded as a CI artifact so exceptions stay visible.
+pub fn render_waiver_inventory(report: &LintReport) -> String {
+    let mut out = String::from("# geometa-lint waiver inventory\n");
+    let mut rules_seen: BTreeSet<&str> = BTreeSet::new();
+    for w in &report.waivers {
+        for r in &w.waiver.rules {
+            rules_seen.insert(r);
+        }
+        out.push_str(&format!(
+            "{}:{}: allow({}) — {}\n",
+            w.path,
+            w.waiver.line,
+            w.waiver.rules.join(", "),
+            w.waiver.reason
+        ));
+    }
+    out.push_str(&format!("# total: {} waiver(s)", report.waivers.len()));
+    for r in rules_seen {
+        let n = report
+            .waivers
+            .iter()
+            .filter(|w| w.waiver.rules.iter().any(|x| x == r))
+            .count();
+        out.push_str(&format!(", {r}: {n}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render the report as JSON (hand-rolled — the checker is
+/// dependency-free by design).
+pub fn render_json(report: &LintReport) -> String {
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&v.path),
+            v.finding.line,
+            v.finding.rule,
+            esc(&v.finding.message)
+        ));
+    }
+    out.push_str("\n  ],\n  \"waivers\": [");
+    for (i, w) in report.waivers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rules\": [{}], \"reason\": \"{}\"}}",
+            esc(&w.path),
+            w.waiver.line,
+            w.waiver
+                .rules
+                .iter()
+                .map(|r| format!("\"{}\"", esc(r)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            esc(&w.waiver.reason)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"files_checked\": {}\n}}\n",
+        report.files_checked
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    fn set_all() -> RuleSet {
+        RuleSet {
+            wall_clock: true,
+            unseeded_rng: true,
+            untracked_thread: true,
+            unordered_iter: true,
+            net_unwrap: false,
+        }
+    }
+
+    #[test]
+    fn waiver_suppresses_finding_and_is_inventoried() {
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/x.rs",
+            "fn f() {\n    // geometa-lint: allow(wall-clock) display only\n    let t = Instant::now();\n}\n",
+            set_all(),
+            &mut r,
+        );
+        assert!(r.clean(), "{:?}", r.violations);
+        assert_eq!(r.waivers.len(), 1);
+        assert_eq!(r.waivers[0].waiver.reason, "display only");
+    }
+
+    #[test]
+    fn trailing_waiver_on_same_line_works() {
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/x.rs",
+            "fn f() { let t = Instant::now(); } // geometa-lint: allow(wall-clock) display only\n",
+            set_all(),
+            &mut r,
+        );
+        assert!(r.clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unwaived_finding_is_a_violation() {
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+            set_all(),
+            &mut r,
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].finding.rule, "wall-clock");
+    }
+
+    #[test]
+    fn unused_waiver_is_flagged() {
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/x.rs",
+            "// geometa-lint: allow(wall-clock) stale reason\nfn f() {}\n",
+            set_all(),
+            &mut r,
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].finding.rule, "unused-waiver");
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_is_flagged() {
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/x.rs",
+            "// geometa-lint: allow(wall-time) typo\nfn f() {}\n",
+            set_all(),
+            &mut r,
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].finding.rule, "malformed-waiver");
+        assert!(r.violations[0].finding.message.contains("wall-time"));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged() {
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/x.rs",
+            "// geometa-lint: allow(wall-clock)\nfn f() { let t = Instant::now(); }\n",
+            set_all(),
+            &mut r,
+        );
+        assert!(!r.clean());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.finding.rule == "malformed-waiver"));
+    }
+
+    #[test]
+    fn integration_files_are_all_test_for_scoped_rules() {
+        let mut r = LintReport::default();
+        // untracked-thread still applies in tests; wall-clock does not.
+        lint_file(
+            "crates/cache/tests/t.rs",
+            "fn f() { let t = Instant::now(); std::thread::spawn(|| {}); }\n",
+            set_all(),
+            &mut r,
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].finding.rule, "untracked-thread");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut r = LintReport::default();
+        r.violations.push(Violation {
+            path: "a.rs".into(),
+            finding: Finding {
+                rule: "net-unwrap",
+                line: 3,
+                message: "a \"quoted\" thing".into(),
+            },
+        });
+        let json = render_json(&r);
+        assert!(json.contains(r#"a \"quoted\" thing"#));
+    }
+}

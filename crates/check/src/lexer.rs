@@ -1,0 +1,463 @@
+//! A lightweight Rust lexer for lint rules: comments and string/char
+//! literals are stripped (so rule patterns never match inside them),
+//! waiver comments are parsed out, and `#[cfg(test)]` module bodies are
+//! marked so rules can scope themselves to product code.
+//!
+//! This is deliberately not a parser — no external parser crates, per
+//! the vendored-deps policy. Token-sequence matching over a faithful
+//! token stream is enough for every rule in the catalog, and the lexer
+//! handles the parts that make naive `grep` wrong: nested block
+//! comments, raw strings, char-literal-vs-lifetime disambiguation, and
+//! waiver extraction.
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text (identifier, number, or punctuation; `::` is one
+    /// token).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` module body.
+    pub in_test: bool,
+}
+
+/// A parsed `// geometa-lint: allow(<rules>) <reason>` waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line of the waiver comment itself.
+    pub line: u32,
+    /// The waived rule names (comma-separated inside `allow(...)`).
+    pub rules: Vec<String>,
+    /// The justification text after the closing parenthesis.
+    pub reason: String,
+}
+
+/// A comment that mentions `geometa-lint` but does not parse as a
+/// well-formed waiver (wrong shape, or an empty reason).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedWaiver {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literals removed.
+    pub tokens: Vec<Tok>,
+    /// Well-formed waivers, in source order.
+    pub waivers: Vec<Waiver>,
+    /// Waiver-looking comments that failed to parse.
+    pub malformed: Vec<MalformedWaiver>,
+}
+
+const WAIVER_MARK: &str = "geometa-lint:";
+
+/// Lex `source`. `all_test` marks every token as test code (integration
+/// test files, benches); otherwise only `#[cfg(test)]` module bodies
+/// are marked.
+pub fn lex(source: &str, all_test: bool) -> Lexed {
+    let mut out = Lexed::default();
+    let b = source.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &c in &b[$range] {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = memchr_newline(b, i);
+                let text = &source[i..end];
+                // Doc comments (`///`, `//!`) are documentation — they may
+                // *describe* the waiver grammar without being waivers.
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                if !is_doc {
+                    parse_waiver_comment(text, line, &mut out);
+                }
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1;
+                let start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(start..i);
+            }
+            b'"' => {
+                let end = skip_string(b, i);
+                bump_lines!(i..end);
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let end = skip_raw_or_byte_string(b, i);
+                bump_lines!(i..end);
+                i = end;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a char literal closes with a
+                // quote within a few bytes; a lifetime never closes.
+                if let Some(end) = char_literal_end(b, i) {
+                    bump_lines!(i..end);
+                    i = end;
+                } else {
+                    // Lifetime: emit nothing for the quote, lex the
+                    // identifier as a normal token.
+                    i += 1;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphanumeric() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    text: source[start..i].to_string(),
+                    line,
+                    in_test: false,
+                });
+            }
+            b':' if i + 1 < b.len() && b[i + 1] == b':' => {
+                out.tokens.push(Tok {
+                    text: "::".into(),
+                    line,
+                    in_test: false,
+                });
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    text: (c as char).to_string(),
+                    line,
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    if all_test {
+        for t in &mut out.tokens {
+            t.in_test = true;
+        }
+    } else {
+        mark_cfg_test_modules(&mut out.tokens);
+    }
+    out
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> usize {
+    b[from..]
+        .iter()
+        .position(|&c| c == b'\n')
+        .map_or(b.len(), |p| from + p)
+}
+
+/// Skip a regular `"..."` string starting at `i` (the opening quote).
+fn skip_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Whether `r"`, `r#"`, `b"`, `br#"`, `rb"` etc. starts at `i`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters in {r, b}.
+    let mut letters = 0;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+fn skip_raw_or_byte_string(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        raw |= b[j] == b'r';
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    if !raw {
+        // Plain byte string: escapes apply.
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        return j;
+    }
+    // Raw: ends at `"` followed by `hashes` hashes.
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// If a char literal starts at `i` (the quote), return its end; `None`
+/// for lifetimes.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escape: skip to the closing quote (handles \n, \x7f, \u{..}).
+        j += 2;
+        while j < b.len() && b[j] != b'\'' && j - i < 12 {
+            j += 1;
+        }
+        return (j < b.len() && b[j] == b'\'').then_some(j + 1);
+    }
+    // One scalar (possibly multi-byte UTF-8), then a quote.
+    let mut k = j + 1;
+    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+        k += 1;
+    }
+    (k < b.len() && b[k] == b'\'').then_some(k + 1)
+}
+
+/// Mark tokens inside `#[cfg(test)] mod <name> { ... }` bodies.
+fn mark_cfg_test_modules(tokens: &mut [Tok]) {
+    let is = |t: &Tok, s: &str| t.text == s;
+    let mut i = 0;
+    while i < tokens.len() {
+        // #[cfg(test)]
+        if i + 6 < tokens.len()
+            && is(&tokens[i], "#")
+            && is(&tokens[i + 1], "[")
+            && is(&tokens[i + 2], "cfg")
+            && is(&tokens[i + 3], "(")
+            && is(&tokens[i + 4], "test")
+            && is(&tokens[i + 5], ")")
+            && is(&tokens[i + 6], "]")
+        {
+            // Skip further attributes, then expect `mod name {`.
+            let mut j = i + 7;
+            while j + 1 < tokens.len() && is(&tokens[j], "#") && is(&tokens[j + 1], "[") {
+                let mut depth = 0;
+                j += 1;
+                while j < tokens.len() {
+                    if is(&tokens[j], "[") {
+                        depth += 1;
+                    } else if is(&tokens[j], "]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            if j + 2 < tokens.len() && is(&tokens[j], "mod") && is(&tokens[j + 2], "{") {
+                let open = j + 2;
+                let mut depth = 0;
+                let mut k = open;
+                while k < tokens.len() {
+                    if is(&tokens[k], "{") {
+                        depth += 1;
+                    } else if is(&tokens[k], "}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                let last = k.min(tokens.len() - 1);
+                for t in &mut tokens[open..=last] {
+                    t.in_test = true;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parse one `//` comment for a waiver.
+fn parse_waiver_comment(text: &str, line: u32, out: &mut Lexed) {
+    let Some(pos) = text.find(WAIVER_MARK) else {
+        if text.contains("geometa-lint") {
+            out.malformed.push(MalformedWaiver {
+                line,
+                problem: "mentions geometa-lint but is not `geometa-lint: allow(<rule>) <reason>`"
+                    .into(),
+            });
+        }
+        return;
+    };
+    let rest = text[pos + WAIVER_MARK.len()..].trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        out.malformed.push(MalformedWaiver {
+            line,
+            problem: "expected `allow(<rule>)` after `geometa-lint:`".into(),
+        });
+        return;
+    };
+    let Some(close) = args.find(')') else {
+        out.malformed.push(MalformedWaiver {
+            line,
+            problem: "unclosed `allow(`".into(),
+        });
+        return;
+    };
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = args[close + 1..].trim().to_string();
+    if rules.is_empty() {
+        out.malformed.push(MalformedWaiver {
+            line,
+            problem: "empty rule list in `allow()`".into(),
+        });
+        return;
+    }
+    if reason.is_empty() {
+        out.malformed.push(MalformedWaiver {
+            line,
+            problem: format!(
+                "waiver for {} has no reason — every exception must be justified",
+                rules.join(", ")
+            ),
+        });
+        return;
+    }
+    out.waivers.push(Waiver {
+        line,
+        rules,
+        reason,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(l: &Lexed) -> Vec<&str> {
+        l.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let l = lex(
+            r##"let x = "Instant::now"; // Instant::now in a comment
+/* thread::spawn in /* nested */ block */
+let y = r#"SystemTime"#; let c = 'x'; let lt: &'static str = "s";"##,
+            false,
+        );
+        let t = texts(&l);
+        assert!(!t.contains(&"Instant"), "string content leaked: {t:?}");
+        assert!(!t.contains(&"thread"), "comment content leaked");
+        assert!(!t.contains(&"SystemTime"), "raw string leaked");
+        assert!(t.contains(&"static"), "lifetime identifier kept");
+    }
+
+    #[test]
+    fn char_literal_with_colon_is_not_tokens() {
+        let l = lex("let c = ':'; let d = '\\n';", false);
+        assert!(!texts(&l).contains(&"::"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let l = lex(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { helper(); }\n}\nfn prod2() {}",
+            false,
+        );
+        let helper = l.tokens.iter().find(|t| t.text == "helper").unwrap();
+        assert!(helper.in_test);
+        let prod2 = l.tokens.iter().find(|t| t.text == "prod2").unwrap();
+        assert!(!prod2.in_test);
+    }
+
+    #[test]
+    fn waiver_round_trip() {
+        let l = lex(
+            "// geometa-lint: allow(wall-clock) progress display only\nfn f() {}",
+            false,
+        );
+        assert_eq!(l.waivers.len(), 1);
+        assert_eq!(l.waivers[0].rules, vec!["wall-clock".to_string()]);
+        assert_eq!(l.waivers[0].reason, "progress display only");
+        assert!(l.malformed.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        let l = lex("// geometa-lint: allow(net-unwrap)\nfn f() {}", false);
+        assert!(l.waivers.is_empty());
+        assert_eq!(l.malformed.len(), 1);
+        assert!(l.malformed[0].problem.contains("no reason"));
+    }
+
+    #[test]
+    fn multi_rule_waiver_parses() {
+        let l = lex(
+            "// geometa-lint: allow(wall-clock, unordered-iter) both justified here\n",
+            false,
+        );
+        assert_eq!(l.waivers[0].rules.len(), 2);
+    }
+}

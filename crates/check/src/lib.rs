@@ -1,0 +1,23 @@
+//! geometa-check: repo-specific static analysis.
+//!
+//! Two halves of one contract live here and in the instrumented
+//! `vendor/parking_lot`:
+//!
+//! * **geometa-lint** (this crate) — a source-level lint engine with a
+//!   lightweight comment/string-stripping lexer (no external parser
+//!   crates; the linter enforces the vendored-deps policy and cannot
+//!   itself violate it). Rules: `wall-clock`, `unseeded-rng`,
+//!   `untracked-thread`, `unordered-iter`, `net-unwrap`. Exceptions are
+//!   explicit inline waivers — `// geometa-lint: allow(<rule>) <reason>`
+//!   — which are justified, counted, and inventoried.
+//! * **lockdep** (the `lockdep` feature of `vendor/parking_lot`) — a
+//!   runtime lock-order tracker that turns potential ABBA deadlocks
+//!   into immediate panics naming both acquisition sites.
+//!
+//! See `DESIGN.md` § "Static analysis & concurrency checking".
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{run, LintReport};

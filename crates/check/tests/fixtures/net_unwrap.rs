@@ -1,0 +1,6 @@
+// Fixture: one net-unwrap violation.
+pub fn read_frame(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    let mut buf = vec![0u8; 4];
+    std::io::Read::read_exact(stream, &mut buf).unwrap();
+    buf
+}

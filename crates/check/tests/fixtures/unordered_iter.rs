@@ -1,0 +1,8 @@
+// Fixture: one unordered-iter violation.
+use std::collections::HashMap;
+
+pub fn emit_all(m: &HashMap<u32, String>, out: &mut Vec<String>) {
+    for (k, v) in m.iter() {
+        out.push(format!("{k}={v}"));
+    }
+}

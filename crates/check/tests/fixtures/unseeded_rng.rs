@@ -1,0 +1,5 @@
+// Fixture: one unseeded-rng violation.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

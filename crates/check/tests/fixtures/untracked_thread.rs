@@ -1,0 +1,4 @@
+// Fixture: one untracked-thread violation.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

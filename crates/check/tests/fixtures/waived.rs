@@ -1,0 +1,5 @@
+// Fixture: a violation suppressed by a well-formed waiver.
+pub fn progress_stamp() -> std::time::Instant {
+    // geometa-lint: allow(wall-clock) fixture: progress display only
+    std::time::Instant::now()
+}

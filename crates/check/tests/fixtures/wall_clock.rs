@@ -1,0 +1,5 @@
+// Fixture: one wall-clock violation (fed to the engine as a
+// crates/sim/src path — never compiled, excluded from the real walk).
+pub fn measure() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -148,27 +148,21 @@ mod tests {
 
     #[test]
     fn concurrent_readers_and_switchers() {
-        use std::sync::Arc as StdArc;
-        let c = StdArc::new(ArchitectureController::with_kind(
-            StrategyKind::Centralized,
-            sites(),
-        ));
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let c = StdArc::clone(&c);
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..1000 {
-                    let s = c.strategy();
-                    let _ = s.read_plan("f", SiteId(1));
-                }
-            }));
-        }
-        for kind in [StrategyKind::Replicated, StrategyKind::DhtLocalReplica] {
-            c.switch_kind(kind, sites());
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let c = ArchitectureController::with_kind(StrategyKind::Centralized, sites());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let strat = c.strategy();
+                        let _ = strat.read_plan("f", SiteId(1));
+                    }
+                });
+            }
+            for kind in [StrategyKind::Replicated, StrategyKind::DhtLocalReplica] {
+                c.switch_kind(kind, sites());
+            }
+        });
         assert_eq!(c.kind(), StrategyKind::DhtLocalReplica);
     }
 }

@@ -120,6 +120,7 @@ impl LazyBatcher {
     /// Call periodically (timer-driven).
     pub fn poll_expired(&mut self, now: SimTime) -> Vec<ReadyBatch> {
         let mut out = Vec::new();
+        // geometa-lint: allow(unordered-iter) the sort_by_key below re-orders the batches before they leave this function
         for (&target, (first_at, queue)) in self.queues.iter_mut() {
             if !queue.is_empty() && now.since(*first_at) >= self.max_age {
                 let entries = std::mem::take(queue);

@@ -138,6 +138,7 @@ impl ConnectionLayer for ChannelLayer {
     }
 
     fn unblock(&self) {
+        // geometa-lint: allow(unordered-iter) shutdown broadcast: every sender gets the message, delivery order is irrelevant
         for tx in self.senders.values() {
             let _ = tx.send(ServiceMsg::Shutdown);
         }
@@ -349,30 +350,26 @@ mod tests {
 
     #[test]
     fn concurrent_clients_many_sites() {
-        let cluster = Arc::new(LiveCluster::start(fast_config(
-            StrategyKind::DhtNonReplicated,
-        )));
-        let mut handles = Vec::new();
-        for site in 0..4u16 {
-            let cluster = Arc::clone(&cluster);
-            handles.push(std::thread::spawn(move || {
-                let c = cluster.client(SiteId(site), 0);
-                for i in 0..25 {
-                    c.publish(&format!("s{site}-f{i}"), 1).unwrap();
-                }
-                for i in 0..25 {
-                    c.resolve(&format!("s{site}-f{i}")).unwrap();
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let cluster = LiveCluster::start(fast_config(StrategyKind::DhtNonReplicated));
+        std::thread::scope(|s| {
+            for site in 0..4u16 {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    let c = cluster.client(SiteId(site), 0);
+                    for i in 0..25 {
+                        c.publish(&format!("s{site}-f{i}"), 1).unwrap();
+                    }
+                    for i in 0..25 {
+                        c.resolve(&format!("s{site}-f{i}")).unwrap();
+                    }
+                });
+            }
+        });
         let total: usize = (0..4)
             .map(|s| cluster.registry(SiteId(s)).unwrap().len())
             .sum();
         assert_eq!(total, 100, "DHT partitioning stores each entry once");
-        Arc::try_unwrap(cluster).ok().unwrap().shutdown();
+        cluster.shutdown();
     }
 
     #[test]

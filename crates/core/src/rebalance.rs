@@ -43,7 +43,11 @@ pub fn plan_rebalance(
     registries: &HashMap<SiteId, Arc<RegistryInstance>>,
 ) -> Vec<Move> {
     let mut moves = Vec::new();
-    for (&site, registry) in registries {
+    // Iterate sites in id order: the move plan's order is observable (it
+    // drives transfer scheduling), so it must not depend on hash order.
+    let mut sites: Vec<(&SiteId, &Arc<RegistryInstance>)> = registries.iter().collect();
+    sites.sort_by_key(|(site, _)| **site);
+    for (&site, registry) in sites {
         for entry in registry.all_entries() {
             let old_owner = before.owner(&entry.name);
             if old_owner != site {

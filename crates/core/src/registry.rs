@@ -364,23 +364,19 @@ mod tests {
 
     #[test]
     fn concurrent_puts_on_same_key_merge_all_locations() {
-        use std::sync::Arc;
-        let r = Arc::new(reg());
-        let handles: Vec<_> = (0..8u32)
-            .map(|n| {
-                let r = Arc::clone(&r);
-                std::thread::spawn(move || {
+        let r = reg();
+        std::thread::scope(|s| {
+            for n in 0..8u32 {
+                let r = &r;
+                s.spawn(move || {
                     r.put(
                         &RegistryEntry::new("shared", 1, loc((n % 4) as u16, n), 1),
                         1,
                     )
                     .unwrap();
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+                });
+            }
+        });
         let e = r.get("shared").unwrap();
         assert_eq!(e.locations.len(), 8, "all concurrent locations must merge");
     }

@@ -255,6 +255,7 @@ impl Spawner {
     /// Spawn a named service thread owned by the runtime.
     pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce() + Send + 'static) {
         self.threads.push(
+            // geometa-lint: allow(untracked-thread) Spawner IS the tracking mechanism: every handle lands in self.threads and ServiceRuntime::shutdown joins them all
             std::thread::Builder::new()
                 .name(name.into())
                 .spawn(f)
@@ -479,27 +480,27 @@ mod tests {
     #[test]
     fn delay_line_executes_in_deadline_order() {
         let delay = DelayLine::new();
-        let d2 = Arc::clone(&delay);
-        let worker = std::thread::spawn(move || d2.run_worker());
-        let (tx, rx) = unbounded();
-        let t1 = tx.clone();
-        let t2 = tx.clone();
-        delay.schedule(
-            Duration::from_millis(20),
-            Box::new(move || {
-                let _ = t1.send(2u32);
-            }),
-        );
-        delay.schedule(
-            Duration::from_millis(5),
-            Box::new(move || {
-                let _ = t2.send(1u32);
-            }),
-        );
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
-        delay.stop();
-        worker.join().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| delay.run_worker());
+            let (tx, rx) = unbounded();
+            let t1 = tx.clone();
+            let t2 = tx.clone();
+            delay.schedule(
+                Duration::from_millis(20),
+                Box::new(move || {
+                    let _ = t1.send(2u32);
+                }),
+            );
+            delay.schedule(
+                Duration::from_millis(5),
+                Box::new(move || {
+                    let _ = t2.send(1u32);
+                }),
+            );
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+            delay.stop();
+        });
     }
 
     #[test]

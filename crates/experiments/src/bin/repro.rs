@@ -75,6 +75,8 @@ fn main() {
         figures,
         sections,
     };
+    #[allow(clippy::disallowed_methods)]
+    // geometa-lint: allow(wall-clock) operator progress display on stderr; the figure bytes on stdout are sim-time only
     let t0 = Instant::now();
     print!("{}", generate(&opts));
     eprintln!(

@@ -21,7 +21,7 @@ use geometa_core::controller::ArchitectureController;
 use geometa_core::runtime::{RuntimeConfig, ServiceRuntime};
 use geometa_core::strategy::StrategyKind;
 use geometa_core::{ClientConfig, StrategyClient};
-use geometa_net::cli::{flag_value, parse_strategy};
+use geometa_net::cli::{die, flag_value, parse_or_die, strategy_flag};
 use geometa_net::loadgen::{run_stream, LoadOptions, LoadReport};
 use geometa_net::{loopback_topology, transport_for, TcpClientTransport, TcpLayer};
 use geometa_sim::time::SimDuration;
@@ -43,24 +43,22 @@ struct WorkloadResult {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let strategy = flag_value(&args, "--strategy")
-        .map(|v| parse_strategy(&v).unwrap_or_else(|| panic!("unknown strategy '{v}'")))
-        .unwrap_or(StrategyKind::DhtLocalReplica);
+    let strategy = strategy_flag(&args, StrategyKind::DhtLocalReplica);
     let workload = flag_value(&args, "--workload").unwrap_or_else(|| "all".into());
     let nodes: usize = flag_value(&args, "--nodes")
-        .map(|v| v.parse().expect("--nodes takes a positive integer"))
+        .map(|v| parse_or_die(&v, "--nodes takes a positive integer"))
         .unwrap_or(32);
     let ops_per_node: usize = flag_value(&args, "--ops")
-        .map(|v| v.parse().expect("--ops takes a positive integer"))
+        .map(|v| parse_or_die(&v, "--ops takes a positive integer"))
         .unwrap_or(if quick { 40 } else { 200 });
     let seed: u64 = flag_value(&args, "--seed")
-        .map(|v| v.parse().expect("--seed takes an integer"))
+        .map(|v| parse_or_die(&v, "--seed takes an integer"))
         .unwrap_or(0xF004);
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_5.json".into());
     let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_4.json".into());
     let connect = flag_value(&args, "--connect");
     let n_sites: usize = flag_value(&args, "--sites")
-        .map(|v| v.parse().expect("--sites takes a positive integer"))
+        .map(|v| parse_or_die(&v, "--sites takes a positive integer"))
         .unwrap_or(4);
 
     // The cluster: external (--connect) or self-spawned on ephemeral ports.
@@ -70,7 +68,7 @@ fn main() {
             .split(',')
             .map(|a| {
                 a.parse()
-                    .unwrap_or_else(|e| panic!("bad address '{a}': {e}"))
+                    .unwrap_or_else(|e| die(&format!("--connect: bad address '{a}': {e}")))
             })
             .collect(),
         None => {

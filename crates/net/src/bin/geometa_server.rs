@@ -13,7 +13,7 @@
 
 use geometa_core::runtime::{RuntimeConfig, ServiceRuntime};
 use geometa_core::strategy::StrategyKind;
-use geometa_net::cli::{flag_value, parse_strategy};
+use geometa_net::cli::{flag_value, parse_or_die, strategy_flag};
 use geometa_net::{loopback_topology, TcpConfig, TcpLayer};
 use std::io::Read;
 use std::time::Duration;
@@ -21,19 +21,17 @@ use std::time::Duration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sites: usize = flag_value(&args, "--sites")
-        .map(|v| v.parse().expect("--sites takes a positive integer"))
+        .map(|v| parse_or_die(&v, "--sites takes a positive integer"))
         .unwrap_or(4);
     let base_port: u16 = flag_value(&args, "--base-port")
-        .map(|v| v.parse().expect("--base-port takes a port number"))
+        .map(|v| parse_or_die(&v, "--base-port takes a port number"))
         .unwrap_or(7420);
-    let strategy = flag_value(&args, "--strategy")
-        .map(|v| parse_strategy(&v).unwrap_or_else(|| panic!("unknown strategy '{v}'")))
-        .unwrap_or(StrategyKind::DhtLocalReplica);
+    let strategy = strategy_flag(&args, StrategyKind::DhtLocalReplica);
     let shards: usize = flag_value(&args, "--shards")
-        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .map(|v| parse_or_die(&v, "--shards takes a positive integer"))
         .unwrap_or(16);
     let duration = flag_value(&args, "--duration")
-        .map(|v| Duration::from_secs_f64(v.parse().expect("--duration takes seconds")));
+        .map(|v| Duration::from_secs_f64(parse_or_die(&v, "--duration takes seconds")));
 
     let runtime = ServiceRuntime::start(
         RuntimeConfig {

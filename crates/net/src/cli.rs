@@ -15,6 +15,36 @@ pub fn parse_strategy(s: &str) -> Option<StrategyKind> {
     }
 }
 
+/// Print a usage error and exit 2. A malformed flag is an operator
+/// mistake, not a program bug: it gets a one-line message on stderr,
+/// not a panic with a backtrace.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse `value` as `T`, exiting with `what` as the usage message on
+/// failure.
+pub fn parse_or_die<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{what}, got '{value}'")))
+}
+
+/// Parse `--strategy NAME` from `args`, defaulting when absent and
+/// exiting with the accepted vocabulary on an unknown name.
+pub fn strategy_flag(args: &[String], default: StrategyKind) -> StrategyKind {
+    match flag_value(args, "--strategy") {
+        None => default,
+        Some(v) => parse_strategy(&v).unwrap_or_else(|| {
+            die(&format!(
+                "--strategy: unknown strategy '{v}' (expected centralized, replicated, \
+                 dht-non-replicated or dht-local-replica)"
+            ))
+        }),
+    }
+}
+
 /// The value of `--name VALUE` or `--name=VALUE`, if present.
 pub fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()

@@ -76,6 +76,7 @@ impl TcpClientTransport {
         let pump_addrs = addrs.clone();
         let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let pump_closing = Arc::clone(&closing);
+        // geometa-lint: allow(untracked-thread) the cast pump's handle is stored in cast_worker and joined in Drop
         let cast_worker = std::thread::Builder::new()
             .name("tcp-cast-pump".into())
             .spawn(move || {
@@ -144,7 +145,7 @@ impl TcpClientTransport {
                     }
                 }
             })
-            .expect("spawn cast pump");
+            .expect("spawn cast pump"); // geometa-lint: allow(net-unwrap) construction-time, before any peer traffic: a host that cannot spawn one thread cannot run the transport at all
         TcpClientTransport {
             addrs,
             pool: Mutex::new(HashMap::new()),
@@ -292,6 +293,7 @@ pub const DEFAULT_POOL_PER_SITE: usize = 16;
 /// Convenience: a transport for a cluster listening on `addrs[i]` for
 /// site *i* (the `geometa-load --connect` path).
 pub fn transport_for(addrs: &[SocketAddr], call_timeout: Duration) -> Arc<TcpClientTransport> {
+    // geometa-lint: allow(unordered-iter) `addrs` here is the slice parameter (caller-ordered), not this file's HashMap field of the same name
     let map = addrs
         .iter()
         .enumerate()

@@ -154,55 +154,56 @@ mod tests {
         let sink = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = sink.local_addr().unwrap();
         let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
-        let sink_thread = std::thread::spawn(move || {
-            let held = sink.accept().ok();
-            let _ = stop_rx.recv_timeout(Duration::from_secs(5));
-            drop(held);
-        });
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let held = sink.accept().ok();
+                let _ = stop_rx.recv_timeout(Duration::from_secs(5));
+                drop(held);
+            });
 
-        let addrs = std::iter::once((SiteId(0), addr)).collect();
-        let transport = TcpClientTransport::new(addrs, 4, Duration::from_secs(5));
-        // Batches big enough that the total (64 × ~120 KB ≈ 8 MB) far
-        // exceeds any loopback socket buffer: the pump's *writes* wedge,
-        // not just its queue — exercising the write-timeout path.
-        let entries: Vec<geometa_core::RegistryEntry> = (0..2000)
-            .map(|i| {
-                geometa_core::RegistryEntry::new(
-                    format!("lazy/slow/{i}"),
-                    1,
-                    geometa_core::FileLocation {
-                        site: SiteId(0),
-                        node: 0,
+            let addrs = std::iter::once((SiteId(0), addr)).collect();
+            let transport = TcpClientTransport::new(addrs, 4, Duration::from_secs(5));
+            // Batches big enough that the total (64 × ~120 KB ≈ 8 MB) far
+            // exceeds any loopback socket buffer: the pump's *writes* wedge,
+            // not just its queue — exercising the write-timeout path.
+            let entries: Vec<geometa_core::RegistryEntry> = (0..2000)
+                .map(|i| {
+                    geometa_core::RegistryEntry::new(
+                        format!("lazy/slow/{i}"),
+                        1,
+                        geometa_core::FileLocation {
+                            site: SiteId(0),
+                            node: 0,
+                        },
+                        0,
+                    )
+                })
+                .collect();
+            let t0 = Instant::now();
+            for _ in 0..64 {
+                transport.cast(
+                    SiteId(0),
+                    RegistryRequest::Absorb {
+                        entries: entries.clone(),
                     },
-                    0,
-                )
-            })
-            .collect();
-        let t0 = Instant::now();
-        for _ in 0..64 {
-            transport.cast(
-                SiteId(0),
-                RegistryRequest::Absorb {
-                    entries: entries.clone(),
-                },
+                );
+            }
+            let enqueue = t0.elapsed();
+            assert!(
+                enqueue < Duration::from_millis(250),
+                "64 casts to a black-hole target took {enqueue:?} — the lazy path stalled"
             );
-        }
-        let enqueue = t0.elapsed();
-        assert!(
-            enqueue < Duration::from_millis(250),
-            "64 casts to a black-hole target took {enqueue:?} — the lazy path stalled"
-        );
-        // Teardown must be bounded too: the pump discards its backlog on
-        // close instead of pushing 8 MB through a peer that never reads.
-        let t0 = Instant::now();
-        drop(transport);
-        let teardown = t0.elapsed();
-        assert!(
-            teardown < Duration::from_secs(3),
-            "dropping the transport blocked {teardown:?} on the wedged target"
-        );
-        let _ = stop_tx.send(());
-        sink_thread.join().unwrap();
+            // Teardown must be bounded too: the pump discards its backlog on
+            // close instead of pushing 8 MB through a peer that never reads.
+            let t0 = Instant::now();
+            drop(transport);
+            let teardown = t0.elapsed();
+            assert!(
+                teardown < Duration::from_secs(3),
+                "dropping the transport blocked {teardown:?} on the wedged target"
+            );
+            let _ = stop_tx.send(());
+        });
     }
 
     /// Garbage frames get an error response (CALL) or are dropped (CAST);

@@ -14,40 +14,40 @@ use geometa::core::entry::{FileLocation, RegistryEntry};
 use geometa::core::registry::RegistryInstance;
 use geometa::sim::topology::SiteId;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 fn main() {
     // --- Raw cache pair -------------------------------------------------
-    let ha = Arc::new(HaCache::new(16));
-    let stop = Arc::new(AtomicBool::new(false));
+    let ha = HaCache::new(16);
+    let stop = AtomicBool::new(false);
 
-    let writers: Vec<_> = (0..4)
-        .map(|t| {
-            let ha = Arc::clone(&ha);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                let mut written = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    ha.put(
-                        &format!("t{t}-k{written}"),
-                        bytes::Bytes::from_static(b"payload"),
-                        written,
-                    )
-                    .unwrap();
-                    written += 1;
-                }
-                written
+    let per_thread: Vec<u64> = std::thread::scope(|s| {
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let (ha, stop) = (&ha, &stop);
+                s.spawn(move || {
+                    let mut written = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        ha.put(
+                            &format!("t{t}-k{written}"),
+                            bytes::Bytes::from_static(b"payload"),
+                            written,
+                        )
+                        .unwrap();
+                        written += 1;
+                    }
+                    written
+                })
             })
-        })
-        .collect();
+            .collect();
 
-    std::thread::sleep(std::time::Duration::from_millis(20));
-    println!("killing the primary cache mid-traffic...");
-    ha.fail_primary();
-    std::thread::sleep(std::time::Duration::from_millis(20));
-    stop.store(true, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        println!("killing the primary cache mid-traffic...");
+        ha.fail_primary();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
 
-    let per_thread: Vec<u64> = writers.into_iter().map(|w| w.join().unwrap()).collect();
+        writers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
     let total: u64 = per_thread.iter().sum();
     println!("writers acknowledged {total} writes across the failure (per thread: {per_thread:?})");
     println!("promotions performed: {}", ha.promotions());

@@ -6,7 +6,6 @@ use geometa::core::live::{LiveCluster, LiveConfig};
 use geometa::core::strategy::StrategyKind;
 use geometa::core::MetaError;
 use geometa::sim::topology::{SiteId, Topology};
-use std::sync::Arc;
 use std::time::Duration;
 
 fn config(kind: StrategyKind) -> LiveConfig {
@@ -41,18 +40,16 @@ fn every_strategy_serves_cross_site_reads() {
 #[test]
 fn concurrent_writers_merge_locations() {
     let cluster = LiveCluster::start(config(StrategyKind::Centralized));
-    let mut handles = Vec::new();
-    for site in 0..4u16 {
-        let c = cluster.client(SiteId(site), site as u32);
-        handles.push(std::thread::spawn(move || {
-            for _ in 0..10 {
-                c.publish("shared/replicated-file", 1024).unwrap();
-            }
-        }));
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
+    std::thread::scope(|s| {
+        for site in 0..4u16 {
+            let c = cluster.client(SiteId(site), site as u32);
+            s.spawn(move || {
+                for _ in 0..10 {
+                    c.publish("shared/replicated-file", 1024).unwrap();
+                }
+            });
+        }
+    });
     let reader = cluster.client(SiteId(0), 99);
     let entry = reader.resolve("shared/replicated-file").unwrap();
     // All four sites must appear as locations (location-set union).
@@ -68,26 +65,24 @@ fn concurrent_writers_merge_locations() {
 
 #[test]
 fn strategy_switch_under_load() {
-    let cluster = Arc::new(LiveCluster::start(config(StrategyKind::Centralized)));
+    let cluster = LiveCluster::start(config(StrategyKind::Centralized));
     let sites: Vec<SiteId> = cluster.topology().site_ids().collect();
-    let mut handles = Vec::new();
-    for (i, &site) in sites.iter().enumerate() {
-        let cluster = Arc::clone(&cluster);
-        handles.push(std::thread::spawn(move || {
-            let c = cluster.client(site, 0);
-            for j in 0..40 {
-                c.publish(&format!("sw/{i}/{j}"), 32).unwrap();
-            }
-        }));
-    }
-    // Flip strategies while writers run.
-    std::thread::sleep(Duration::from_millis(3));
-    cluster
-        .controller()
-        .switch_kind(StrategyKind::DhtLocalReplica, sites.clone());
-    for h in handles {
-        h.join().unwrap();
-    }
+    std::thread::scope(|s| {
+        for (i, &site) in sites.iter().enumerate() {
+            let cluster = &cluster;
+            s.spawn(move || {
+                let c = cluster.client(site, 0);
+                for j in 0..40 {
+                    c.publish(&format!("sw/{i}/{j}"), 32).unwrap();
+                }
+            });
+        }
+        // Flip strategies while writers run.
+        std::thread::sleep(Duration::from_millis(3));
+        cluster
+            .controller()
+            .switch_kind(StrategyKind::DhtLocalReplica, sites.clone());
+    });
     // Every file written before or after the switch is resolvable by
     // somebody: pre-switch files live at the old home; post-switch per DR.
     // A reader under the CURRENT strategy finds at least the post-switch
@@ -104,7 +99,7 @@ fn strategy_switch_under_load() {
         total >= 160,
         "all 160 writes must be stored somewhere, found {total}"
     );
-    Arc::try_unwrap(cluster).ok().unwrap().shutdown();
+    cluster.shutdown();
 }
 
 #[test]

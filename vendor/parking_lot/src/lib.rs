@@ -2,26 +2,54 @@
 //! API (no poisoning, guards returned directly) implemented over
 //! `std::sync`. Poisoned std locks are recovered transparently so the
 //! no-poisoning contract holds even if a holder panicked.
+//!
+//! With the `lockdep` feature (see [`lockdep`]'s module docs) every lock
+//! carries a creation-site class id and every blocking acquisition feeds
+//! a global acquisition-order graph; an ABBA inversion panics
+//! deterministically at acquisition time, naming both offending sites.
+//! Without the feature, no instrumentation exists at all — every hook,
+//! field and impl is behind `cfg(feature = "lockdep")`, so the disabled
+//! build is byte-for-byte the plain std wrapper.
+
+#[cfg(feature = "lockdep")]
+mod lockdep;
 
 use std::ops::{Deref, DerefMut};
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "lockdep")]
+use std::panic::Location;
+
 /// A mutex whose `lock` returns the guard directly (no `Result`).
-#[derive(Default, Debug)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: lockdep::ClassCell,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: u32,
     // `Option` so Condvar::wait can temporarily take the std guard out.
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
+#[cfg(feature = "lockdep")]
+impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::release(self.class);
+    }
+}
+
 impl<T> Mutex<T> {
-    /// A new unlocked mutex.
+    /// A new unlocked mutex. Under `lockdep`, this call site defines the
+    /// lock's class: every lock created here shares one ordering record.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(feature = "lockdep")]
+            class: lockdep::ClassCell::new(Location::caller()),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -34,26 +62,56 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(&self.class, Location::caller());
         MutexGuard {
+            #[cfg(feature = "lockdep")]
+            class: self.class.class_id(),
             inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
 
     /// Try to acquire the lock without blocking.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
+            Ok(g) => Some(self.guard_from_try(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(self.guard_from_try(e.into_inner())),
             Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    #[cfg_attr(feature = "lockdep", track_caller)]
+    fn guard_from_try<'a>(&'a self, g: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire_try(&self.class, Location::caller());
+        MutexGuard {
+            #[cfg(feature = "lockdep")]
+            class: self.class.class_id(),
+            inner: Some(g),
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[cfg_attr(feature = "lockdep", track_caller)]
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex")
+            .field("inner", &&self.inner)
+            .finish()
     }
 }
 
@@ -96,28 +154,39 @@ impl Condvar {
     }
 
     /// Block until notified, releasing the guard while waiting.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.inner.take().expect("guard present");
+        #[cfg(feature = "lockdep")]
+        lockdep::condvar_unheld(guard.class);
         let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lockdep")]
+        lockdep::condvar_reheld(guard.class, Location::caller());
         guard.inner = Some(g);
     }
 
     /// Block until notified or `timeout` elapses.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let g = guard.inner.take().expect("guard present");
+        #[cfg(feature = "lockdep")]
+        lockdep::condvar_unheld(guard.class);
         let (g, res) = self
             .inner
             .wait_timeout(g, timeout)
             .unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lockdep")]
+        lockdep::condvar_reheld(guard.class, Location::caller());
         guard.inner = Some(g);
         WaitTimeoutResult(res.timed_out())
     }
 
     /// Block until notified or `deadline` is reached.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn wait_until<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
@@ -139,25 +208,49 @@ impl Condvar {
 }
 
 /// A reader-writer lock whose `read`/`write` return guards directly.
-#[derive(Default, Debug)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: lockdep::ClassCell,
     inner: std::sync::RwLock<T>,
 }
 
 /// Shared-read RAII guard for [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: u32,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 /// Exclusive-write RAII guard for [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: u32,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
+#[cfg(feature = "lockdep")]
+impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::release(self.class);
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::release(self.class);
+    }
+}
+
 impl<T> RwLock<T> {
-    /// A new unlocked lock.
+    /// A new unlocked lock. Under `lockdep`, this call site defines the
+    /// lock's class (shared and exclusive acquisitions are tracked
+    /// uniformly — conservative, like the kernel's lockdep).
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(feature = "lockdep")]
+            class: lockdep::ClassCell::new(Location::caller()),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -170,44 +263,99 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read lock.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(&self.class, Location::caller());
         RwLockReadGuard {
+            #[cfg(feature = "lockdep")]
+            class: self.class.class_id(),
             inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
         }
     }
 
     /// Acquire an exclusive write lock.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(&self.class, Location::caller());
         RwLockWriteGuard {
+            #[cfg(feature = "lockdep")]
+            class: self.class.class_id(),
             inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
         }
     }
 
     /// Try to acquire a shared read lock without blocking.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
-                inner: e.into_inner(),
-            }),
+            Ok(g) => Some(self.read_guard_from_try(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(self.read_guard_from_try(e.into_inner()))
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Try to acquire an exclusive write lock without blocking.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
-                inner: e.into_inner(),
-            }),
+            Ok(g) => Some(self.write_guard_from_try(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(self.write_guard_from_try(e.into_inner()))
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    #[cfg_attr(feature = "lockdep", track_caller)]
+    fn read_guard_from_try<'a>(
+        &'a self,
+        g: std::sync::RwLockReadGuard<'a, T>,
+    ) -> RwLockReadGuard<'a, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire_try(&self.class, Location::caller());
+        RwLockReadGuard {
+            #[cfg(feature = "lockdep")]
+            class: self.class.class_id(),
+            inner: g,
+        }
+    }
+
+    #[cfg_attr(feature = "lockdep", track_caller)]
+    fn write_guard_from_try<'a>(
+        &'a self,
+        g: std::sync::RwLockWriteGuard<'a, T>,
+    ) -> RwLockWriteGuard<'a, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire_try(&self.class, Location::caller());
+        RwLockWriteGuard {
+            #[cfg(feature = "lockdep")]
+            class: self.class.class_id(),
+            inner: g,
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[cfg_attr(feature = "lockdep", track_caller)]
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock")
+            .field("inner", &&self.inner)
+            .finish()
     }
 }
 
@@ -240,19 +388,19 @@ mod tests {
     fn condvar_wait_roundtrip() {
         let pair = Arc::new((Mutex::new(false), Condvar::new()));
         let p2 = Arc::clone(&pair);
-        let t = std::thread::spawn(move || {
-            let (m, cv) = &*p2;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock();
+                *g = true;
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
             let mut g = m.lock();
-            *g = true;
-            cv.notify_one();
+            while !*g {
+                cv.wait(&mut g);
+            }
         });
-        let (m, cv) = &*pair;
-        let mut g = m.lock();
-        while !*g {
-            cv.wait(&mut g);
-        }
-        drop(g);
-        t.join().unwrap();
     }
 
     #[test]

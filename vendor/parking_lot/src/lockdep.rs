@@ -1,0 +1,366 @@
+//! Runtime lock-order tracking (the `lockdep` feature).
+//!
+//! Modeled on the kernel's lockdep: every lock belongs to a *class*
+//! keyed by its creation site (`#[track_caller]` on `new`), so the 16
+//! shard locks of one `ShardedStore` — all created on one line — are a
+//! single class, and an ordering proven on any instance covers every
+//! instance. Each thread keeps a stack of currently-held classes; a
+//! blocking acquisition with locks held records directed edges
+//! `held → acquired` (with both acquisition sites) into a global graph.
+//! Before a new edge is inserted, a path search checks whether the
+//! reverse direction is already reachable — if so, two code paths
+//! acquire the same classes in opposite orders and *could* deadlock, so
+//! we panic immediately (deterministically, on the first inverted
+//! acquisition) with both offending acquisition sites, instead of
+//! hanging rarely under the right interleaving.
+//!
+//! `try_lock`-style acquisitions cannot block, so they never create a
+//! cycle themselves; they are pushed as *held* (a later blocking
+//! acquisition under them is still ordered) but record no edges.
+//! `Condvar` waits release the mutex for the wait's duration, so the
+//! class is popped before parking and re-pushed on wakeup.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+type Site = &'static Location<'static>;
+
+/// Embedded in every instrumented lock: the creation site plus a
+/// memoized class id (0 = not yet interned).
+pub(crate) struct ClassCell {
+    created_at: Site,
+    id: AtomicU32,
+}
+
+impl ClassCell {
+    pub(crate) const fn new(created_at: Site) -> ClassCell {
+        ClassCell {
+            created_at,
+            id: AtomicU32::new(0),
+        }
+    }
+
+    /// The class id, interning the creation site on first use. Racy
+    /// stores are harmless: the same site always interns to the same id.
+    pub(crate) fn class_id(&self) -> u32 {
+        let cached = self.id.load(Ordering::Relaxed);
+        if cached != 0 {
+            return cached;
+        }
+        let id = intern_class(self.created_at);
+        self.id.store(id, Ordering::Relaxed);
+        id
+    }
+}
+
+/// A recorded ordering: while a lock of `from` was held (acquired at
+/// `from_site`), a lock of `to` was acquired at `to_site`.
+struct Edge {
+    from_site: Site,
+    to_site: Site,
+}
+
+#[derive(Default)]
+struct State {
+    /// (file, line, column) of the creation site → class id (1-based).
+    classes: HashMap<(&'static str, u32, u32), u32>,
+    /// Class id - 1 → creation site.
+    creation_sites: Vec<Site>,
+    /// First-observed sites per ordered pair of classes.
+    edges: HashMap<(u32, u32), Edge>,
+    /// Adjacency over `edges` for the path search.
+    adj: HashMap<u32, Vec<u32>>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State::default()))
+}
+
+fn lock_state() -> std::sync::MutexGuard<'static, State> {
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn intern_class(site: Site) -> u32 {
+    let mut s = lock_state();
+    let key = (site.file(), site.line(), site.column());
+    if let Some(&id) = s.classes.get(&key) {
+        return id;
+    }
+    let id = s.creation_sites.len() as u32 + 1;
+    s.creation_sites.push(site);
+    s.classes.insert(key, id);
+    id
+}
+
+thread_local! {
+    /// Classes this thread currently holds, oldest first, with the site
+    /// of each acquisition.
+    static HELD: RefCell<Vec<(u32, Site)>> = const { RefCell::new(Vec::new()) };
+    /// Edges this thread has already pushed into the global graph — a
+    /// cache that keeps steady-state nested locking off the global lock.
+    static SEEN: RefCell<HashSet<(u32, u32)>> = RefCell::new(HashSet::new());
+}
+
+/// Record a blocking acquisition of `class` at `site`.
+pub(crate) fn acquire(class: &ClassCell, site: Site) {
+    acquire_class(class.class_id(), site, true);
+}
+
+/// Record a non-blocking (`try_*`) acquisition that succeeded.
+pub(crate) fn acquire_try(class: &ClassCell, site: Site) {
+    acquire_class(class.class_id(), site, false);
+}
+
+fn acquire_class(class: u32, site: Site, blocking: bool) {
+    let held: Vec<(u32, Site)> = HELD.with(|h| h.borrow().clone());
+    if blocking {
+        if let Some(&(_, prev_site)) = held.iter().find(|&&(c, _)| c == class) {
+            let created = class_site(class);
+            panic!(
+                "lockdep: recursive acquisition of lock class {created} \
+                 (held since {prev_site}, re-acquired at {site}) — \
+                 a second blocking acquisition of the same class self-deadlocks \
+                 if both hit one instance",
+            );
+        }
+        for &(h, h_site) in &held {
+            record_edge(h, h_site, class, site);
+        }
+    }
+    HELD.with(|h| h.borrow_mut().push((class, site)));
+}
+
+/// Record a release (guard drop); removes the most recent entry for
+/// `class` so out-of-order guard drops stay balanced.
+pub(crate) fn release(class: u32) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(c, _)| c == class) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// `Condvar` support: the mutex is released for the duration of the
+/// wait and re-acquired before the wait returns.
+pub(crate) fn condvar_unheld(class: u32) {
+    release(class);
+}
+
+/// Re-entry after a `Condvar` wait: the thread holds the mutex again.
+pub(crate) fn condvar_reheld(class: u32, site: Site) {
+    acquire_class(class, site, true);
+}
+
+fn record_edge(from: u32, from_site: Site, to: u32, to_site: Site) {
+    if from == to {
+        return; // same-class nesting is reported by the recursion check
+    }
+    let cached = SEEN.with(|s| s.borrow().contains(&(from, to)));
+    if cached {
+        return;
+    }
+    {
+        let mut s = lock_state();
+        if !s.edges.contains_key(&(from, to)) {
+            // Inserting from→to creates a cycle iff `from` is already
+            // reachable from `to`. Check before inserting so a detected
+            // inversion never contaminates the graph for other threads.
+            if let Some(path) = path_between(&s, to, from) {
+                let msg = cycle_report(&s, &path, from, from_site, to, to_site);
+                drop(s);
+                panic!("{msg}");
+            }
+            s.edges.insert((from, to), Edge { from_site, to_site });
+            s.adj.entry(from).or_default().push(to);
+        }
+    }
+    SEEN.with(|s| {
+        s.borrow_mut().insert((from, to));
+    });
+}
+
+fn class_site(class: u32) -> String {
+    let s = lock_state();
+    match s.creation_sites.get(class as usize - 1) {
+        Some(site) => format!("{site}"),
+        None => format!("#{class}"),
+    }
+}
+
+/// DFS for a path `start → … → goal` over recorded edges. Returns the
+/// class sequence including both endpoints.
+fn path_between(s: &State, start: u32, goal: u32) -> Option<Vec<u32>> {
+    let mut stack = vec![vec![start]];
+    let mut visited = HashSet::new();
+    visited.insert(start);
+    while let Some(path) = stack.pop() {
+        let last = *path.last().expect("path is never empty");
+        if last == goal {
+            return Some(path);
+        }
+        if let Some(nexts) = s.adj.get(&last) {
+            for &n in nexts {
+                if visited.insert(n) {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn cycle_report(
+    s: &State,
+    path: &[u32],
+    from: u32,
+    from_site: Site,
+    to: u32,
+    to_site: Site,
+) -> String {
+    let name = |c: u32| -> String {
+        match s.creation_sites.get(c as usize - 1) {
+            Some(site) => format!("lock class created at {site}"),
+            None => format!("lock class #{c}"),
+        }
+    };
+    let mut msg = format!(
+        "lockdep: lock-order cycle detected\n  \
+         this thread: acquiring [{to_name}] at {to_site}\n  \
+         while holding [{from_name}] acquired at {from_site}\n  \
+         but the opposite order is already on record:",
+        to_name = name(to),
+        from_name = name(from),
+    );
+    for pair in path.windows(2) {
+        let edge = &s.edges[&(pair[0], pair[1])];
+        msg.push_str(&format!(
+            "\n    [{}] acquired at {} while holding [{}] acquired at {}",
+            name(pair[1]),
+            edge.to_site,
+            name(pair[0]),
+            edge.from_site,
+        ));
+    }
+    msg.push_str("\n  the two acquisition orders can deadlock under the right interleaving");
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Mutex;
+
+    fn panic_message(r: std::thread::Result<()>) -> String {
+        let err = r.expect_err("expected a lockdep panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string")
+    }
+
+    #[test]
+    fn abba_cycle_panics_naming_both_acquisition_sites() {
+        let a = Mutex::new(0u32); // class A
+        let b = Mutex::new(0u32); // class B
+                                  // Establish A → B.
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // Invert to B → A: must panic at the second acquisition, before
+        // any actual deadlock, naming both sites.
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _gb = b.lock();
+                let _ga = a.lock(); // lockdep panics here
+            })
+            .join()
+        });
+        let msg = panic_message(result);
+        assert!(
+            msg.contains("lockdep: lock-order cycle detected"),
+            "unexpected panic: {msg}"
+        );
+        // Both offending acquisition sites (this file) must be named:
+        // the inverted a.lock() and the recorded b.lock() under A.
+        let sites: Vec<&str> = msg.matches("lockdep.rs").collect();
+        assert!(
+            sites.len() >= 4,
+            "expected creation and acquisition sites in the report: {msg}"
+        );
+        assert!(
+            msg.contains("while holding"),
+            "report must show the held lock: {msg}"
+        );
+        assert!(
+            msg.contains("opposite order is already on record"),
+            "report must cite the recorded order: {msg}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_silent() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+    }
+
+    #[test]
+    fn recursive_same_class_panics() {
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let a = Mutex::new(()); // one class
+                let _g1 = a.lock();
+                let _g2 = a.lock(); // same class (and instance): flagged
+            })
+            .join()
+        });
+        let msg = panic_message(result);
+        assert!(
+            msg.contains("recursive acquisition"),
+            "unexpected panic: {msg}"
+        );
+    }
+
+    #[test]
+    fn three_lock_cycle_reports_the_chain() {
+        fn fresh() -> (Mutex<()>, Mutex<()>, Mutex<()>) {
+            (Mutex::new(()), Mutex::new(()), Mutex::new(()))
+        }
+        let (a, b, c) = fresh();
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // A → B
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // B → C
+        }
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _gc = c.lock();
+                let _ga = a.lock(); // C → A closes the cycle
+            })
+            .join()
+        });
+        let msg = panic_message(result);
+        assert!(
+            msg.contains("lock-order cycle detected"),
+            "unexpected panic: {msg}"
+        );
+        // The report walks the recorded A → B → C chain.
+        assert!(
+            msg.matches("while holding").count() >= 2,
+            "chain edges missing from report: {msg}"
+        );
+    }
+}
