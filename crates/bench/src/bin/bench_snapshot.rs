@@ -2,7 +2,7 @@
 //!
 //! Criterion is great for local iteration but its vendored stand-in has no
 //! machine-readable output; this binary times the same hot paths with a
-//! plain monotonic-clock loop and emits a JSON snapshot (`BENCH_4.json` at
+//! plain monotonic-clock loop and emits a JSON snapshot (`BENCH_6.json` at
 //! the repo root by default) so perf numbers can be committed per-PR and
 //! compared across the repo's history.
 //!
@@ -13,7 +13,11 @@
 //! `--baseline FILE` splices a previously captured snapshot (raw JSON)
 //! into the output under a `"baseline"` key, so a committed BENCH file
 //! carries both the pre-change and post-change numbers
-//! (`scripts/bench_snapshot` passes the committed `BENCH_2.json`).
+//! (`scripts/bench_snapshot` passes the committed `BENCH_5.json`).
+//!
+//! The `wal_append_*` results time the file-backed write-ahead log under
+//! each fsync policy, so the durability tax of `--fsync always` vs the
+//! group-commit default is a committed number rather than folklore.
 //!
 //! Beyond the micro loops, the snapshot carries three macro sections:
 //! * `sim_macro_*` results — end-to-end DES events/sec over *full simbind
@@ -32,7 +36,9 @@
 use bytes::Bytes;
 use geometa_cache::ShardedStore;
 use geometa_core::entry::{FileLocation, RegistryEntry};
+use geometa_core::protocol::RegistryRequest;
 use geometa_core::strategy::StrategyKind;
+use geometa_core::wal::{FileWal, FsyncPolicy, WalSink};
 use geometa_experiments::runner::Runner;
 use geometa_experiments::simbind::{run_synthetic_instrumented, run_workflow_instrumented};
 use geometa_experiments::{chaos, scale, SimConfig};
@@ -180,6 +186,38 @@ fn bench_codec(r: &mut Harness, iters: u64) {
             black_box(RegistryEntry::from_bytes(bytes.clone()).unwrap());
         }
     });
+}
+
+/// The WAL append under each fsync policy: the price of "acked ⇒
+/// durable" on every record (`always`), the amortized group-commit
+/// compromise the server defaults to, and the page-cache-only floor
+/// (`off`). Fresh log per policy; open/teardown stay outside the timed
+/// loop. The spread between `always` and `off` is the host's raw fsync
+/// cost — the interesting number is how close `group` gets to `off`.
+fn bench_wal(r: &mut Harness, appends: u64) {
+    let req = RegistryRequest::Put {
+        entry: sample_entry(2),
+    };
+    for (name, policy) in [
+        ("wal_append_fsync_always", FsyncPolicy::Always),
+        (
+            "wal_append_group_commit",
+            FsyncPolicy::GroupCommit(std::time::Duration::from_millis(2)),
+        ),
+        ("wal_append_fsync_off", FsyncPolicy::Never),
+    ] {
+        let dir =
+            std::env::temp_dir().join(format!("geometa-bench-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (wal, _) = FileWal::open(&dir, policy).expect("open bench wal");
+        r.bench(name, appends, || {
+            for i in 0..appends {
+                black_box(wal.append(&req, i).expect("append"));
+            }
+        });
+        wal.close();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -402,7 +440,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
@@ -419,8 +457,11 @@ fn main() {
     let timers = if quick { 20_000 } else { 100_000 };
 
     eprintln!("bench_snapshot (quick={quick})");
+    let wal_appends = if quick { 64 } else { 256 };
+
     bench_cache(&mut r, n_keys);
     bench_codec(&mut r, codec_iters);
+    bench_wal(&mut r, wal_appends);
     bench_sim(&mut r, rounds, timers);
     bench_sim_macro(&mut r, quick);
     let parallel = bench_parallel(quick);

@@ -37,6 +37,11 @@ pub struct RuleSet {
     /// `net-unwrap`: no `unwrap()`/`expect()` on connection/framing
     /// paths in `crates/net`.
     pub net_unwrap: bool,
+    /// `durability`: in a WAL module, every `.write`/`.write_all` must
+    /// have a `sync_data`/`sync_all` in reach — an acked append that
+    /// only made it to the page cache is the torn-tail bug the whole
+    /// log exists to prevent.
+    pub durability: bool,
 }
 
 /// All rule names, for waiver validation.
@@ -46,6 +51,7 @@ pub const RULE_NAMES: &[&str] = &[
     "untracked-thread",
     "unordered-iter",
     "net-unwrap",
+    "durability",
 ];
 
 /// Decide the applicable rules for a repo-relative path (forward
@@ -80,6 +86,11 @@ pub fn rules_for(path: &str) -> Option<RuleSet> {
     if in_src("net") {
         set.net_unwrap = true;
     }
+    // WAL modules (any crate, `src/wal*.rs`) carry the fsync contract.
+    let file = path.rsplit('/').next().unwrap_or(path);
+    if path.contains("/src/") && file.starts_with("wal") {
+        set.durability = true;
+    }
     Some(set)
 }
 
@@ -100,6 +111,9 @@ pub fn check(tokens: &[Tok], set: RuleSet) -> Vec<Finding> {
     }
     if set.net_unwrap {
         net_unwrap(tokens, &mut findings);
+    }
+    if set.durability {
+        durability(tokens, &mut findings);
     }
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
@@ -198,6 +212,48 @@ fn net_unwrap(tokens: &[Tok], out: &mut Vec<Finding>) {
                     t.text
                 ),
             });
+        }
+    }
+}
+
+/// How far past a `.write`/`.write_all` the `durability` rule looks for
+/// a sync call. Wide enough for `f.write_all(&buf).map_err(..)?;
+/// f.sync_all()` in one window, narrow enough that a sync in a distant
+/// branch (which may not run for this write) does not count as cover.
+const DURABILITY_SYNC_WINDOW: usize = 30;
+
+fn durability(tokens: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test {
+            continue;
+        }
+        if (t.text == "write" || t.text == "write_all")
+            && i > 0
+            && is(&tokens[i - 1], ".")
+            && i + 1 < tokens.len()
+            && is(&tokens[i + 1], "(")
+        {
+            // `.write(true)` is the OpenOptions builder flag, not I/O.
+            if t.text == "write" && i + 2 < tokens.len() && is(&tokens[i + 2], "true") {
+                continue;
+            }
+            let synced = tokens[i..]
+                .iter()
+                .take(DURABILITY_SYNC_WINDOW)
+                .any(|t| t.text == "sync_data" || t.text == "sync_all");
+            if !synced {
+                out.push(Finding {
+                    rule: "durability",
+                    line: t.line,
+                    message: format!(
+                        ".{}() in a WAL module with no sync_data/sync_all in reach — \
+                         acked must imply durable, so sync on the spot or waive with \
+                         the policy that guarantees the sync happens before the ack",
+                        t.text
+                    ),
+                });
+            }
         }
     }
 }
@@ -511,10 +567,44 @@ mod tests {
         let net = rules_for("crates/net/src/server.rs").unwrap();
         assert!(net.net_unwrap && net.unordered_iter && !net.wall_clock);
         let core = rules_for("crates/core/src/runtime.rs").unwrap();
-        assert!(core.unseeded_rng && !core.wall_clock);
+        assert!(core.unseeded_rng && !core.wall_clock && !core.durability);
         assert!(rules_for("vendor/parking_lot/src/lib.rs").is_none());
         assert!(rules_for("crates/check/tests/fixtures/bad.rs").is_none());
         let test_file = rules_for("crates/cache/tests/properties.rs").unwrap();
         assert!(test_file.untracked_thread && !test_file.wall_clock);
+        // The fsync contract binds WAL modules wherever they live, but
+        // not files that merely exercise them.
+        assert!(rules_for("crates/core/src/wal.rs").unwrap().durability);
+        assert!(
+            !rules_for("crates/core/tests/wal_properties.rs")
+                .unwrap()
+                .durability
+        );
+    }
+
+    #[test]
+    fn durability_flags_unsynced_wal_writes() {
+        let set = RuleSet {
+            durability: true,
+            ..Default::default()
+        };
+        let f = run(
+            "fn append(f: &mut File) { f.write_all(&buf).unwrap(); }",
+            set,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "durability");
+        // A sync in reach covers the write.
+        assert!(run(
+            "fn append(f: &mut File) { f.write_all(&buf)?; f.sync_data()?; Ok(()) }",
+            set
+        )
+        .is_empty());
+        // The OpenOptions builder flag is not an I/O write.
+        assert!(run(
+            "fn open(p: &Path) { OpenOptions::new().read(true).write(true).open(p); }",
+            set
+        )
+        .is_empty());
     }
 }

@@ -1,0 +1,10 @@
+//! Fixture: exactly one `durability` violation — a WAL append that
+//! returns (and would let the caller ack) without any fsync in reach.
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn append(log: &mut File, record: &[u8]) -> std::io::Result<()> {
+    log.write_all(record)?;
+    Ok(())
+}

@@ -46,6 +46,11 @@ fn each_fixture_trips_exactly_its_rule() {
             "unordered-iter",
         ),
         ("net_unwrap.rs", "crates/net/src/fixture.rs", "net-unwrap"),
+        (
+            "durability.rs",
+            "crates/core/src/wal_fixture.rs",
+            "durability",
+        ),
     ];
     for (file, path, rule) in cases {
         let report = lint_fixture(file, path);

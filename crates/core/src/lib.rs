@@ -37,6 +37,9 @@
 //! * [`protocol`] — the RPC types and their length-prefixed binary wire
 //!   codec (the same messages flow over channels, the DES network model,
 //!   and framed TCP);
+//! * [`wal`] — per-site write-ahead logging (CRC'd length-prefixed
+//!   records over the wire codec, group commit, snapshot + truncation)
+//!   and torn-tail-tolerant crash recovery;
 //! * [`runtime`] — the transport-generic service runtime: registry
 //!   ownership, dispatch, delay line, sync-agent driving, failure
 //!   injection and graceful shutdown, parameterized over a
@@ -62,6 +65,7 @@ pub mod runtime;
 pub mod strategy;
 pub mod sync_agent;
 pub mod transport;
+pub mod wal;
 
 pub use client::{ClientConfig, StrategyClient};
 pub use controller::ArchitectureController;

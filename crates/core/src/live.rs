@@ -239,6 +239,9 @@ impl LiveCluster {
                     kind: config.kind,
                     shards: config.shards,
                     sync_interval: config.sync_interval,
+                    // Channel deployments stay deterministic: an
+                    // in-memory WAL with identical append semantics.
+                    ..RuntimeConfig::default()
                 },
                 ChannelLayer::new(config.latency_scale),
             ),

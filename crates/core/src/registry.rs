@@ -235,6 +235,21 @@ impl RegistryInstance {
         self.cache.fail_primary();
     }
 
+    /// Drop every entry from both cache stores: process-kill amnesia for
+    /// crash-recovery exercises. Unlike [`Self::fail_primary`] (which
+    /// models a cache-tier failover with the replica surviving), a wipe
+    /// models full process death — everything in memory is gone and only
+    /// external state (a write-ahead log) can bring it back. Returns the
+    /// number of entries lost; the op counters survive (lifetime
+    /// accounting, not state).
+    pub fn wipe(&self) -> usize {
+        let entries = self.all_entries();
+        for e in &entries {
+            let _ = self.cache.remove(e.name.as_str());
+        }
+        entries.len()
+    }
+
     /// (gets, puts, absorbs) served so far.
     pub fn op_counts(&self) -> (u64, u64, u64) {
         (
@@ -286,6 +301,22 @@ mod tests {
     #[test]
     fn get_missing_is_not_found() {
         assert_eq!(reg().get("ghost"), Err(MetaError::NotFound));
+    }
+
+    #[test]
+    fn wipe_forgets_everything_including_the_replica() {
+        let r = reg();
+        r.put(&RegistryEntry::new("a", 1, loc(0, 1), 10), 10)
+            .unwrap();
+        r.put(&RegistryEntry::new("b", 2, loc(0, 2), 11), 11)
+            .unwrap();
+        assert_eq!(r.wipe(), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.get("a"), Err(MetaError::NotFound));
+        // A primary failure after the wipe must not resurrect entries
+        // from the replica — the wipe hit both stores.
+        r.fail_primary();
+        assert_eq!(r.get("b"), Err(MetaError::NotFound));
     }
 
     #[test]

@@ -36,14 +36,36 @@ use crate::registry::RegistryInstance;
 use crate::strategy::StrategyKind;
 use crate::sync_agent::SyncAgentState;
 use crate::transport::{InProcessTransport, RegistryTransport};
+use crate::wal::{FileWal, FsyncPolicy, MemWal, TornTail, WalError, WalSink};
 use crate::MetaError;
+use geometa_sim::rng::SplitMix64;
 use geometa_sim::topology::{SiteId, Topology};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BinaryHeap, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which write-ahead log backs each site's registry.
+#[derive(Clone, Debug)]
+pub enum WalConfig {
+    /// No logging: writes live only in memory (pre-WAL behaviour).
+    Disabled,
+    /// In-memory log: identical append/replay semantics without I/O —
+    /// the deterministic default for in-process and channel deployments.
+    Memory,
+    /// File-backed log under `data_dir/site-<n>/` with the given fsync
+    /// policy. Existing state is recovered (snapshot + clean log tail
+    /// replayed into the registries) before serving starts.
+    File {
+        /// Root directory; one subdirectory per site.
+        data_dir: PathBuf,
+        /// When appended records become durable.
+        fsync: FsyncPolicy,
+    },
+}
 
 /// Configuration shared by every runtime-backed deployment.
 #[derive(Clone)]
@@ -56,6 +78,10 @@ pub struct RuntimeConfig {
     pub shards: usize,
     /// Real-time interval between sync-agent cycles (replicated strategy).
     pub sync_interval: Duration,
+    /// Write-ahead logging behind every registry.
+    pub wal: WalConfig,
+    /// Appends between snapshot + log-truncation cycles.
+    pub snapshot_every: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -65,6 +91,55 @@ impl Default for RuntimeConfig {
             kind: StrategyKind::DhtLocalReplica,
             shards: 16,
             sync_interval: Duration::from_millis(5),
+            wal: WalConfig::Memory,
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// What one site's restart recovered from its WAL.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// The site that recovered.
+    pub site: SiteId,
+    /// Entries restored from the snapshot.
+    pub snapshot_entries: usize,
+    /// Log records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// A torn log tail that was truncated during recovery, if any.
+    pub torn: Option<TornTail>,
+}
+
+/// Sync-agent health counters, surfaced through
+/// [`ServiceCore::sync_stats`].
+#[derive(Debug, Default)]
+pub struct SyncAgentStats {
+    /// Delta pulls that returned an error (the site backs off).
+    pub pull_failures: AtomicU64,
+    /// Absorb pushes that were not acked (watermark rolled back).
+    pub push_failures: AtomicU64,
+    /// Cycles where a backed-off site was skipped.
+    pub backoff_skips: AtomicU64,
+}
+
+/// Point-in-time copy of [`SyncAgentStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncAgentStatsSnapshot {
+    /// See [`SyncAgentStats::pull_failures`].
+    pub pull_failures: u64,
+    /// See [`SyncAgentStats::push_failures`].
+    pub push_failures: u64,
+    /// See [`SyncAgentStats::backoff_skips`].
+    pub backoff_skips: u64,
+}
+
+impl SyncAgentStats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> SyncAgentStatsSnapshot {
+        SyncAgentStatsSnapshot {
+            pull_failures: self.pull_failures.load(Ordering::Relaxed),
+            push_failures: self.push_failures.load(Ordering::Relaxed),
+            backoff_skips: self.backoff_skips.load(Ordering::Relaxed),
         }
     }
 }
@@ -163,28 +238,70 @@ impl DelayLine {
 pub struct ServiceCore {
     topology: Arc<Topology>,
     registries: HashMap<SiteId, Arc<RegistryInstance>>,
+    wals: HashMap<SiteId, Arc<dyn WalSink>>,
+    snapshot_every: u64,
+    recovery: Vec<RecoveryReport>,
     controller: Arc<ArchitectureController>,
+    sync_stats: Arc<SyncAgentStats>,
     delay: Arc<DelayLine>,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
 }
 
 impl ServiceCore {
-    fn new(config: &RuntimeConfig) -> Arc<ServiceCore> {
+    fn new(config: &RuntimeConfig) -> Result<Arc<ServiceCore>, WalError> {
         let topology = Arc::new(config.topology.clone());
         let sites: Vec<SiteId> = topology.site_ids().collect();
-        let registries = sites
+        let registries: HashMap<SiteId, Arc<RegistryInstance>> = sites
             .iter()
             .map(|&s| (s, Arc::new(RegistryInstance::new(s, config.shards))))
             .collect();
-        Arc::new(ServiceCore {
+        let mut wals: HashMap<SiteId, Arc<dyn WalSink>> = HashMap::new();
+        let mut recovery = Vec::new();
+        for &site in &sites {
+            match &config.wal {
+                WalConfig::Disabled => {}
+                WalConfig::Memory => {
+                    wals.insert(site, Arc::new(MemWal::new()));
+                }
+                WalConfig::File { data_dir, fsync } => {
+                    let dir = data_dir.join(format!("site-{}", site.0));
+                    let (wal, rec) = FileWal::open(&dir, *fsync)?;
+                    if !rec.is_empty() || rec.torn.is_some() {
+                        let registry = &registries[&site];
+                        for entry in &rec.entries {
+                            let _ = registry.absorb(entry);
+                        }
+                        for record in &rec.tail {
+                            let _ = InProcessTransport::serve(
+                                registry,
+                                record.req.clone(),
+                                record.now_micros,
+                            );
+                        }
+                        recovery.push(RecoveryReport {
+                            site,
+                            snapshot_entries: rec.entries.len(),
+                            replayed: rec.tail.len(),
+                            torn: rec.torn,
+                        });
+                    }
+                    wals.insert(site, Arc::new(wal));
+                }
+            }
+        }
+        Ok(Arc::new(ServiceCore {
             topology,
             registries,
+            wals,
+            snapshot_every: config.snapshot_every.max(1),
+            recovery,
             controller: Arc::new(ArchitectureController::with_kind(config.kind, sites)),
+            sync_stats: Arc::new(SyncAgentStats::default()),
             delay: DelayLine::new(),
             epoch: Instant::now(),
             shutdown: Arc::new(AtomicBool::new(false)),
-        })
+        }))
     }
 
     /// The deployment's topology.
@@ -220,13 +337,57 @@ impl ServiceCore {
     /// Serve one request against `site`'s registry — the single dispatch
     /// every connection layer calls, so registry semantics live in exactly
     /// one place ([`InProcessTransport::serve`]).
+    ///
+    /// Successful writes are appended to the site's WAL *before the ack
+    /// is returned*: with a file sink the append blocks until the record
+    /// is durable per its [`FsyncPolicy`], so an acked write survives a
+    /// process kill. A WAL append failure converts the ack into
+    /// `Unavailable` — the write may exist in memory, but the durability
+    /// contract ("acked ⇒ recoverable") is never weakened silently.
     pub fn serve(&self, site: SiteId, req: RegistryRequest) -> RegistryResponse {
-        match self.registries.get(&site) {
-            Some(r) => InProcessTransport::serve(r, req, self.now_micros()),
-            None => RegistryResponse::Error {
+        let Some(r) = self.registries.get(&site) else {
+            return RegistryResponse::Error {
                 error: MetaError::Unavailable,
-            },
+            };
+        };
+        let wal = self.wals.get(&site).filter(|_| req.is_write());
+        let logged = wal.map(|_| req.clone());
+        let now = self.now_micros();
+        let resp = InProcessTransport::serve(r, req, now);
+        if let (Some(wal), Some(req), RegistryResponse::Ack) = (wal, logged, &resp) {
+            if let Err(e) = wal.append(&req, now) {
+                eprintln!("geometa: wal append failed at site {}: {e}", site.0);
+                return RegistryResponse::Error {
+                    error: MetaError::Unavailable,
+                };
+            }
+            if wal.records_since_snapshot() >= self.snapshot_every {
+                let registry = Arc::clone(r);
+                if let Err(e) = wal.install_snapshot(&mut || registry.all_entries()) {
+                    // Snapshot failure is not fatal to the ack (the
+                    // record is durable in the log); it is surfaced and
+                    // retried at the next trigger.
+                    eprintln!("geometa: wal snapshot failed at site {}: {e}", site.0);
+                }
+            }
         }
+        resp
+    }
+
+    /// The site's write-ahead log, when the deployment configured one.
+    pub fn wal(&self, site: SiteId) -> Option<&Arc<dyn WalSink>> {
+        self.wals.get(&site)
+    }
+
+    /// What each site recovered from disk at startup (empty for fresh
+    /// starts and non-file WALs).
+    pub fn recovery_reports(&self) -> &[RecoveryReport] {
+        &self.recovery
+    }
+
+    /// Sync-agent health counters (zero when no agent runs).
+    pub fn sync_stats(&self) -> SyncAgentStatsSnapshot {
+        self.sync_stats.snapshot()
     }
 
     /// Fault injection: kill `site`'s primary cache mid-traffic. The
@@ -302,8 +463,20 @@ impl<L: ConnectionLayer> ServiceRuntime<L> {
     /// delay-line worker and — for the replicated strategy — the sync
     /// agent (driven over the layer's own transport, so propagation pays
     /// the same latency clients do).
-    pub fn start(config: RuntimeConfig, mut layer: L) -> ServiceRuntime<L> {
-        let core = ServiceCore::new(&config);
+    ///
+    /// Panics when a file-backed WAL cannot be opened or recovered; the
+    /// operator binaries use [`ServiceRuntime::try_start`] for a clean
+    /// error instead.
+    pub fn start(config: RuntimeConfig, layer: L) -> ServiceRuntime<L> {
+        match Self::try_start(config, layer) {
+            Ok(rt) => rt,
+            Err(e) => panic!("runtime start: {e}"),
+        }
+    }
+
+    /// [`ServiceRuntime::start`], surfacing WAL open/recovery failures.
+    pub fn try_start(config: RuntimeConfig, mut layer: L) -> Result<ServiceRuntime<L>, WalError> {
+        let core = ServiceCore::new(&config)?;
         let mut spawner = Spawner {
             threads: Vec::new(),
         };
@@ -321,7 +494,7 @@ impl<L: ConnectionLayer> ServiceRuntime<L> {
         if config.kind == StrategyKind::Replicated {
             runtime.spawn_sync_agent();
         }
-        runtime
+        Ok(runtime)
     }
 
     fn spawn_sync_agent(&mut self) {
@@ -329,12 +502,13 @@ impl<L: ConnectionLayer> ServiceRuntime<L> {
         let agent_site = sites[0];
         let transport = self.layer.transport(&self.core, agent_site);
         let shutdown = Arc::clone(&self.core.shutdown);
+        let stats = Arc::clone(&self.core.sync_stats);
         let interval = self.sync_interval;
         let mut spawner = Spawner {
             threads: std::mem::take(&mut self.threads),
         };
         spawner.spawn("sync-agent", move || {
-            drive_sync_agent(&*transport, &sites, interval, &shutdown)
+            drive_sync_agent(&*transport, &sites, interval, &shutdown, &stats)
         });
         self.threads = spawner.threads;
     }
@@ -394,6 +568,13 @@ impl<L: ConnectionLayer> ServiceRuntime<L> {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // After every serving thread is gone: flush and stop the WALs
+        // (site order, for a deterministic close sequence).
+        for site in self.core.topology.site_ids() {
+            if let Some(wal) = self.core.wals.get(&site) {
+                wal.close();
+            }
+        }
         joined
     }
 }
@@ -412,6 +593,51 @@ impl<L: ConnectionLayer> Drop for ServiceRuntime<L> {
 /// fit, and a mid-window failure just re-pulls — absorb is idempotent.
 pub const SYNC_PUSH_CHUNK: usize = 4096;
 
+/// Longest a failing site is skipped, in cycles (base backoff doubles
+/// per consecutive failure up to this cap; jitter can add up to one
+/// more base on top).
+pub const SYNC_BACKOFF_CAP_CYCLES: u64 = 32;
+
+/// Per-site pull backoff: consecutive failures double the number of
+/// cycles the site is skipped (capped), plus deterministic seeded jitter
+/// so multiple agents never re-probe a recovering site in lockstep.
+struct PullBackoff {
+    failures: u32,
+    skip: u64,
+    rng: SplitMix64,
+}
+
+impl PullBackoff {
+    fn new(seed: u64, site: SiteId) -> PullBackoff {
+        PullBackoff {
+            failures: 0,
+            skip: 0,
+            rng: SplitMix64::new(seed).split(site.0 as u64),
+        }
+    }
+
+    /// Returns true when the site should be skipped this cycle.
+    fn should_skip(&mut self) -> bool {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return true;
+        }
+        false
+    }
+
+    fn record_failure(&mut self) {
+        self.failures = self.failures.saturating_add(1);
+        let base = (1u64 << (self.failures - 1).min(63)).min(SYNC_BACKOFF_CAP_CYCLES);
+        // Skip [base, 2*base) cycles: exponential with full-base jitter.
+        self.skip = base + self.rng.range_u64(base);
+    }
+
+    fn record_success(&mut self) {
+        self.failures = 0;
+        self.skip = 0;
+    }
+}
+
 /// The generic sync-agent loop: poll every site for its delta through
 /// `transport`, integrate, and push to the others — the live and net
 /// deployments run the exact same driver over their own transports.
@@ -423,19 +649,32 @@ pub const SYNC_PUSH_CHUNK: usize = 4096;
 /// replicated strategy's durability mechanism — it must not advance past
 /// entries that never arrived. Failures roll the source watermark back
 /// so the window is re-pulled and re-pushed next cycle (absorb is
-/// idempotent, so double delivery is harmless). A failed pull likewise
-/// leaves the watermark untouched.
+/// idempotent, so double delivery is harmless).
+///
+/// A failed pull leaves the watermark untouched and puts the site on
+/// capped exponential backoff with seeded jitter (a dead site is not
+/// hammered every cycle; a recovering one is re-probed within a bounded,
+/// de-synchronized number of cycles). Health counters land in `stats`.
 pub fn drive_sync_agent<T: RegistryTransport>(
     transport: &T,
     sites: &[SiteId],
     interval: Duration,
     shutdown: &AtomicBool,
+    stats: &SyncAgentStats,
 ) {
     let mut state = SyncAgentState::new(sites.to_vec());
+    let mut backoff: Vec<PullBackoff> = sites
+        .iter()
+        .map(|&s| PullBackoff::new(0x5EED_A6E7, s))
+        .collect();
     while !shutdown.load(Ordering::Acquire) {
-        for &site in sites {
+        for (idx, &site) in sites.iter().enumerate() {
             if shutdown.load(Ordering::Acquire) {
                 return;
+            }
+            if backoff[idx].should_skip() {
+                stats.backoff_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
             let prev_watermark = state.watermark(site);
             let pull_time = transport.now_micros();
@@ -446,8 +685,16 @@ pub fn drive_sync_agent<T: RegistryTransport>(
                 },
             );
             let delta = match resp {
-                RegistryResponse::Delta { entries } => entries,
-                _ => continue, // pull failed: keep the watermark, retry next cycle
+                RegistryResponse::Delta { entries } => {
+                    backoff[idx].record_success();
+                    entries
+                }
+                _ => {
+                    // Pull failed: keep the watermark, back the site off.
+                    stats.pull_failures.fetch_add(1, Ordering::Relaxed);
+                    backoff[idx].record_failure();
+                    continue;
+                }
             };
             // Back the watermark off by 1us so same-tick writes are
             // re-pulled (absorb is idempotent).
@@ -461,6 +708,7 @@ pub fn drive_sync_agent<T: RegistryTransport>(
                         },
                     );
                     if resp.into_ack().is_err() {
+                        stats.push_failures.fetch_add(1, Ordering::Relaxed);
                         state.rollback_watermark(site, prev_watermark);
                         break 'pushes; // re-pull this window next cycle
                     }
@@ -538,16 +786,26 @@ mod tests {
             pulls: std::sync::Mutex::new(Vec::new()),
         };
         let shutdown = AtomicBool::new(false);
+        let stats = SyncAgentStats::default();
         let sites = [SiteId(0), SiteId(1)];
-        // Run exactly two cycles by flipping the flag from a watcher
-        // thread after a short delay.
+        // Run enough cycles that site 1 is re-probed at least once
+        // through its backoff; a watcher thread flips the flag.
         std::thread::scope(|s| {
             s.spawn(|| {
-                std::thread::sleep(Duration::from_millis(30));
+                std::thread::sleep(Duration::from_millis(80));
                 shutdown.store(true, Ordering::Release);
             });
-            drive_sync_agent(&transport, &sites, Duration::from_millis(5), &shutdown);
+            drive_sync_agent(
+                &transport,
+                &sites,
+                Duration::from_millis(2),
+                &shutdown,
+                &stats,
+            );
         });
+        let snap = stats.snapshot();
+        assert!(snap.pull_failures >= 2, "failures counted: {snap:?}");
+        assert!(snap.backoff_skips >= 1, "failing site backed off: {snap:?}");
         let pulls = transport.pulls.lock().unwrap();
         let site1: Vec<u64> = pulls
             .iter()
@@ -620,19 +878,74 @@ mod tests {
             pulls: std::sync::Mutex::new(Vec::new()),
         };
         let shutdown = AtomicBool::new(false);
+        let stats = SyncAgentStats::default();
         let sites = [SiteId(0), SiteId(1)];
         std::thread::scope(|s| {
             s.spawn(|| {
                 std::thread::sleep(Duration::from_millis(30));
                 shutdown.store(true, Ordering::Release);
             });
-            drive_sync_agent(&transport, &sites, Duration::from_millis(5), &shutdown);
+            drive_sync_agent(
+                &transport,
+                &sites,
+                Duration::from_millis(5),
+                &shutdown,
+                &stats,
+            );
         });
         let pulls = transport.pulls.lock().unwrap();
         assert!(pulls.len() >= 2, "agent ran at least two cycles");
         assert!(
             pulls.iter().all(|&w| w == 0),
             "undelivered pushes must roll the watermark back for a re-pull: {pulls:?}"
+        );
+        assert!(stats.snapshot().push_failures >= 2, "push failures counted");
+    }
+
+    #[test]
+    fn pull_backoff_is_capped_exponential_with_jitter() {
+        let mut b = PullBackoff::new(0x5EED_A6E7, SiteId(3));
+        let mut prev_base = 0u64;
+        for failure in 1..=12u32 {
+            b.record_failure();
+            let base = (1u64 << (failure - 1).min(63)).min(SYNC_BACKOFF_CAP_CYCLES);
+            assert!(
+                b.skip >= base && b.skip < 2 * base,
+                "failure {failure}: skip {} outside [{base}, {})",
+                b.skip,
+                2 * base
+            );
+            assert!(base >= prev_base, "backoff never shrinks under failures");
+            assert!(base <= SYNC_BACKOFF_CAP_CYCLES, "backoff capped");
+            prev_base = base;
+        }
+        // Every skipped cycle decrements; success resets instantly.
+        let skip = b.skip;
+        assert!(b.should_skip());
+        assert_eq!(b.skip, skip - 1);
+        b.record_success();
+        assert!(!b.should_skip());
+        // Determinism: same seed + site → identical jitter sequence.
+        let mut c = PullBackoff::new(0x5EED_A6E7, SiteId(3));
+        let mut d = PullBackoff::new(0x5EED_A6E7, SiteId(3));
+        for _ in 0..8 {
+            c.record_failure();
+            d.record_failure();
+            assert_eq!(c.skip, d.skip);
+        }
+        // ...and different sites de-synchronize.
+        let mut e = PullBackoff::new(0x5EED_A6E7, SiteId(0));
+        let mut f = PullBackoff::new(0x5EED_A6E7, SiteId(1));
+        let seqs: Vec<(u64, u64)> = (0..8)
+            .map(|_| {
+                e.record_failure();
+                f.record_failure();
+                (e.skip, f.skip)
+            })
+            .collect();
+        assert!(
+            seqs.iter().any(|(a, b)| a != b),
+            "sites must not back off in lockstep: {seqs:?}"
         );
     }
 
@@ -694,13 +1007,20 @@ mod tests {
             absorb_sizes: std::sync::Mutex::new(Vec::new()),
         };
         let shutdown = AtomicBool::new(false);
+        let stats = SyncAgentStats::default();
         let sites = [SiteId(0), SiteId(1)];
         std::thread::scope(|s| {
             s.spawn(|| {
                 std::thread::sleep(Duration::from_millis(20));
                 shutdown.store(true, Ordering::Release);
             });
-            drive_sync_agent(&transport, &sites, Duration::from_millis(5), &shutdown);
+            drive_sync_agent(
+                &transport,
+                &sites,
+                Duration::from_millis(5),
+                &shutdown,
+                &stats,
+            );
         });
         let sizes = transport.absorb_sizes.lock().unwrap();
         assert_eq!(

@@ -38,6 +38,7 @@ use crate::simbind::{
 use geometa_core::consistency::merge_entries;
 use geometa_core::entry::RegistryEntry;
 use geometa_core::hash::ConsistentRing;
+use geometa_core::protocol::RegistryRequest;
 use geometa_core::rebalance::{apply_rebalance, plan_rebalance};
 use geometa_core::strategy::StrategyKind;
 use geometa_sim::oracle::{Fingerprint, OpLog};
@@ -61,10 +62,21 @@ pub enum ChaosFault {
     WanDegradation,
     /// One lossy WAN link: probabilistic message drop + duplication.
     FlakyLink,
+    /// SIGKILL-style process death of a registry site followed by a
+    /// restart that replays the site's write-ahead log (snapshot + tail).
+    /// Unlike [`ChaosFault::RegistryCrash`] — a cache-primary failover
+    /// with the replica surviving — a kill loses *every* byte of
+    /// in-memory state; durability holds only if the log brings the
+    /// acked writes back. Deliberately **not** part of [`Self::all`]:
+    /// the kill-recover tier rides its own grid
+    /// ([`kill_recover_grid`]) so the legacy matrix — and with it the
+    /// figures' byte-identity — is untouched.
+    KillRecover,
 }
 
 impl ChaosFault {
-    /// All fault kinds, in matrix order.
+    /// All fault kinds of the legacy matrix, in matrix order
+    /// ([`ChaosFault::KillRecover`] has its own grid).
     pub fn all() -> [ChaosFault; 4] {
         [
             ChaosFault::RegistryCrash,
@@ -81,6 +93,7 @@ impl ChaosFault {
             ChaosFault::Partition => "partition",
             ChaosFault::WanDegradation => "wan-degrade",
             ChaosFault::FlakyLink => "flaky-link",
+            ChaosFault::KillRecover => "kill-recover",
         }
     }
 }
@@ -249,6 +262,26 @@ pub fn synthetic_grid(seeds: &[u64]) -> Vec<ChaosCell> {
     cells
 }
 
+/// The kill-and-recover grid: every strategy × seed on the synthetic
+/// workload, each cell a [`ChaosFault::KillRecover`]. Kept out of
+/// [`synthetic_grid`] (and thus out of the legacy matrix, the bench
+/// timing workload and the figure fingerprints): the durability tier
+/// rides its own rows.
+pub fn kill_recover_grid(seeds: &[u64]) -> Vec<ChaosCell> {
+    let mut cells = Vec::with_capacity(StrategyKind::all().len() * seeds.len());
+    for kind in StrategyKind::all() {
+        for &seed in seeds {
+            cells.push(ChaosCell {
+                kind,
+                fault: ChaosFault::KillRecover,
+                app: ChaosApp::Synthetic,
+                seed,
+            });
+        }
+    }
+    cells
+}
+
 /// The workflow spot cells appended to the matrix: one Montage and one
 /// BuzzFlow registry-crash cell per strategy.
 pub fn spot_cells(seed: u64) -> Vec<ChaosCell> {
@@ -329,6 +362,14 @@ pub fn build_schedule(
             schedule.crash_window(site, t0, t1);
             crashed = Some(site);
         }
+        ChaosFault::KillRecover => {
+            // Same window shape as a crash; the kill semantics (wipe +
+            // WAL replay) are owned by the registry actor's fault
+            // handlers under `SimConfig::wal`.
+            let site = registry_sites[rng.range_usize(registry_sites.len())];
+            schedule.kill_window(site, t0, t1);
+            crashed = Some(site);
+        }
         ChaosFault::Partition => {
             let cut = all_sites[rng.range_usize(all_sites.len())];
             let rest: Vec<SiteId> = all_sites.iter().copied().filter(|&s| s != cut).collect();
@@ -377,6 +418,7 @@ pub fn run_cell(cell: ChaosCell, size: &ChaosSize) -> Result<ChaosReport, ChaosV
         faults,
         op_log: Some(op_log.clone()),
         lazy_batch: Some((4, SimDuration::from_millis(40))),
+        wal: cell.fault == ChaosFault::KillRecover,
     };
 
     let mut fp = Fingerprint::new();
@@ -467,6 +509,15 @@ pub fn run_cell(cell: ChaosCell, size: &ChaosSize) -> Result<ChaosReport, ChaosV
         }
     }
 
+    // Kill-recover tier: durability is additionally audited against the
+    // log itself — every acked write must be recoverable from some
+    // site's WAL (snapshot ∪ decoded tail), i.e. it survived because it
+    // was logged before its ack left the site, not by luck of a
+    // surviving replica.
+    if cell.fault == ChaosFault::KillRecover {
+        check_wal_durability(&cell, &artifacts, &acked)?;
+    }
+
     // Lazy-propagation accounting: batched-but-unflushed entries must be
     // retried (after crashes) or shipped at drain — never dropped.
     let lazy = op_log.lock().lazy_counters();
@@ -549,6 +600,59 @@ fn fold_entry(fp: &mut Fingerprint, e: &RegistryEntry) {
         fp.fold(s as u64);
         fp.fold(n as u64);
     }
+}
+
+/// Kill-recover durability: every oracle-acked write must be present in
+/// the union of the per-site WALs — as a snapshot entry or a decoded
+/// tail record. This is the tier's defining check: after a kill the
+/// restarted site holds only what the log gave back, so an acked key
+/// missing from every log is a write that survived (if at all) by
+/// accident.
+fn check_wal_durability(
+    cell: &ChaosCell,
+    artifacts: &SimArtifacts,
+    acked: &[geometa_sim::oracle::AckedWrite],
+) -> Result<(), ChaosViolation> {
+    if artifacts.wals.is_empty() {
+        return Err(ChaosViolation {
+            cell: *cell,
+            invariant: "wal durability (acked writes recoverable from the log)",
+            detail: "kill-recover cell produced no WALs to audit".to_string(),
+        });
+    }
+    let mut logged: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for wal in artifacts.wals.values() {
+        let rec = wal.recovery();
+        for e in &rec.entries {
+            logged.insert(e.name.as_str().to_owned());
+        }
+        for r in &rec.tail {
+            match &r.req {
+                RegistryRequest::Put { entry } => {
+                    logged.insert(entry.name.as_str().to_owned());
+                }
+                RegistryRequest::Absorb { entries } => {
+                    for e in entries {
+                        logged.insert(e.name.as_str().to_owned());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for w in acked {
+        if !logged.contains(w.key.as_str()) {
+            return Err(ChaosViolation {
+                cell: *cell,
+                invariant: "wal durability (acked writes recoverable from the log)",
+                detail: format!(
+                    "acked write '{}' (acked by site{} at {}) absent from every site's WAL",
+                    w.key, w.site.0, w.at
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Invariant 3: evacuate the crashed site on a [`ConsistentRing`] and
@@ -735,6 +839,31 @@ mod tests {
             let report = run_cell(cell, &size).unwrap_or_else(|v| panic!("{v}"));
             assert!(report.acked_writes > 0, "{fault:?} recorded no writes");
         }
+    }
+
+    #[test]
+    fn kill_recover_cell_survives_the_oracle_and_replays_deterministically() {
+        let cell = ChaosCell {
+            kind: StrategyKind::DhtLocalReplica,
+            fault: ChaosFault::KillRecover,
+            app: ChaosApp::Synthetic,
+            seed: 11,
+        };
+        let report = run_cell_checked(cell, &ChaosSize::smoke()).unwrap_or_else(|v| panic!("{v}"));
+        assert!(report.fault_stats.crashes >= 1, "kill never fired");
+        assert!(report.acked_writes > 0, "no writes recorded");
+    }
+
+    #[test]
+    fn kill_recover_grid_covers_every_strategy() {
+        let cells = kill_recover_grid(&[1, 2]);
+        assert_eq!(cells.len(), StrategyKind::all().len() * 2);
+        assert!(cells.iter().all(|c| c.fault == ChaosFault::KillRecover));
+        // The legacy matrix must not pick the new fault kind up.
+        assert!(!ChaosFault::all().contains(&ChaosFault::KillRecover));
+        assert!(synthetic_grid(&[1])
+            .iter()
+            .all(|c| c.fault != ChaosFault::KillRecover));
     }
 
     #[test]

@@ -164,6 +164,10 @@ pub fn chaos_matrix_table(quick: bool) -> table::Table {
     // synthetic-matrix concern).
     let n_synthetic = cells.len();
     cells.extend(chaos::spot_cells(seeds[0]));
+    // The kill-and-recover durability tier rides its own rows at the end
+    // of the table; the quick CSV figures never reach this function, so
+    // their byte-identity is unaffected.
+    cells.extend(chaos::kill_recover_grid(&seeds));
     let reports =
         crate::runner::Runner::from_env().run(cells, |_, cell| chaos::check_cell(cell, &size));
     let mut t = table::Table::new(

@@ -26,6 +26,7 @@ use geometa_core::registry::RegistryInstance;
 use geometa_core::strategy::{MetadataStrategy, StrategyKind};
 use geometa_core::sync_agent::{SyncAgentState, SyncPush};
 use geometa_core::transport::InProcessTransport;
+use geometa_core::wal::{MemWal, WalSink};
 use geometa_core::MetaError;
 use geometa_sim::oracle::SharedOpLog;
 use geometa_sim::prelude::*;
@@ -139,6 +140,14 @@ pub struct SimConfig {
     /// casts, exercising flush-on-crash semantics. `None` (the default)
     /// keeps the eager path.
     pub lazy_batch: Option<(usize, SimDuration)>,
+    /// Kill-and-recover mode: registry actors append every acked write
+    /// to an in-memory [`MemWal`] (the DES stand-in for the file-backed
+    /// log), a crash wipes the instance — full process-kill amnesia, not
+    /// just a cache-primary failover — and the restart path replays
+    /// snapshot + tail before the site serves again. `false` (the
+    /// default) keeps the legacy crash semantics and event streams
+    /// byte-identical.
+    pub wal: bool,
 }
 
 impl SimConfig {
@@ -153,6 +162,7 @@ impl SimConfig {
             faults: FaultSchedule::new(),
             op_log: None,
             lazy_batch: None,
+            wal: false,
         }
     }
 
@@ -174,19 +184,33 @@ pub fn site_of_node(node: usize, n_sites: usize) -> SiteId {
 // Registry actor
 // ---------------------------------------------------------------------
 
+/// Snapshot + truncate the simulated WAL once this many records pile up
+/// past the last snapshot (exercises the truncation path inside the DES).
+const SIM_SNAPSHOT_EVERY: u64 = 32;
+
 /// One site's registry service inside the simulation.
 pub struct RegistryActor {
     instance: Arc<RegistryInstance>,
     queue: ServiceQueue,
     cal: Calibration,
+    /// Kill-and-recover mode: the site's simulated write-ahead log. Acked
+    /// writes are appended before the response leaves; a crash wipes the
+    /// instance and the restart replays snapshot + tail out of here.
+    wal: Option<Arc<MemWal>>,
 }
 
 impl RegistryActor {
-    fn new(instance: Arc<RegistryInstance>, cal: Calibration, seed: u64) -> RegistryActor {
+    fn new(
+        instance: Arc<RegistryInstance>,
+        cal: Calibration,
+        seed: u64,
+        wal: Option<Arc<MemWal>>,
+    ) -> RegistryActor {
         RegistryActor {
             instance,
             queue: ServiceQueue::new(ServiceTime::Exponential(cal.registry_service), seed),
             cal,
+            wal,
         }
     }
 }
@@ -212,7 +236,23 @@ impl Actor<Msg> for RegistryActor {
         let factor = weight * (1.0 + self.cal.congestion_alpha * outstanding);
         let done = self.queue.admit_scaled(now, factor);
         // Serve against the real registry, stamped with the completion time.
+        let logged = match &self.wal {
+            Some(_) if req.is_write() => Some(req.clone()),
+            _ => None,
+        };
         let resp = InProcessTransport::serve(&self.instance, req, done.as_micros());
+        // WAL the write before its ack can leave the site, mirroring the
+        // live runtime's durable-ack ordering: anything a client may
+        // observe as acknowledged is on the (simulated) log.
+        if let (Some(wal), Some(req), RegistryResponse::Ack) = (&self.wal, logged, &resp) {
+            wal.append(&req, done.as_micros())
+                .expect("MemWal append cannot fail");
+            if wal.records_since_snapshot() >= SIM_SNAPSHOT_EVERY {
+                let instance = Arc::clone(&self.instance);
+                wal.install_snapshot(&mut || instance.all_entries())
+                    .expect("MemWal snapshot cannot fail");
+            }
+        }
         ctx.metrics().incr("registry_ops", 1);
         if op != CAST_OP {
             let size = resp.wire_size();
@@ -223,14 +263,43 @@ impl Actor<Msg> for RegistryActor {
     fn on_fault(&mut self, ctx: &mut Ctx<Msg>, notice: FaultNotice) {
         match notice {
             FaultNotice::Crashed => {
-                // The crash takes the primary cache process down with it;
-                // the HA replica survives. The first request after restart
-                // hits `Unavailable` and drives the real HaCache
-                // primary→replica promotion.
-                self.instance.fail_primary();
+                if self.wal.is_some() {
+                    // Kill-and-recover tier: the whole process dies.
+                    // Every in-memory entry — primary *and* replica — is
+                    // gone; only the WAL (modelling the on-disk log)
+                    // survives the outage.
+                    let lost = self.instance.wipe();
+                    ctx.metrics().incr("registry_kills", 1);
+                    ctx.metrics().incr("registry_entries_lost", lost as u64);
+                } else {
+                    // The crash takes the primary cache process down with
+                    // it; the HA replica survives. The first request after
+                    // restart hits `Unavailable` and drives the real
+                    // HaCache primary→replica promotion.
+                    self.instance.fail_primary();
+                }
                 ctx.metrics().incr("registry_crashes", 1);
             }
             FaultNotice::Restarted => {
+                if let Some(wal) = &self.wal {
+                    // Recovery: snapshot entries first, then the logged
+                    // tail through the same dispatch live traffic uses,
+                    // stamped with the recorded request times. Replay is
+                    // idempotent (put merges, absorb is LWW), so it is
+                    // safe even if the snapshot already covers part of
+                    // the tail.
+                    let rec = wal.recovery();
+                    for e in &rec.entries {
+                        let _ = self.instance.absorb(e);
+                    }
+                    for r in &rec.tail {
+                        InProcessTransport::serve(&self.instance, r.req.clone(), r.now_micros);
+                    }
+                    ctx.metrics().incr(
+                        "registry_replayed",
+                        (rec.entries.len() + rec.tail.len()) as u64,
+                    );
+                }
                 ctx.metrics().incr("registry_restarts", 1);
             }
         }
@@ -1281,6 +1350,7 @@ struct Deployment {
     engine: Engine<Msg>,
     registries: Arc<HashMap<SiteId, ActorId>>,
     instances: HashMap<SiteId, Arc<RegistryInstance>>,
+    wals: HashMap<SiteId, Arc<MemWal>>,
     strategy: Arc<dyn MetadataStrategy>,
     sites: Vec<SiteId>,
 }
@@ -1297,11 +1367,21 @@ fn deploy(cfg: &SimConfig) -> Deployment {
     engine.set_faults(cfg.faults.clone());
     let mut registries = HashMap::new();
     let mut instances = HashMap::new();
+    let mut wals = HashMap::new();
     for &site in &strategy.registry_sites() {
         let instance = Arc::new(RegistryInstance::new(site, cfg.cal.shards));
+        let wal = cfg.wal.then(|| Arc::new(MemWal::new()));
+        if let Some(w) = &wal {
+            wals.insert(site, Arc::clone(w));
+        }
         let actor = engine.add_actor(
             site,
-            RegistryActor::new(Arc::clone(&instance), cfg.cal, cfg.seed ^ (site.0 as u64)),
+            RegistryActor::new(
+                Arc::clone(&instance),
+                cfg.cal,
+                cfg.seed ^ (site.0 as u64),
+                wal,
+            ),
         );
         registries.insert(site, actor);
         instances.insert(site, instance);
@@ -1310,6 +1390,7 @@ fn deploy(cfg: &SimConfig) -> Deployment {
         engine,
         registries: Arc::new(registries),
         instances,
+        wals,
         strategy,
         sites,
     }
@@ -1373,6 +1454,9 @@ pub struct SyntheticOutcome {
 pub struct SimArtifacts {
     /// Per-site registry instances (surviving state to audit).
     pub instances: HashMap<SiteId, Arc<RegistryInstance>>,
+    /// Per-site simulated WALs (kill-and-recover mode only, empty
+    /// otherwise): the oracle audits durability against these logs.
+    pub wals: HashMap<SiteId, Arc<MemWal>>,
     /// The placement strategy the run used.
     pub strategy: Arc<dyn MetadataStrategy>,
     /// What the fault layer did (drops, duplications, crashes).
@@ -1432,6 +1516,7 @@ pub fn run_synthetic_instrumented(
     let outcome = collect_synthetic(&mut dep, cfg);
     let artifacts = SimArtifacts {
         instances: dep.instances,
+        wals: dep.wals,
         strategy: dep.strategy,
         fault_stats: dep.engine.fault_stats(),
         final_time: dep.engine.now(),
@@ -1601,6 +1686,7 @@ pub fn run_workflow_instrumented(
     };
     let artifacts = SimArtifacts {
         instances: dep.instances,
+        wals: dep.wals,
         strategy: dep.strategy,
         fault_stats: dep.engine.fault_stats(),
         final_time: dep.engine.now(),

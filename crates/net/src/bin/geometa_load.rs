@@ -78,6 +78,7 @@ fn main() {
                     kind: strategy,
                     shards: 16,
                     sync_interval: Duration::from_millis(5),
+                    ..RuntimeConfig::default()
                 },
                 TcpLayer::ephemeral(),
             );

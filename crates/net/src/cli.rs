@@ -45,6 +45,11 @@ pub fn strategy_flag(args: &[String], default: StrategyKind) -> StrategyKind {
     }
 }
 
+/// True when the bare switch `--name` is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 /// The value of `--name VALUE` or `--name=VALUE`, if present.
 pub fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -70,6 +75,16 @@ mod tests {
         assert_eq!(flag_value(&args, "--sites").as_deref(), Some("4"));
         assert_eq!(flag_value(&args, "--strategy").as_deref(), Some("dr"));
         assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn bare_switches_are_detected() {
+        let args: Vec<String> = ["--recover", "--sites", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(has_flag(&args, "--recover"));
+        assert!(!has_flag(&args, "--data-dir"));
     }
 
     #[test]

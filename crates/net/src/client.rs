@@ -7,6 +7,7 @@ use crossbeam::channel::{bounded, Sender, TrySendError};
 use geometa_core::protocol::{RegistryRequest, RegistryResponse};
 use geometa_core::transport::RegistryTransport;
 use geometa_core::MetaError;
+use geometa_sim::rng::SplitMix64;
 use geometa_sim::topology::SiteId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -30,10 +31,66 @@ const CAST_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
 /// uses `cast` (it requires acked delivery; see
 /// `geometa_core::runtime::drive_sync_agent`).
 const CAST_QUEUE: usize = 4096;
-/// After a failed connect/write to a target, the pump skips that target's
-/// casts for this long instead of paying connect timeouts per message — a
-/// black-holed site must not head-of-line-block pushes to healthy sites.
-const CAST_DEAD_PEER_COOLDOWN: Duration = Duration::from_secs(1);
+/// First-failure cooldown for a cast target. Doubles on every further
+/// consecutive failure up to [`CAST_BACKOFF_CAP`], so one dropped
+/// connect mutes a peer briefly while a real outage is probed ever more
+/// rarely — a black-holed site must not head-of-line-block pushes to
+/// healthy sites, but neither should it eat a connect timeout per
+/// message once per fixed window forever.
+const CAST_BACKOFF_BASE: Duration = Duration::from_millis(125);
+/// Ceiling on the per-target cast cooldown (pre-jitter).
+const CAST_BACKOFF_CAP: Duration = Duration::from_secs(8);
+/// Multiplicative jitter spread on every cooldown (`±25%`), so pumps at
+/// many clients that watched the same site die do not re-probe it in
+/// lockstep. Drawn from a seeded [`SplitMix64`] stream: the sequence is
+/// reproducible per transport instance, never wall-clock dependent.
+const CAST_BACKOFF_JITTER: f64 = 0.25;
+/// Seed for the cast pump's jitter stream.
+const CAST_BACKOFF_SEED: u64 = 0xCA57_BACC_0FF5;
+
+/// Per-target capped exponential backoff for the cast pump.
+struct CastBackoff {
+    rng: SplitMix64,
+    strikes: HashMap<SiteId, u32>,
+    until: HashMap<SiteId, Instant>,
+}
+
+impl CastBackoff {
+    fn new(seed: u64) -> CastBackoff {
+        CastBackoff {
+            rng: SplitMix64::new(seed),
+            strikes: HashMap::new(),
+            until: HashMap::new(),
+        }
+    }
+
+    /// Whether casts to `target` should be dropped right now.
+    fn is_dead(&self, target: SiteId, now: Instant) -> bool {
+        self.until.get(&target).is_some_and(|&t| now < t)
+    }
+
+    /// A delivery succeeded: the target is healthy again.
+    fn record_success(&mut self, target: SiteId) {
+        self.strikes.remove(&target);
+        self.until.remove(&target);
+    }
+
+    /// A delivery failed: extend the cooldown. Returns the jittered
+    /// delay so tests (and tracing) can observe the schedule.
+    fn record_failure(&mut self, target: SiteId, now: Instant) -> Duration {
+        let strikes = self.strikes.entry(target).or_insert(0);
+        *strikes = strikes.saturating_add(1);
+        // 125ms, 250ms, … doubling to the cap; the shift is clamped so
+        // a long outage cannot overflow the multiplier.
+        let base = CAST_BACKOFF_BASE
+            .saturating_mul(1u32 << (*strikes - 1).min(16))
+            .min(CAST_BACKOFF_CAP);
+        let factor = 1.0 + self.rng.jitter(CAST_BACKOFF_JITTER);
+        let delay = base.mul_f64(factor);
+        self.until.insert(target, now + delay);
+        delay
+    }
+}
 
 struct Conn {
     stream: TcpStream,
@@ -81,7 +138,7 @@ impl TcpClientTransport {
             .name("tcp-cast-pump".into())
             .spawn(move || {
                 let mut conns: HashMap<SiteId, TcpStream> = HashMap::new();
-                let mut dead_until: HashMap<SiteId, Instant> = HashMap::new();
+                let mut backoff = CastBackoff::new(CAST_BACKOFF_SEED);
                 while let Ok((target, body)) = cast_rx.recv() {
                     // On close, discard the backlog instead of pushing it
                     // through (possibly wedged) peers — otherwise Drop
@@ -92,10 +149,10 @@ impl TcpClientTransport {
                     let Some(&addr) = pump_addrs.get(&target) else {
                         continue;
                     };
-                    // Dead-peer cooldown: casts to a recently failed
+                    // Dead-peer backoff: casts to a recently failed
                     // target drop instantly rather than paying connect
                     // timeouts per message and starving other sites.
-                    if dead_until.get(&target).is_some_and(|&t| Instant::now() < t) {
+                    if backoff.is_dead(target, Instant::now()) {
                         continue;
                     }
                     // One reconnect attempt per message; on failure the
@@ -139,9 +196,9 @@ impl TcpClientTransport {
                         }
                     }
                     if delivered {
-                        dead_until.remove(&target);
+                        backoff.record_success(target);
                     } else {
-                        dead_until.insert(target, Instant::now() + CAST_DEAD_PEER_COOLDOWN);
+                        backoff.record_failure(target, Instant::now());
                     }
                 }
             })
@@ -304,4 +361,72 @@ pub fn transport_for(addrs: &[SocketAddr], call_timeout: Duration) -> Arc<TcpCli
         DEFAULT_POOL_PER_SITE,
         call_timeout,
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_backoff_doubles_to_the_cap_within_jitter_bounds() {
+        let mut b = CastBackoff::new(1);
+        let t = SiteId(0);
+        let now = Instant::now();
+        let mut expected = CAST_BACKOFF_BASE;
+        let mut prev_hit_cap = false;
+        for _ in 0..12 {
+            let d = b.record_failure(t, now);
+            let lo = expected.mul_f64(1.0 - CAST_BACKOFF_JITTER);
+            let hi = expected.mul_f64(1.0 + CAST_BACKOFF_JITTER);
+            assert!(
+                d >= lo && d <= hi,
+                "delay {d:?} outside jitter band [{lo:?}, {hi:?}]"
+            );
+            if expected >= CAST_BACKOFF_CAP {
+                prev_hit_cap = true;
+            } else {
+                expected *= 2;
+                expected = expected.min(CAST_BACKOFF_CAP);
+            }
+        }
+        assert!(prev_hit_cap, "12 strikes must reach the cap");
+    }
+
+    #[test]
+    fn cast_backoff_success_resets_and_targets_are_independent() {
+        let mut b = CastBackoff::new(2);
+        let now = Instant::now();
+        let (a, c) = (SiteId(1), SiteId(2));
+        for _ in 0..5 {
+            b.record_failure(a, now);
+        }
+        // Target `c` starts from the base despite `a`'s strike count…
+        assert!(b.record_failure(c, now) <= CAST_BACKOFF_BASE.mul_f64(1.0 + CAST_BACKOFF_JITTER));
+        assert!(b.is_dead(a, now));
+        // …and a success forgets the whole history for that target only.
+        b.record_success(a);
+        assert!(!b.is_dead(a, now));
+        assert!(b.is_dead(c, now));
+        assert!(b.record_failure(a, now) <= CAST_BACKOFF_BASE.mul_f64(1.0 + CAST_BACKOFF_JITTER));
+    }
+
+    #[test]
+    fn cast_backoff_jitter_is_deterministic_per_seed() {
+        let now = Instant::now();
+        let run = |seed: u64| -> Vec<Duration> {
+            let mut b = CastBackoff::new(seed);
+            (0..8).map(|_| b.record_failure(SiteId(0), now)).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seeds de-correlate");
+    }
+
+    #[test]
+    fn cast_backoff_expires_by_the_clock() {
+        let mut b = CastBackoff::new(3);
+        let now = Instant::now();
+        let d = b.record_failure(SiteId(0), now);
+        assert!(b.is_dead(SiteId(0), now));
+        assert!(!b.is_dead(SiteId(0), now + d));
+    }
 }

@@ -161,6 +161,17 @@ impl FaultSchedule {
         self
     }
 
+    /// Kill `site`'s process at `from` and restart it at `until`. At the
+    /// engine level this is exactly a [`Self::crash_window`] (messages
+    /// dropped, timers lost, fault notices delivered); the *semantic*
+    /// difference is owned by the actor's fault handlers — a kill models
+    /// full process death, where every byte of in-memory state is gone
+    /// and only a write-ahead log can bring it back, rather than a
+    /// cache-primary failover with a surviving replica.
+    pub fn kill_window(&mut self, site: SiteId, from: SimTime, until: SimTime) -> &mut Self {
+        self.crash_window(site, from, until)
+    }
+
     /// Partition `a` from `b` during `[from, until)`. The heal is
     /// window-scoped ([`FaultAction::HealLinks`]): overlapping partition
     /// windows on other links are unaffected.

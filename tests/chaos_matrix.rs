@@ -14,7 +14,7 @@
 
 use geometa::core::strategy::StrategyKind;
 use geometa::experiments::chaos::{
-    chaos_seeds, check_cell, ChaosApp, ChaosCell, ChaosFault, ChaosSize,
+    chaos_seeds, check_cell, kill_recover_grid, ChaosApp, ChaosCell, ChaosFault, ChaosSize,
 };
 use geometa::experiments::runner::Runner;
 
@@ -67,6 +67,30 @@ fn synthetic_wan_degradation_cells() {
 #[test]
 fn synthetic_flaky_link_cells() {
     synthetic_matrix(ChaosFault::FlakyLink);
+}
+
+/// The kill-and-recover durability tier: SIGKILL-style process death of
+/// a registry site (full in-memory amnesia, not a cache failover),
+/// restart, write-ahead-log replay. On top of the four standing
+/// invariants, the oracle audits every acked write against the log
+/// contents themselves. Acceptance demands ≥ 2 strategies × ≥ 4 seeds;
+/// this fans all four strategies over the full seed list.
+#[test]
+fn synthetic_kill_recover_cells() {
+    let size = ChaosSize::matrix();
+    let cells = kill_recover_grid(&chaos_seeds(&SEEDS));
+    for report in Runner::from_env().run(cells, |_, cell| check_cell(cell, &size)) {
+        assert!(
+            report.acked_writes > 0,
+            "[{}] no writes recorded",
+            report.cell
+        );
+        assert!(
+            report.fault_stats.crashes >= 1,
+            "[{}] the kill never fired",
+            report.cell
+        );
+    }
 }
 
 /// Montage and BuzzFlow under every strategy, rotating the fault kind by

@@ -91,6 +91,7 @@ fn tcp_cluster_matches_in_process_run_and_shuts_down_cleanly() {
             kind,
             shards: 8,
             sync_interval: Duration::from_millis(5),
+            ..RuntimeConfig::default()
         },
         TcpLayer::ephemeral(),
     );
