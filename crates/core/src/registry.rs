@@ -71,6 +71,23 @@ impl RegistryInstance {
         }
     }
 
+    /// Batched [`Self::get_key`]: one shard lock per shard group via the
+    /// HA pair's batch read, results in request order. Each key still
+    /// counts as one get.
+    pub fn multi_get_keys(&self, keys: &[Key]) -> Vec<Result<RegistryEntry, MetaError>> {
+        self.gets.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.cache
+            .multi_get_keys(keys)
+            .into_iter()
+            .map(|r| match r {
+                Ok(e) => RegistryEntry::from_bytes(e.value),
+                Err(CacheError::NotFound) => Err(MetaError::NotFound),
+                Err(CacheError::Unavailable) => Err(MetaError::Unavailable),
+                Err(e) => Err(MetaError::Codec(e.to_string())),
+            })
+            .collect()
+    }
+
     /// Publish an entry: the paper's lookup-then-write sequence, with
     /// optimistic-concurrency retry. Existing entries are merged.
     ///

@@ -374,6 +374,67 @@ impl ServiceCore {
         resp
     }
 
+    /// Serve an ordered batch of requests against `site`'s registry,
+    /// responses in request order.
+    ///
+    /// Runs of consecutive `Get`s are grouped into one
+    /// [`RegistryInstance::multi_get_keys`] call (one shard lock per shard
+    /// group instead of one per key) — the server reactor decodes a whole
+    /// readiness pass worth of pipelined frames and hands them here.
+    /// Everything else (writes, delta pulls) goes through [`Self::serve`]
+    /// one at a time, so the WAL append-before-ack contract and snapshot
+    /// triggers are untouched. A write between two gets splits the get run:
+    /// batching never reorders a read past a write it arrived behind.
+    pub fn serve_batch(&self, site: SiteId, reqs: Vec<RegistryRequest>) -> Vec<RegistryResponse> {
+        let Some(r) = self.registries.get(&site) else {
+            return reqs
+                .iter()
+                .map(|_| RegistryResponse::Error {
+                    error: MetaError::Unavailable,
+                })
+                .collect();
+        };
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut gets = Vec::new();
+        for req in reqs {
+            match req {
+                RegistryRequest::Get { key } => gets.push(key),
+                other => {
+                    self.flush_gets(site, r, &mut gets, &mut out);
+                    out.push(self.serve(site, other));
+                }
+            }
+        }
+        self.flush_gets(site, r, &mut gets, &mut out);
+        out
+    }
+
+    /// Drain a pending run of `Get` keys into `out`. A single get goes
+    /// through the ordinary [`Self::serve`] path; two or more use the
+    /// shard-grouped batch read.
+    fn flush_gets(
+        &self,
+        site: SiteId,
+        r: &Arc<RegistryInstance>,
+        gets: &mut Vec<geometa_cache::Key>,
+        out: &mut Vec<RegistryResponse>,
+    ) {
+        match gets.len() {
+            0 => {}
+            1 => {
+                let key = gets.pop().expect("len checked");
+                out.push(self.serve(site, RegistryRequest::Get { key }));
+            }
+            _ => {
+                out.extend(r.multi_get_keys(gets).into_iter().map(|res| match res {
+                    Ok(entry) => RegistryResponse::Found { entry },
+                    Err(error) => RegistryResponse::Error { error },
+                }));
+                gets.clear();
+            }
+        }
+    }
+
     /// The site's write-ahead log, when the deployment configured one.
     pub fn wal(&self, site: SiteId) -> Option<&Arc<dyn WalSink>> {
         self.wals.get(&site)

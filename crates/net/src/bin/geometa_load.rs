@@ -1,28 +1,33 @@
-//! `geometa-load` — closed-loop seeded load generator for a TCP registry
-//! cluster.
+//! `geometa-load` — seeded load generator for a TCP registry cluster,
+//! closed-loop and open-loop.
 //!
 //! ```text
 //! geometa-load [--quick] [--connect ip:port,ip:port,...] [--sites 4]
 //!              [--strategy dht-local-replica] [--workload all|synthetic|montage|buzzflow]
+//!              [--mode both|closed|open] [--rate OPS_PER_SEC]
 //!              [--nodes 32] [--ops 200] [--seed 61444]
-//!              [--out BENCH_5.json] [--baseline BENCH_4.json]
+//!              [--out BENCH_7.json] [--baseline BENCH_6.json]
 //! ```
 //!
 //! Without `--connect`, spawns its own 4-site cluster on ephemeral
 //! loopback ports (still real sockets) — the CI `net-smoke` path uses an
 //! external `geometa-server` instead. Workers replay the synthetic and
-//! Montage/BuzzFlow op streams (`geometa_workflow::apps::ops`) closed
-//! loop — one client thread per execution node, next op only after the
-//! previous completed — and the run reports sustained throughput plus
-//! p50/p90/p99 latency into `BENCH_5.json`, embedding `--baseline` (the
-//! committed BENCH_4 snapshot) for review-time comparison.
+//! Montage/BuzzFlow op streams (`geometa_workflow::apps::ops`) in the
+//! requested mode(s): closed loop (next op only after the previous
+//! completed — sustained-capacity throughput) and open loop (fixed
+//! arrival rate, latency from each op's *scheduled* issue time —
+//! coordinated-omission-safe percentiles). With `--mode both` and no
+//! `--rate`, the open-loop rate defaults to 80% of the just-measured
+//! closed-loop throughput, i.e. the service observed near but below
+//! saturation. Results land in `BENCH_7.json`, embedding `--baseline`
+//! (the committed BENCH_6 snapshot) for review-time comparison.
 
 use geometa_core::controller::ArchitectureController;
 use geometa_core::runtime::{RuntimeConfig, ServiceRuntime};
 use geometa_core::strategy::StrategyKind;
 use geometa_core::{ClientConfig, StrategyClient};
 use geometa_net::cli::{die, flag_value, parse_or_die, strategy_flag};
-use geometa_net::loadgen::{run_stream, LoadOptions, LoadReport};
+use geometa_net::loadgen::{run_stream, LoadMode, LoadOptions, LoadReport};
 use geometa_net::{loopback_topology, transport_for, TcpClientTransport, TcpLayer};
 use geometa_sim::time::SimDuration;
 use geometa_sim::topology::SiteId;
@@ -37,8 +42,15 @@ use std::time::Duration;
 
 struct WorkloadResult {
     name: &'static str,
-    report: LoadReport,
+    /// One report per mode that ran (closed first when both).
+    reports: Vec<LoadReport>,
 }
+
+/// Fraction of measured closed-loop throughput used as the default
+/// open-loop arrival rate under `--mode both`: near saturation, but with
+/// enough headroom that the open loop measures queueing under load
+/// rather than unbounded backlog growth.
+const DEFAULT_OPEN_RATE_FRACTION: f64 = 0.8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,8 +66,17 @@ fn main() {
     let seed: u64 = flag_value(&args, "--seed")
         .map(|v| parse_or_die(&v, "--seed takes an integer"))
         .unwrap_or(0xF004);
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_5.json".into());
-    let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_4.json".into());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_7.json".into());
+    let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_6.json".into());
+    let mode = flag_value(&args, "--mode").unwrap_or_else(|| "both".into());
+    if !matches!(mode.as_str(), "both" | "closed" | "open") {
+        die("--mode takes both|closed|open");
+    }
+    let rate: Option<f64> = flag_value(&args, "--rate")
+        .map(|v| parse_or_die(&v, "--rate takes an arrival rate in ops/s"));
+    if mode == "open" && rate.is_none() {
+        die("--mode open needs an explicit --rate (with --mode both it derives from the closed-loop run)");
+    }
     let connect = flag_value(&args, "--connect");
     let n_sites: usize = flag_value(&args, "--sites")
         .map(|v| parse_or_die(&v, "--sites takes a positive integer"))
@@ -101,8 +122,8 @@ fn main() {
         strategy.label()
     );
 
-    // One shared pooling transport + client-side controller; every worker
-    // thread gets its own StrategyClient view over them.
+    // One shared pipelining transport + client-side controller; every
+    // worker thread gets its own StrategyClient view over them.
     let transport = transport_for(&addrs, Duration::from_secs(10));
     let controller = Arc::new(ArchitectureController::with_kind(strategy, sites.clone()));
     let make_client = |site: SiteId, node: u32| -> StrategyClient<TcpClientTransport> {
@@ -113,16 +134,35 @@ fn main() {
         )
     };
 
-    let opts = LoadOptions::default();
     let mut results: Vec<WorkloadResult> = Vec::new();
-    let run = |name: &'static str, stream: &OpStream| -> WorkloadResult {
+    let run_mode = |name: &'static str, stream: &OpStream, load_mode: LoadMode| -> LoadReport {
+        let opts = LoadOptions {
+            mode: load_mode,
+            ..LoadOptions::default()
+        };
         let report = run_stream(make_client, stream, &opts)
-            .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+            .unwrap_or_else(|e| panic!("workload {name} ({}) failed: {e}", load_mode.label()));
         eprintln!(
-            "  {name:<10} {:>8} ops  {:>10.0} ops/s  p50 {:>7.1}us  p90 {:>7.1}us  p99 {:>7.1}us  max {:>8.1}us  ({} retries)",
-            report.total_ops, report.throughput, report.p50_us, report.p90_us, report.p99_us, report.max_us, report.retries
+            "  {name:<10} {:<6} {:>8} ops  {:>10.0} ops/s  p50 {:>7.1}us  p90 {:>7.1}us  p99 {:>7.1}us  max {:>8.1}us  ({} retries)",
+            report.mode.label(), report.total_ops, report.throughput, report.p50_us, report.p90_us, report.p99_us, report.max_us, report.retries
         );
-        WorkloadResult { name, report }
+        report
+    };
+    let run = |name: &'static str, stream: &OpStream| -> WorkloadResult {
+        let mut reports = Vec::new();
+        if mode != "open" {
+            reports.push(run_mode(name, stream, LoadMode::Closed));
+        }
+        if mode != "closed" {
+            let open_rate = rate.unwrap_or_else(|| {
+                // `both` without --rate: pace the open loop just under
+                // the saturation point the closed loop measured.
+                let closed = reports.first().map(|r| r.throughput).unwrap_or(0.0);
+                (closed * DEFAULT_OPEN_RATE_FRACTION).max(1.0)
+            });
+            reports.push(run_mode(name, stream, LoadMode::Open { rate: open_rate }));
+        }
+        WorkloadResult { name, reports }
     };
 
     if workload == "all" || workload == "synthetic" {
@@ -154,32 +194,45 @@ fn main() {
     assert!(!results.is_empty(), "unknown --workload '{workload}'");
 
     if out != "none" {
-        let baseline = std::fs::read_to_string(&baseline_path).ok();
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .filter(|b| !b.trim().is_empty());
         let mut json = String::from("{\n");
         json.push_str(&format!(
-            "  \"schema\": \"geometa-net-load/1\",\n  \"quick\": {quick},\n  \
+            "  \"schema\": \"geometa-net-load/2\",\n  \"quick\": {quick},\n  \
              \"strategy\": \"{}\",\n  \"sites\": {},\n  \"transport\": \"tcp-loopback\",\n  \
-             \"workloads\": {{\n",
+             \"conn_model\": \"reactor\",\n  \"workloads\": {{\n",
             strategy.label(),
             sites.len()
         ));
         for (i, r) in results.iter().enumerate() {
             let comma = if i + 1 == results.len() { "" } else { "," };
-            json.push_str(&format!(
-                "    \"{}\": {{\"total_ops\": {}, \"wall_secs\": {:.3}, \
-                 \"throughput_ops_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
-                 \"p99_us\": {:.1}, \"max_us\": {:.1}, \"resolve_retries\": {}}}{}\n",
-                r.name,
-                r.report.total_ops,
-                r.report.wall.as_secs_f64(),
-                r.report.throughput,
-                r.report.p50_us,
-                r.report.p90_us,
-                r.report.p99_us,
-                r.report.max_us,
-                r.report.retries,
-                comma
-            ));
+            json.push_str(&format!("    \"{}\": {{\n", r.name));
+            for (j, rep) in r.reports.iter().enumerate() {
+                let inner_comma = if j + 1 == r.reports.len() { "" } else { "," };
+                let rate_field = rep
+                    .mode
+                    .target_rate()
+                    .map(|r| format!("\"target_rate_ops_per_sec\": {r:.0}, "))
+                    .unwrap_or_default();
+                json.push_str(&format!(
+                    "      \"{}\": {{{}\"total_ops\": {}, \"wall_secs\": {:.3}, \
+                     \"throughput_ops_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
+                     \"p99_us\": {:.1}, \"max_us\": {:.1}, \"resolve_retries\": {}}}{}\n",
+                    rep.mode.label(),
+                    rate_field,
+                    rep.total_ops,
+                    rep.wall.as_secs_f64(),
+                    rep.throughput,
+                    rep.p50_us,
+                    rep.p90_us,
+                    rep.p99_us,
+                    rep.max_us,
+                    rep.retries,
+                    inner_comma
+                ));
+            }
+            json.push_str(&format!("    }}{comma}\n"));
         }
         json.push_str("  }");
         if let Some(base) = baseline {

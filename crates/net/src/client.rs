@@ -1,18 +1,45 @@
-//! The TCP client transport: pooled, reconnecting, with a background
-//! cast pump so the lazy path never blocks on a slow target.
+//! The TCP client transport: one pipelined connection per target site
+//! driven by a reactor thread, with a background cast pump so the lazy
+//! path never blocks on a slow target.
+//!
+//! # Calls: pipelining and exactly-once retries
+//!
+//! Every `call` is a *submission* to the reactor thread: the encoded
+//! request, the target site, and a one-shot reply channel. The reactor
+//! owns one nonblocking connection per target, tags each request with a
+//! per-connection sequence id ([`crate::server::MODE_CALL_SEQ`] frames),
+//! and writes every submission that arrived in one pass back-to-back —
+//! so concurrent callers share a connection, their requests coalesce
+//! into one kernel write, and the server's batch decode turns them into
+//! shard-grouped multi-gets. Responses are correlated back to callers by
+//! the echoed sequence id, so they may resolve in any order.
+//!
+//! Retries are governed by one invariant: **a request may be re-sent
+//! only if it provably never reached the server**. The reactor tracks,
+//! per connection, the absolute byte offset handed to the kernel; when a
+//! connection dies, a pending call whose frame was not yet *fully*
+//! flushed is reported [`CallOutcome::NotSent`] (a partial frame can
+//! never be decoded, let alone applied) and `call` transparently retries
+//! once on a fresh connection. Everything else — a flushed frame with no
+//! response, a response timeout, any bytes of a response — is
+//! `Unavailable` with **no second send**: the server may have applied
+//! the request, and `Put`/OCC writes are not idempotent across duplicate
+//! delivery.
 
-use crate::frame::{write_frame_with_mode, Fill, FrameReader};
-use crate::server::{MODE_CALL, MODE_CAST};
-use crossbeam::channel::{bounded, Sender, TrySendError};
+use crate::frame::{write_frame_with_mode, Fill, FrameReader, MAX_FRAME};
+use crate::server::{MODE_CALL_SEQ, MODE_CAST};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use geometa_core::protocol::{RegistryRequest, RegistryResponse};
 use geometa_core::transport::RegistryTransport;
 use geometa_core::MetaError;
 use geometa_sim::rng::SplitMix64;
 use geometa_sim::topology::SiteId;
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::Write;
+use polling::{Event, Poller};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -92,214 +119,553 @@ impl CastBackoff {
     }
 }
 
-struct Conn {
-    stream: TcpStream,
-    reader: FrameReader,
+/// How one submitted call ended, as reported by the reactor.
+enum CallOutcome {
+    /// A correlated response arrived.
+    Response(RegistryResponse),
+    /// The connection died before this call's frame fully reached the
+    /// kernel: the server cannot have seen it — safe to retry.
+    NotSent,
+    /// The frame was flushed but the connection died before a response:
+    /// the server may have applied it — **never** re-send.
+    Failed,
 }
 
-/// A pooled, reconnecting [`RegistryTransport`] over framed TCP.
+/// One unit of work for the reactor thread.
+struct Submission {
+    target: SiteId,
+    body: bytes::Bytes,
+    reply: Sender<CallOutcome>,
+}
+
+/// A call waiting for its response on some connection.
+struct PendingCall {
+    seq: u32,
+    /// Absolute output offset one past this call's frame: the frame is
+    /// fully in the kernel iff `end_abs <= flushed_abs`.
+    end_abs: u64,
+    reply: Sender<CallOutcome>,
+}
+
+/// One reactor-owned pipelined connection.
+struct CConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Pending output; `sent` is the already-flushed prefix.
+    out: Vec<u8>,
+    sent: usize,
+    /// Lifetime bytes handed to the kernel on this connection.
+    flushed_abs: u64,
+    /// Lifetime bytes appended to `out` on this connection.
+    queued_abs: u64,
+    next_seq: u32,
+    pending: VecDeque<PendingCall>,
+}
+
+/// Max `FrameReader::fill` calls per readiness pass (≤16 KiB each); the
+/// level-triggered poller re-fires for leftovers.
+const MAX_FILLS_PER_PASS: usize = 16;
+
+impl CConn {
+    fn new(stream: TcpStream) -> CConn {
+        CConn {
+            stream,
+            reader: FrameReader::new(),
+            out: Vec::new(),
+            sent: 0,
+            flushed_abs: 0,
+            queued_abs: 0,
+            next_seq: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Frame one call onto the output buffer and record it pending.
+    fn enqueue_call(&mut self, body: &[u8], reply: Sender<CallOutcome>) {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let frame_body = 1 + 4 + body.len();
+        self.out
+            .extend_from_slice(&(frame_body as u32).to_le_bytes());
+        self.out.push(MODE_CALL_SEQ);
+        self.out.extend_from_slice(&seq.to_le_bytes());
+        self.out.extend_from_slice(body);
+        self.queued_abs += (4 + frame_body) as u64;
+        self.pending.push_back(PendingCall {
+            seq,
+            end_abs: self.queued_abs,
+            reply,
+        });
+    }
+
+    /// Drain readable bytes and resolve every complete response frame.
+    /// Returns false when the connection must be dropped.
+    fn pump_read(&mut self) -> bool {
+        let mut alive = true;
+        for _ in 0..MAX_FILLS_PER_PASS {
+            match self.reader.fill(&mut self.stream) {
+                Ok(Fill::Progress) => continue,
+                Ok(Fill::Idle) => break,
+                Ok(Fill::Eof) | Err(_) => {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        // Resolve responses that made it through even when the stream
+        // just died — those callers get real answers, not Unavailable.
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(body)) => {
+                    if !self.resolve(body) {
+                        return false;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return false,
+            }
+        }
+        alive
+    }
+
+    /// Correlate one response frame (`[u32_le seq][response]`) back to
+    /// its caller. False on a protocol violation.
+    fn resolve(&mut self, body: bytes::Bytes) -> bool {
+        if body.len() < 4 {
+            return false;
+        }
+        let seq = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+        // A garbled response still *arrived*: per the exactly-once
+        // contract it resolves the call (as a codec error), it does not
+        // trigger a retry.
+        let resp = match RegistryResponse::decode(body.slice(4..)) {
+            Ok(r) => r,
+            Err(error) => RegistryResponse::Error { error },
+        };
+        if let Some(pos) = self.pending.iter().position(|p| p.seq == seq) {
+            if let Some(p) = self.pending.remove(pos) {
+                let _ = p.reply.send(CallOutcome::Response(resp));
+            }
+        }
+        // An unknown seq is a caller that already timed out and dropped
+        // its receiver — nothing to do.
+        true
+    }
+
+    /// Push pending output to the kernel. `Ok(true)` = fully drained.
+    fn flush_out(&mut self) -> std::io::Result<bool> {
+        while self.sent < self.out.len() {
+            match self.stream.write(&self.out[self.sent..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.sent += n;
+                    self.flushed_abs += n as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.sent > 256 * 1024 {
+                        self.out.drain(..self.sent);
+                        self.sent = 0;
+                    }
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.sent = 0;
+        Ok(true)
+    }
+
+    /// The connection is dead: report every pending call per the
+    /// exactly-once rule — fully-flushed frames *may* have been applied
+    /// (`Failed`), partially-flushed ones cannot have been (`NotSent`).
+    fn fail_pending(self) {
+        for p in self.pending {
+            let outcome = if p.end_abs <= self.flushed_abs {
+                CallOutcome::Failed
+            } else {
+                CallOutcome::NotSent
+            };
+            let _ = p.reply.send(outcome);
+        }
+    }
+}
+
+/// Poller key for the reactor's wake pipe.
+const WAKE_KEY: usize = usize::MAX;
+
+/// The client-side reactor: one thread multiplexing every pipelined
+/// connection plus the wake pipe through the poll shim.
+struct CallReactor {
+    poller: Poller,
+    /// Connections indexed by `SiteId.0` (site ids are dense).
+    conns: Vec<Option<CConn>>,
+    addrs: HashMap<SiteId, SocketAddr>,
+    tick: Duration,
+    /// True only while the reactor may be blocked in `poll`. Submitters
+    /// skip the wake-byte syscall whenever this is false — under load
+    /// the reactor is mid-pass and will drain the queue anyway, so the
+    /// common case sends zero wake bytes.
+    parked: Arc<AtomicBool>,
+}
+
+impl CallReactor {
+    fn run(mut self, sub_rx: Receiver<Submission>, wake_rx: UnixStream, closing: Arc<AtomicBool>) {
+        let mut events: Vec<Event> = Vec::new();
+        while !closing.load(Ordering::Acquire) {
+            events.clear();
+            // Park gate, SeqCst-paired with the swap in
+            // `TcpClientTransport::submit`: either the submitter sees
+            // `parked == true` and writes a wake byte, or its send is
+            // already visible to the `try_recv` below and we skip the
+            // sleep. Both orders are covered; a missed wake is not
+            // possible.
+            self.parked.store(true, Ordering::SeqCst);
+            match sub_rx.try_recv() {
+                Ok(sub) => {
+                    // A submission raced our parking (its sender may
+                    // have skipped the wake byte): process it now
+                    // instead of sleeping.
+                    self.parked.store(false, Ordering::SeqCst);
+                    self.submit(sub);
+                }
+                Err(_) => {
+                    if self.poller.wait(&mut events, Some(self.tick)).is_err() {
+                        break;
+                    }
+                    self.parked.store(false, Ordering::SeqCst);
+                }
+            }
+            for &ev in &events {
+                if ev.key == WAKE_KEY {
+                    drain_wake(&wake_rx);
+                    continue;
+                }
+                if !ev.readable {
+                    continue; // writes happen in the flush pass below
+                }
+                let Some(conn) = self.conns.get_mut(ev.key).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if !conn.pump_read() {
+                    self.kill(ev.key);
+                }
+            }
+            // Coalesce: every submission queued right now is framed
+            // before the flush pass, so concurrent callers' requests
+            // leave in one kernel write per connection.
+            while let Ok(sub) = sub_rx.try_recv() {
+                self.submit(sub);
+            }
+            self.flush_all();
+        }
+        // Shutdown: nothing more will be read, so every still-pending
+        // call is dead. Report per the flushed-bytes rule; callers map
+        // both outcomes to Unavailable once the transport is closing.
+        for conn in std::mem::take(&mut self.conns).into_iter().flatten() {
+            let _ = self.poller.delete(&conn.stream);
+            conn.fail_pending();
+        }
+    }
+
+    /// Route one submission onto its target's connection, dialing if
+    /// needed. Dial failures are `NotSent` by definition.
+    fn submit(&mut self, sub: Submission) {
+        if 1 + 4 + sub.body.len() > MAX_FRAME {
+            let _ = sub.reply.send(CallOutcome::NotSent); // unframeable
+            return;
+        }
+        let key = sub.target.0 as usize;
+        if key >= self.conns.len() {
+            self.conns.resize_with(key + 1, || None);
+        }
+        if self.conns[key].is_none() {
+            let Some(&addr) = self.addrs.get(&sub.target) else {
+                let _ = sub.reply.send(CallOutcome::NotSent); // unknown site
+                return;
+            };
+            let conn = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).and_then(|stream| {
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                self.poller.add(&stream, Event::readable(key))?;
+                Ok(CConn::new(stream))
+            });
+            match conn {
+                Ok(conn) => self.conns[key] = Some(conn),
+                Err(_) => {
+                    let _ = sub.reply.send(CallOutcome::NotSent);
+                    return;
+                }
+            }
+        }
+        if let Some(conn) = self.conns[key].as_mut() {
+            conn.enqueue_call(&sub.body, sub.reply);
+        }
+    }
+
+    /// Flush every connection's backlog and refresh poller interest.
+    fn flush_all(&mut self) {
+        for key in 0..self.conns.len() {
+            let Some(conn) = self.conns[key].as_mut() else {
+                continue;
+            };
+            let flushed = conn.flush_out();
+            match flushed {
+                Err(_) => self.kill(key),
+                Ok(drained) => {
+                    let interest = Event {
+                        key,
+                        readable: true,
+                        writable: !drained,
+                    };
+                    if self.poller.modify(&conn.stream, interest).is_err() {
+                        self.kill(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop one connection, resolving its pending calls.
+    fn kill(&mut self, key: usize) {
+        if let Some(conn) = self.conns[key].take() {
+            let _ = self.poller.delete(&conn.stream);
+            conn.fail_pending();
+        }
+    }
+}
+
+/// Drain the wake pipe (coalesced wake-ups are the point).
+fn drain_wake(wake_rx: &UnixStream) {
+    let mut sink = [0u8; 256];
+    while matches!((&mut { wake_rx }).read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// A pipelining, reconnecting [`RegistryTransport`] over framed TCP.
 ///
-/// * **Pooling** — completed calls return their connection to a per-site
-///   free list; concurrent calls from many threads each check out their
-///   own connection (the server is thread-per-connection).
-/// * **Reconnecting** — an I/O error drops the connection and the call
-///   retries once on a fresh one before reporting `Unavailable`.
+/// * **Pipelining** — all calls to one target share one connection;
+///   many can be in flight at once, correlated by sequence id, and
+///   submissions queued together coalesce into one kernel write.
+/// * **Exactly-once retries** — a call is re-sent only when its frame
+///   provably never fully reached the kernel (connect failure, pre-write
+///   error, partial flush). Timeouts and post-flush failures surface as
+///   `Unavailable` without a second send (see the module docs).
 /// * **Fire-and-forget casts** — `cast` hands the pre-encoded frame to a
 ///   background pump thread with its own connections; the caller returns
 ///   immediately, so a slow or dead target cannot stall the lazy path.
 pub struct TcpClientTransport {
     addrs: HashMap<SiteId, SocketAddr>,
-    pool: Mutex<HashMap<SiteId, Vec<Conn>>>,
-    pool_per_site: usize,
+    sub_tx: Option<Sender<Submission>>,
+    wake_tx: UnixStream,
+    reactor: Option<std::thread::JoinHandle<()>>,
     cast_tx: Option<Sender<(SiteId, bytes::Bytes)>>,
     cast_worker: Option<std::thread::JoinHandle<()>>,
-    closing: Arc<std::sync::atomic::AtomicBool>,
+    closing: Arc<AtomicBool>,
+    /// Mirror of the reactor's park gate (see `CallReactor::parked`).
+    reactor_parked: Arc<AtomicBool>,
     call_timeout: Duration,
     epoch: Instant,
 }
 
 impl TcpClientTransport {
-    /// A transport dialing `addrs` (lazily, per call). Routing is fully
+    /// A transport dialing `addrs` (lazily, per target). Routing is fully
     /// determined by the target argument of each call, so one instance is
-    /// shared by clients at every site. `pool_per_site` should cover the
-    /// expected call concurrency — below it, excess connections are
-    /// closed after each call (fresh handshake + server thread churn).
+    /// shared by clients at every site. `io_tick` bounds the reactor's
+    /// poll wait — it is the shutdown-observation latency, plumbed from
+    /// `TcpConfig::read_timeout` by the TCP layer.
     pub fn new(
         addrs: HashMap<SiteId, SocketAddr>,
-        pool_per_site: usize,
         call_timeout: Duration,
+        io_tick: Duration,
     ) -> TcpClientTransport {
+        let closing = Arc::new(AtomicBool::new(false));
+
+        // -- call reactor ---------------------------------------------------
+        let (wake_tx, wake_rx) = UnixStream::pair().expect("socketpair"); // geometa-lint: allow(net-unwrap) construction-time, before any peer traffic: a host that cannot allocate a socketpair cannot run the transport at all
+        let _ = wake_tx.set_nonblocking(true);
+        let _ = wake_rx.set_nonblocking(true);
+        let (sub_tx, sub_rx) = unbounded::<Submission>();
+        let poller = Poller::new().expect("poller"); // geometa-lint: allow(net-unwrap) construction-time, infallible in the poll(2) shim
+        poller
+            .add(&wake_rx, Event::readable(WAKE_KEY))
+            .expect("register wake pipe"); // geometa-lint: allow(net-unwrap) construction-time: fresh poller, fresh fd, cannot already be registered
+        let reactor_parked = Arc::new(AtomicBool::new(true));
+        let reactor_state = CallReactor {
+            poller,
+            conns: Vec::new(),
+            addrs: addrs.clone(),
+            tick: io_tick,
+            parked: Arc::clone(&reactor_parked),
+        };
+        let reactor_closing = Arc::clone(&closing);
+        // geometa-lint: allow(untracked-thread) the reactor's handle is stored in `reactor` and joined in Drop
+        let reactor = std::thread::Builder::new()
+            .name("tcp-call-reactor".into())
+            .spawn(move || reactor_state.run(sub_rx, wake_rx, reactor_closing))
+            .expect("spawn call reactor"); // geometa-lint: allow(net-unwrap) construction-time, before any peer traffic: a host that cannot spawn one thread cannot run the transport at all
+
+        // -- cast pump ------------------------------------------------------
         let (cast_tx, cast_rx) = bounded::<(SiteId, bytes::Bytes)>(CAST_QUEUE);
         let pump_addrs = addrs.clone();
-        let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let pump_closing = Arc::clone(&closing);
         // geometa-lint: allow(untracked-thread) the cast pump's handle is stored in cast_worker and joined in Drop
         let cast_worker = std::thread::Builder::new()
             .name("tcp-cast-pump".into())
-            .spawn(move || {
-                let mut conns: HashMap<SiteId, TcpStream> = HashMap::new();
-                let mut backoff = CastBackoff::new(CAST_BACKOFF_SEED);
-                while let Ok((target, body)) = cast_rx.recv() {
-                    // On close, discard the backlog instead of pushing it
-                    // through (possibly wedged) peers — otherwise Drop
-                    // could wait queue_len × write_timeout.
-                    if pump_closing.load(std::sync::atomic::Ordering::Acquire) {
-                        break;
-                    }
-                    let Some(&addr) = pump_addrs.get(&target) else {
-                        continue;
-                    };
-                    // Dead-peer backoff: casts to a recently failed
-                    // target drop instantly rather than paying connect
-                    // timeouts per message and starving other sites.
-                    if backoff.is_dead(target, Instant::now()) {
-                        continue;
-                    }
-                    // One reconnect attempt per message; on failure the
-                    // cast is dropped (lazy pushes are best-effort — the
-                    // strategies re-converge via absorb idempotence).
-                    // Every write is deadline-armed, so a stalled target
-                    // costs at most CAST_WRITE_TIMEOUT before the pump
-                    // moves on to the next message.
-                    let mut delivered = false;
-                    for _ in 0..2 {
-                        let ok = match conns.entry(target) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => {
-                                let ok = write_frame_with_mode(e.get_mut(), MODE_CAST, &body)
-                                    .and_then(|()| e.get_mut().flush())
-                                    .is_ok();
-                                if !ok {
-                                    e.remove();
-                                }
-                                ok
-                            }
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                match TcpStream::connect_timeout(&addr, CAST_CONNECT_TIMEOUT) {
-                                    Ok(mut s) => {
-                                        let _ = s.set_nodelay(true);
-                                        let _ = s.set_write_timeout(Some(CAST_WRITE_TIMEOUT));
-                                        let ok = write_frame_with_mode(&mut s, MODE_CAST, &body)
-                                            .and_then(|()| s.flush())
-                                            .is_ok();
-                                        if ok {
-                                            e.insert(s);
-                                        }
-                                        ok
-                                    }
-                                    Err(_) => false,
-                                }
-                            }
-                        };
-                        if ok {
-                            delivered = true;
-                            break;
-                        }
-                    }
-                    if delivered {
-                        backoff.record_success(target);
-                    } else {
-                        backoff.record_failure(target, Instant::now());
-                    }
-                }
-            })
+            .spawn(move || cast_pump(&cast_rx, &pump_addrs, &pump_closing))
             .expect("spawn cast pump"); // geometa-lint: allow(net-unwrap) construction-time, before any peer traffic: a host that cannot spawn one thread cannot run the transport at all
+
         TcpClientTransport {
             addrs,
-            pool: Mutex::new(HashMap::new()),
-            pool_per_site: pool_per_site.max(1),
+            sub_tx: Some(sub_tx),
+            wake_tx,
+            reactor: Some(reactor),
             cast_tx: Some(cast_tx),
             cast_worker: Some(cast_worker),
             closing,
+            reactor_parked,
             call_timeout,
             epoch: Instant::now(),
         }
     }
 
-    /// A connection to `target`: pooled if allowed, else freshly dialed.
-    fn checkout(&self, target: SiteId, fresh: bool) -> std::io::Result<Conn> {
-        if !fresh {
-            if let Some(conn) = self
-                .pool
-                .lock()
-                .get_mut(&target)
-                .and_then(|free| free.pop())
-            {
-                return Ok(conn);
-            }
+    /// Hand one submission to the reactor, waking it only if it might be
+    /// blocked in `poll` (see `CallReactor::parked` for the pairing).
+    fn submit(&self, sub: Submission) -> Result<(), ()> {
+        let Some(tx) = &self.sub_tx else {
+            return Err(());
+        };
+        tx.send(sub).map_err(|_| ())?;
+        // swap, not load: concurrent submitters collapse into a single
+        // wake byte, and a full wake pipe already guarantees a pending
+        // wake-up anyway.
+        if self.reactor_parked.swap(false, Ordering::SeqCst) {
+            let _ = (&self.wake_tx).write(&[1]);
         }
-        let addr = self
-            .addrs
-            .get(&target)
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unknown site"))?;
-        let stream = TcpStream::connect_timeout(addr, CONNECT_TIMEOUT)?;
-        let _ = stream.set_nodelay(true);
-        stream.set_read_timeout(Some(Duration::from_millis(25)))?;
-        Ok(Conn {
-            stream,
-            reader: FrameReader::new(),
-        })
+        Ok(())
     }
+}
 
-    fn checkin(&self, target: SiteId, conn: Conn) {
-        // A connection with buffered partial state is out of sync: drop it.
-        if !conn.reader.is_clean() {
-            return;
+/// The cast pump loop: drain the queue, coalesce by target, deliver each
+/// group with one flush.
+fn cast_pump(
+    cast_rx: &Receiver<(SiteId, bytes::Bytes)>,
+    addrs: &HashMap<SiteId, SocketAddr>,
+    closing: &AtomicBool,
+) {
+    let mut conns: HashMap<SiteId, TcpStream> = HashMap::new();
+    let mut backoff = CastBackoff::new(CAST_BACKOFF_SEED);
+    while let Ok(first) = cast_rx.recv() {
+        // On close, discard the backlog instead of pushing it through
+        // (possibly wedged) peers — otherwise Drop could wait
+        // queue_len × write_timeout.
+        if closing.load(Ordering::Acquire) {
+            break;
         }
-        let mut pool = self.pool.lock();
-        let free = pool.entry(target).or_default();
-        if free.len() < self.pool_per_site {
-            free.push(conn);
+        // Write coalescing: everything already queued leaves in this
+        // pass, grouped by target (per-target arrival order preserved),
+        // each group written back-to-back with a single flush.
+        let mut groups: Vec<(SiteId, Vec<bytes::Bytes>)> = Vec::new();
+        for (target, body) in std::iter::once(first).chain(cast_rx.try_iter()) {
+            match groups.iter_mut().find(|(t, _)| *t == target) {
+                Some((_, bodies)) => bodies.push(body),
+                None => groups.push((target, vec![body])),
+            }
         }
-    }
-
-    /// One request/response exchange on one connection.
-    fn exchange(&self, conn: &mut Conn, body: &[u8]) -> std::io::Result<RegistryResponse> {
-        write_frame_with_mode(&mut conn.stream, MODE_CALL, body)?;
-        conn.stream.flush()?;
-        let deadline = Instant::now() + self.call_timeout;
-        loop {
-            if let Some(body) = conn.reader.next_frame()? {
-                return RegistryResponse::decode(body).map_err(|e| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-                });
+        for (target, bodies) in groups {
+            if closing.load(Ordering::Acquire) {
+                return;
             }
-            if Instant::now() >= deadline {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "call deadline exceeded",
-                ));
+            let Some(&addr) = addrs.get(&target) else {
+                continue;
+            };
+            // Dead-peer backoff: casts to a recently failed target drop
+            // instantly rather than paying connect timeouts per group
+            // and starving other sites.
+            if backoff.is_dead(target, Instant::now()) {
+                continue;
             }
-            match conn.reader.fill(&mut conn.stream)? {
-                Fill::Progress | Fill::Idle => {}
-                Fill::Eof => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "server closed mid-call",
-                    ))
+            // One reconnect attempt per group; on failure the group is
+            // dropped (lazy pushes are best-effort — the strategies
+            // re-converge via absorb idempotence). Every write is
+            // deadline-armed, so a stalled target costs at most
+            // CAST_WRITE_TIMEOUT per frame before the pump moves on.
+            let mut delivered = false;
+            for _ in 0..2 {
+                let ok = match conns.entry(target) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let ok = write_cast_group(e.get_mut(), &bodies).is_ok();
+                        if !ok {
+                            e.remove();
+                        }
+                        ok
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        match TcpStream::connect_timeout(&addr, CAST_CONNECT_TIMEOUT) {
+                            Ok(mut s) => {
+                                let _ = s.set_nodelay(true);
+                                let _ = s.set_write_timeout(Some(CAST_WRITE_TIMEOUT));
+                                let ok = write_cast_group(&mut s, &bodies).is_ok();
+                                if ok {
+                                    e.insert(s);
+                                }
+                                ok
+                            }
+                            Err(_) => false,
+                        }
+                    }
+                };
+                if ok {
+                    delivered = true;
+                    break;
                 }
+            }
+            if delivered {
+                backoff.record_success(target);
+            } else {
+                backoff.record_failure(target, Instant::now());
             }
         }
     }
 }
 
+/// Write one target's coalesced cast frames, flushing once at the end.
+fn write_cast_group(stream: &mut TcpStream, bodies: &[bytes::Bytes]) -> std::io::Result<()> {
+    for body in bodies {
+        write_frame_with_mode(stream, MODE_CAST, body)?;
+    }
+    stream.flush()
+}
+
 impl RegistryTransport for TcpClientTransport {
     fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
         let body = req.encode();
-        // First attempt on a pooled (possibly stale) connection; the
-        // retry bypasses the pool entirely so a batch of connections
-        // staled together (server restart) cannot burn both attempts.
         for attempt in 0..2 {
-            let mut conn = match self.checkout(target, attempt > 0) {
-                Ok(c) => c,
-                Err(_) => continue,
-            };
-            match self.exchange(&mut conn, &body) {
-                Ok(resp) => {
-                    self.checkin(target, conn);
-                    return resp;
-                }
-                Err(_) if attempt == 0 => {} // drop the conn, retry fresh
-                Err(_) => break,
+            let (reply_tx, reply_rx) = bounded::<CallOutcome>(1);
+            if self
+                .submit(Submission {
+                    target,
+                    body: body.clone(),
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                break; // transport closing
+            }
+            match reply_rx.recv_timeout(self.call_timeout) {
+                Ok(CallOutcome::Response(resp)) => return resp,
+                // The frame never fully reached the kernel: the one case
+                // where a second send cannot double-apply.
+                Ok(CallOutcome::NotSent) if attempt == 0 => continue,
+                // Flushed-but-unanswered, exhausted retries, a timeout,
+                // or reactor death: the server may have applied the
+                // request — report Unavailable, never re-send.
+                Ok(CallOutcome::NotSent) | Ok(CallOutcome::Failed) | Err(_) => break,
             }
         }
         RegistryResponse::Error {
@@ -331,11 +697,15 @@ impl RegistryTransport for TcpClientTransport {
 
 impl Drop for TcpClientTransport {
     fn drop(&mut self) {
-        // Flag first so the pump discards any backlog, then close the
-        // channel so it wakes and exits; join is bounded by at most one
-        // in-flight write timeout.
-        self.closing
-            .store(true, std::sync::atomic::Ordering::Release);
+        // Flag first so both workers discard any backlog, then close the
+        // channels and poke the wake pipe so they observe the flag
+        // promptly; joins are bounded by one poll tick / write timeout.
+        self.closing.store(true, Ordering::Release);
+        drop(self.sub_tx.take());
+        let _ = (&self.wake_tx).write(&[1]);
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
         drop(self.cast_tx.take());
         if let Some(h) = self.cast_worker.take() {
             let _ = h.join();
@@ -343,8 +713,8 @@ impl Drop for TcpClientTransport {
     }
 }
 
-/// Idle-pool depth when the caller doesn't tune it: covers the load
-/// generator's default 32 worker threads spread over 4 sites.
+/// Idle-pool depth of the legacy pooled client; still the default for
+/// `TcpConfig::pool_per_site` (the pipelined client ignores it).
 pub const DEFAULT_POOL_PER_SITE: usize = 16;
 
 /// Convenience: a transport for a cluster listening on `addrs[i]` for
@@ -358,8 +728,8 @@ pub fn transport_for(addrs: &[SocketAddr], call_timeout: Duration) -> Arc<TcpCli
         .collect();
     Arc::new(TcpClientTransport::new(
         map,
-        DEFAULT_POOL_PER_SITE,
         call_timeout,
+        Duration::from_millis(25),
     ))
 }
 
@@ -428,5 +798,31 @@ mod tests {
         let d = b.record_failure(SiteId(0), now);
         assert!(b.is_dead(SiteId(0), now));
         assert!(!b.is_dead(SiteId(0), now + d));
+    }
+
+    #[test]
+    fn pending_calls_resolve_by_the_flushed_bytes_rule() {
+        // Two frames queued; only the first fully flushed when the
+        // connection dies. The first may have been applied (Failed),
+        // the second provably was not (NotSent).
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let stream = {
+            // A TcpStream is required by the struct; dial a throwaway
+            // loopback listener (never read from).
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            std::net::TcpStream::connect(l.local_addr().unwrap()).unwrap()
+        };
+        drop(a);
+        let mut conn = CConn::new(stream);
+        let (tx1, rx1) = bounded::<CallOutcome>(1);
+        let (tx2, rx2) = bounded::<CallOutcome>(1);
+        conn.enqueue_call(b"first", tx1);
+        let first_end = conn.queued_abs;
+        conn.enqueue_call(b"second", tx2);
+        // Pretend the kernel took the first frame plus half the second.
+        conn.flushed_abs = first_end + 3;
+        conn.fail_pending();
+        assert!(matches!(rx1.try_recv(), Ok(CallOutcome::Failed)));
+        assert!(matches!(rx2.try_recv(), Ok(CallOutcome::NotSent)));
     }
 }

@@ -14,9 +14,14 @@ use std::io::{Read, Write};
 /// (protects the server from a garbage length burning 4 GiB).
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
 
-/// Write one frame (length prefix + body).
+/// Write one frame (length prefix + body). Errors with `InvalidData`
+/// when the body exceeds [`MAX_FRAME`] — in release builds too; the peer
+/// would reject the oversized length prefix mid-stream, which is a far
+/// worse failure than refusing to send.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
-    debug_assert!(body.len() <= MAX_FRAME);
+    if body.len() > MAX_FRAME {
+        return Err(oversized(body.len()));
+    }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(body)
 }
@@ -24,14 +29,24 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
 /// Write one frame whose body is a mode byte followed by `body` — without
 /// materializing the concatenation (the request hot path would otherwise
 /// copy every encoded message just to prepend one byte). Two writes: a
-/// 5-byte stack header, then the payload.
+/// 5-byte stack header, then the payload. The mode byte counts against
+/// [`MAX_FRAME`]: the frame body on the wire is `body.len() + 1` bytes.
 pub fn write_frame_with_mode(w: &mut impl Write, mode: u8, body: &[u8]) -> std::io::Result<()> {
-    debug_assert!(body.len() < MAX_FRAME);
+    if body.len() + 1 > MAX_FRAME {
+        return Err(oversized(body.len() + 1));
+    }
     let mut head = [0u8; 5];
     head[..4].copy_from_slice(&((body.len() + 1) as u32).to_le_bytes());
     head[4] = mode;
     w.write_all(&head)?;
     w.write_all(body)
+}
+
+fn oversized(len: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("frame body {len} exceeds cap {MAX_FRAME}"),
+    )
 }
 
 /// What one [`FrameReader::fill`] call observed on the stream.
@@ -206,6 +221,39 @@ mod tests {
         let mut b = Vec::new();
         write_frame_with_mode(&mut b, 7, &[1, 2, 3]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_writes_are_refused_in_release_builds_too() {
+        let body = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &body).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "nothing reaches the wire");
+        // Exactly MAX_FRAME is fine for the plain writer…
+        write_frame(&mut sink, &body[..MAX_FRAME]).unwrap();
+        // …but the mode byte pushes the same body over the cap.
+        let mut sink2 = Vec::new();
+        let err = write_frame_with_mode(&mut sink2, 0, &body[..MAX_FRAME]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(sink2.is_empty());
+        // A mode-framed body of MAX_FRAME - 1 is the largest that fits,
+        // and the reader accepts it back.
+        let mut wire = Vec::new();
+        write_frame_with_mode(&mut wire, 3, &body[..MAX_FRAME - 1]).unwrap();
+        let mut r = FrameReader::new();
+        let mut src = Script {
+            parts: wire.chunks(16 * 1024).map(|c| c.to_vec()).collect(),
+            at: 0,
+        };
+        loop {
+            if let Some(f) = r.next_frame().unwrap() {
+                assert_eq!(f.len(), MAX_FRAME);
+                assert_eq!(f[0], 3);
+                break;
+            }
+            assert_eq!(r.fill(&mut src).unwrap(), Fill::Progress);
+        }
     }
 
     #[test]

@@ -7,19 +7,26 @@
 //! `std::net` only — no external networking crates.
 //!
 //! * [`frame`] — length-prefixed framing with a timeout-safe incremental
-//!   reader;
-//! * [`server`] — [`TcpLayer`]: one loopback listener per site,
-//!   thread-per-connection with a bounded accept pool, requests served
-//!   through the shared `ServiceCore` dispatch;
-//! * [`client`] — [`TcpClientTransport`]: pooling, reconnecting, with a
-//!   background cast pump so lazy pushes never stall on a slow target;
-//! * [`loadgen`] — the closed-loop seeded load generator driving
-//!   synthetic / Montage / BuzzFlow op streams
-//!   (`geometa_workflow::apps::ops`) and reporting latency percentiles.
+//!   reader and hard frame-size caps on both ends;
+//! * [`server`] — [`TcpLayer`]: one readiness-driven reactor thread per
+//!   site (nonblocking `std::net` sockets multiplexed through the
+//!   vendored `polling` shim), batch-decoding frames and serving them
+//!   through `ServiceCore::serve_batch` so runs of reads share shard
+//!   locks; a legacy thread-per-connection path remains behind
+//!   [`TcpConfig::thread_per_conn`];
+//! * [`client`] — [`TcpClientTransport`]: one pipelined connection per
+//!   target driven by a single reactor thread, requests correlated by
+//!   per-connection sequence ids so many callers share one socket;
+//!   retries follow the exactly-once rule (re-send only when the frame
+//!   provably never reached the kernel), plus a background cast pump
+//!   with write coalescing so lazy pushes never stall on a slow target;
+//! * [`loadgen`] — the seeded load generator driving synthetic /
+//!   Montage / BuzzFlow op streams (`geometa_workflow::apps::ops`) in
+//!   closed-loop and coordinated-omission-safe open-loop modes.
 //!
 //! Binaries: `geometa-server` boots an N-site cluster on loopback ports;
-//! `geometa-load` drives it (or a self-spawned cluster) and writes
-//! `BENCH_5.json`.
+//! `geometa-load` drives it (or a self-spawned cluster) in both load
+//! modes and writes `BENCH_7.json`.
 //!
 //! ```
 //! use geometa_core::runtime::{RuntimeConfig, ServiceRuntime};
@@ -162,7 +169,8 @@ mod tests {
             });
 
             let addrs = std::iter::once((SiteId(0), addr)).collect();
-            let transport = TcpClientTransport::new(addrs, 4, Duration::from_secs(5));
+            let transport =
+                TcpClientTransport::new(addrs, Duration::from_secs(5), Duration::from_millis(25));
             // Batches big enough that the total (64 × ~120 KB ≈ 8 MB) far
             // exceeds any loopback socket buffer: the pump's *writes* wedge,
             // not just its queue — exercising the write-timeout path.

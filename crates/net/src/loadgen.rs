@@ -1,8 +1,21 @@
-//! Closed-loop, seeded load generation over any [`RegistryTransport`].
+//! Seeded load generation over any [`RegistryTransport`], in two modes.
 //!
-//! One OS thread per node stream replays its operations back-to-back
-//! (closed loop: the next op issues only when the previous completed), so
-//! offered load adapts to service capacity instead of overrunning it.
+//! **Closed loop** (the default): one OS thread per node stream replays
+//! its operations back-to-back — the next op issues only when the
+//! previous completed — so offered load adapts to service capacity
+//! instead of overrunning it. Latency is measured from actual issue to
+//! completion.
+//!
+//! **Open loop** ([`LoadMode::Open`]): operations arrive on a fixed
+//! schedule regardless of how the service is keeping up. Each node
+//! stream issues op `i` at `start + phase + i·Δ` where `Δ =
+//! nodes/rate`, and latency is measured from the op's *scheduled* issue
+//! time, not from when the thread actually got around to sending it.
+//! That makes the percentiles coordinated-omission-safe: when the
+//! service stalls, the ops that queued up behind the stall are charged
+//! their full waiting time instead of silently not being issued — the
+//! classic closed-loop blind spot.
+//!
 //! Resolves of not-yet-published files retry with backoff, exactly like
 //! the workflow engine's input polling. Every completed operation's
 //! latency (including its retries — that is the latency the workflow
@@ -14,6 +27,41 @@ use geometa_core::{MetaError, StrategyClient};
 use geometa_workflow::apps::ops::{MetaOp, OpStream};
 use std::time::{Duration, Instant};
 
+/// How load is offered to the service.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoadMode {
+    /// Next op only after the previous completed; offered load tracks
+    /// service capacity.
+    Closed,
+    /// Fixed total arrival rate in ops/s, spread evenly across node
+    /// streams with per-stream phase offsets. Latency is measured from
+    /// each op's scheduled issue time (coordinated-omission-safe); a
+    /// thread that falls behind issues immediately without re-anchoring
+    /// its schedule.
+    Open {
+        /// Total arrival rate across all node streams, ops/s.
+        rate: f64,
+    },
+}
+
+impl LoadMode {
+    /// Stable label for reports ("closed" / "open").
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadMode::Closed => "closed",
+            LoadMode::Open { .. } => "open",
+        }
+    }
+
+    /// The configured arrival rate, if open-loop.
+    pub fn target_rate(&self) -> Option<f64> {
+        match self {
+            LoadMode::Closed => None,
+            LoadMode::Open { rate } => Some(*rate),
+        }
+    }
+}
+
 /// Executor tuning.
 #[derive(Clone, Debug)]
 pub struct LoadOptions {
@@ -21,6 +69,8 @@ pub struct LoadOptions {
     pub max_resolve_attempts: usize,
     /// Backoff between resolve attempts.
     pub resolve_backoff: Duration,
+    /// Closed loop or fixed-rate open loop.
+    pub mode: LoadMode,
 }
 
 impl Default for LoadOptions {
@@ -28,6 +78,7 @@ impl Default for LoadOptions {
         LoadOptions {
             max_resolve_attempts: 10_000,
             resolve_backoff: Duration::from_micros(200),
+            mode: LoadMode::Closed,
         }
     }
 }
@@ -35,6 +86,9 @@ impl Default for LoadOptions {
 /// What one load run measured.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
+    /// The mode the run used (open-loop latencies are from scheduled
+    /// issue time and are not comparable to closed-loop ones).
+    pub mode: LoadMode,
     /// Completed metadata operations.
     pub total_ops: u64,
     /// Resolve retries (reads that raced propagation).
@@ -54,7 +108,12 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    fn from_latencies(mut lat_ns: Vec<u64>, retries: u64, wall: Duration) -> LoadReport {
+    fn from_latencies(
+        mode: LoadMode,
+        mut lat_ns: Vec<u64>,
+        retries: u64,
+        wall: Duration,
+    ) -> LoadReport {
         lat_ns.sort_unstable();
         let pct = |p: f64| -> f64 {
             if lat_ns.is_empty() {
@@ -65,6 +124,7 @@ impl LoadReport {
         };
         let total_ops = lat_ns.len() as u64;
         LoadReport {
+            mode,
             total_ops,
             retries,
             wall,
@@ -77,9 +137,9 @@ impl LoadReport {
     }
 }
 
-/// Replay `stream` closed-loop, one thread per node, building each node's
-/// client with `make_client`. Returns the merged latency report, or the
-/// first per-node error.
+/// Replay `stream` under `opts.mode`, one thread per node, building each
+/// node's client with `make_client`. Returns the merged latency report,
+/// or the first per-node error.
 pub fn run_stream<T, F>(
     make_client: F,
     stream: &OpStream,
@@ -99,17 +159,40 @@ where
         }
     }
 
+    // Open loop: each of the N node streams issues every Δ = N/rate
+    // seconds, phase-shifted so arrivals interleave evenly instead of
+    // bursting N-wide every interval.
+    let n_nodes = stream.nodes.len().max(1);
+    let interval = opts
+        .mode
+        .target_rate()
+        .map(|rate| Duration::from_secs_f64(n_nodes as f64 / rate.max(f64::MIN_POSITIVE)));
+
     let start = Instant::now();
     let results: Vec<Result<(Vec<u64>, u64), String>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(stream.nodes.len());
-        for node in &stream.nodes {
+        for (node_idx, node) in stream.nodes.iter().enumerate() {
             let make_client = &make_client;
             handles.push(scope.spawn(move || {
                 let client = make_client(node.site, node.node);
+                let phase = interval.map(|d| d.mul_f64(node_idx as f64 / n_nodes as f64));
                 let mut lat_ns = Vec::with_capacity(node.ops.len());
                 let mut retries = 0u64;
-                for op in &node.ops {
-                    let t0 = Instant::now();
+                for (i, op) in node.ops.iter().enumerate() {
+                    // Closed loop: the clock starts when the op actually
+                    // issues. Open loop: it starts at the op's scheduled
+                    // arrival — if we are behind schedule we issue
+                    // immediately and the queueing delay counts.
+                    let t0 = match (interval, phase) {
+                        (Some(step), Some(phase)) => {
+                            let due = start + phase + step.mul_f64(i as f64);
+                            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            due
+                        }
+                        _ => Instant::now(),
+                    };
                     match op {
                         MetaOp::Publish { name, size } => {
                             client
@@ -155,7 +238,7 @@ where
         lat_ns.extend(l);
         retries += n;
     }
-    Ok(LoadReport::from_latencies(lat_ns, retries, wall))
+    Ok(LoadReport::from_latencies(opts.mode, lat_ns, retries, wall))
 }
 
 #[cfg(test)]
@@ -203,10 +286,57 @@ mod tests {
         assert!(report.p99_us <= report.max_us);
     }
 
+    /// Open loop paces arrivals by the schedule, not by completions: an
+    /// in-process transport finishes each op in microseconds, yet the
+    /// run's wall clock is pinned to the arrival schedule's span.
+    #[test]
+    fn open_loop_paces_by_the_arrival_schedule() {
+        let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+        let transport = Arc::new(InProcessTransport::new(&sites, 8));
+        let controller = Arc::new(ArchitectureController::with_kind(
+            StrategyKind::Centralized,
+            sites.clone(),
+        ));
+        let spec = SyntheticSpec {
+            nodes: 4,
+            ops_per_node: 20,
+            compute_per_op: geometa_sim::time::SimDuration::ZERO,
+            seed: 11,
+        };
+        let stream = synthetic_streams(&spec, &sites);
+        // 2 kops/s over 4 nodes: Δ = 2 ms per node, last op due ≈ 38 ms
+        // after start — far above in-process service time.
+        let report = run_stream(
+            |site, node| {
+                StrategyClient::new(
+                    Arc::clone(&transport),
+                    Arc::clone(&controller),
+                    ClientConfig { site, node },
+                )
+            },
+            &stream,
+            &LoadOptions {
+                mode: LoadMode::Open { rate: 2_000.0 },
+                ..LoadOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.total_ops, spec.total_ops() as u64);
+        assert_eq!(report.mode.label(), "open");
+        assert!(
+            report.wall >= Duration::from_millis(30),
+            "open-loop run finished in {:?} — it paced by completions, not the schedule",
+            report.wall
+        );
+        // An idle service keeps up: latencies stay well under the
+        // arrival interval (nothing was charged queueing delay).
+        assert!(report.p99_us < 2_000.0, "p99 {} us", report.p99_us);
+    }
+
     #[test]
     fn percentiles_are_exact_on_known_data() {
         let lat: Vec<u64> = (1..=100).map(|i| i * 1_000).collect(); // 1..100 us
-        let r = LoadReport::from_latencies(lat, 0, Duration::from_secs(1));
+        let r = LoadReport::from_latencies(LoadMode::Closed, lat, 0, Duration::from_secs(1));
         assert_eq!(r.p50_us, 50.0);
         assert_eq!(r.p90_us, 90.0);
         assert_eq!(r.p99_us, 99.0);

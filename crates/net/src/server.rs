@@ -1,20 +1,30 @@
-//! The framed-TCP connection layer: one listener per site, a bounded
-//! thread-per-connection accept pool, and the shared request dispatch.
+//! The framed-TCP connection layer: one listener per site driven by a
+//! readiness reactor (one thread per site, nonblocking sockets
+//! multiplexed through the vendored `polling` shim), plus a legacy
+//! thread-per-connection accept pool kept as a compatibility path
+//! behind [`TcpConfig::thread_per_conn`].
 //!
 //! Wire protocol (on top of [`crate::frame`]):
 //!
 //! * client → server: frame body = `[mode u8][RegistryRequest]` where
-//!   mode 0 = CALL (a response frame follows) and mode 1 = CAST
-//!   (fire-and-forget, no response);
-//! * server → client: frame body = `[RegistryResponse]`.
+//!   mode 0 = CALL (a response frame follows), mode 1 = CAST
+//!   (fire-and-forget, no response), and mode 2 = CALL_SEQ (pipelined
+//!   call: a `u32_le` sequence id follows the mode byte and is echoed
+//!   ahead of the response, so many calls can be in flight on one
+//!   connection and resolve to the right callers regardless of
+//!   interleaving);
+//! * server → client: frame body = `[RegistryResponse]` for CALL,
+//!   `[u32_le seq][RegistryResponse]` for CALL_SEQ.
 //!
-//! A malformed request never kills the connection thread: CALLs answer
+//! A malformed request never kills a connection's peers: CALLs answer
 //! with `RegistryResponse::Error` (the codec is total), CASTs are
-//! dropped. Connection threads arm a short read timeout so they observe
-//! the runtime's shutdown flag; the accept loop is unblocked at shutdown
-//! by a dummy loopback connection and then joins every connection thread
-//! it spawned — which is what lets the runtime guarantee no leaked
-//! threads.
+//! dropped. The reactor decodes every frame a readiness pass delivered
+//! and serves them as one ordered batch through
+//! [`ServiceCore::serve_batch`], which groups runs of consecutive reads
+//! into shard-grouped `multi_get`s. Poll waits are bounded by the
+//! configured tick so the loop observes the runtime's shutdown flag; at
+//! shutdown the dummy connection from [`ConnectionLayer::unblock`] also
+//! wakes the poller immediately.
 
 use crate::client::TcpClientTransport;
 use crate::frame::{write_frame, Fill, FrameReader};
@@ -23,6 +33,7 @@ use geometa_core::runtime::{ConnectionLayer, ServiceCore, Spawner};
 use geometa_core::MetaError;
 use geometa_sim::topology::SiteId;
 use parking_lot::{Condvar, Mutex};
+use polling::{Event, Poller};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,6 +44,9 @@ use std::time::Duration;
 pub const MODE_CALL: u8 = 0;
 /// Frame-body mode byte: fire-and-forget, no response.
 pub const MODE_CAST: u8 = 1;
+/// Frame-body mode byte: pipelined RPC. A `u32_le` sequence id follows
+/// the mode byte; the response frame leads with the same id.
+pub const MODE_CALL_SEQ: u8 = 2;
 
 /// Tuning for the TCP layer.
 #[derive(Clone, Debug)]
@@ -48,8 +62,13 @@ pub struct TcpConfig {
     /// Client-side deadline for one call's response.
     pub call_timeout: Duration,
     /// Client-side idle connections kept per target site; size to the
-    /// expected call concurrency or calls churn fresh handshakes.
+    /// expected call concurrency or calls churn fresh handshakes. Only
+    /// meaningful for the legacy pool; the pipelined client multiplexes
+    /// every call onto one connection per target.
     pub pool_per_site: usize,
+    /// Compatibility path: serve each connection on its own blocking
+    /// thread (the pre-reactor model) instead of the per-site reactor.
+    pub thread_per_conn: bool,
 }
 
 impl Default for TcpConfig {
@@ -60,6 +79,7 @@ impl Default for TcpConfig {
             read_timeout: Duration::from_millis(25),
             call_timeout: Duration::from_secs(10),
             pool_per_site: crate::client::DEFAULT_POOL_PER_SITE,
+            thread_per_conn: false,
         }
     }
 }
@@ -148,11 +168,18 @@ impl ConnectionLayer for TcpLayer {
             let addr = listener.local_addr().expect("bound listener has an addr");
             self.addrs.insert(site, addr);
             let core = Arc::clone(core);
-            let gate = ConnGate::new(self.config.max_conns_per_site);
             let read_timeout = self.config.read_timeout;
-            spawner.spawn(format!("tcp-accept-{site}"), move || {
-                accept_loop(&listener, &core, site, &gate, read_timeout)
-            });
+            if self.config.thread_per_conn {
+                let gate = ConnGate::new(self.config.max_conns_per_site);
+                spawner.spawn(format!("tcp-accept-{site}"), move || {
+                    accept_loop(&listener, &core, site, &gate, read_timeout)
+                });
+            } else {
+                let max_conns = self.config.max_conns_per_site;
+                spawner.spawn(format!("tcp-reactor-{site}"), move || {
+                    reactor_loop(&listener, &core, site, max_conns, read_timeout)
+                });
+            }
         }
     }
 
@@ -160,8 +187,8 @@ impl ConnectionLayer for TcpLayer {
         Arc::clone(self.shared.lock().get_or_insert_with(|| {
             Arc::new(TcpClientTransport::new(
                 self.addrs.clone(),
-                self.config.pool_per_site,
                 self.config.call_timeout,
+                self.config.read_timeout,
             ))
         }))
     }
@@ -198,7 +225,19 @@ fn accept_loop(
                     gate.release();
                     break;
                 }
-                conns.retain(|h| !h.is_finished());
+                // Join (not just drop) finished handles: a connection
+                // thread flips `is_finished` before its stack fully
+                // unwinds, and "no leaked threads" at shutdown means
+                // nothing may still be mid-exit when the drain below
+                // returns. Joining a finished thread does not block.
+                let mut i = 0;
+                while i < conns.len() {
+                    if conns[i].is_finished() {
+                        let _ = conns.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
                 let core = Arc::clone(core);
                 let thread_gate = Arc::clone(gate);
                 // geometa-lint: allow(untracked-thread) connection threads are collected in `conns` and joined in the drain below before accept_loop returns
@@ -296,6 +335,18 @@ fn handle_frame(
             }
             true
         }
+        MODE_CALL_SEQ => {
+            let Some((seq, req)) = split_seq(&body) else {
+                return false; // truncated seq header: protocol violation
+            };
+            let resp = match req {
+                Ok(req) => core.serve(site, req),
+                Err(error) => RegistryResponse::Error { error },
+            };
+            write_frame(stream, &seq_response_body(seq, &resp))
+                .and_then(|()| stream.flush())
+                .is_ok()
+        }
         _ => {
             // Unknown mode: answer CALL-style so a confused client fails
             // fast instead of hanging on a missing response.
@@ -303,6 +354,375 @@ fn handle_frame(
                 error: MetaError::Codec(format!("unknown frame mode {mode}")),
             };
             write_frame(stream, &resp.encode()).is_ok()
+        }
+    }
+}
+
+/// Parse a CALL_SEQ body (`[mode][u32_le seq][request]`). `None` means
+/// the seq header itself is truncated — a protocol violation.
+fn split_seq(body: &bytes::Bytes) -> Option<(u32, Result<RegistryRequest, MetaError>)> {
+    if body.len() < 5 {
+        return None;
+    }
+    let seq = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
+    Some((seq, RegistryRequest::decode(body.slice(5..))))
+}
+
+/// Response frame body for a CALL_SEQ: `[u32_le seq][response]`.
+fn seq_response_body(seq: u32, resp: &RegistryResponse) -> Vec<u8> {
+    let encoded = resp.encode();
+    let mut out = Vec::with_capacity(4 + encoded.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&encoded);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Readiness reactor (the default serving model)
+// ---------------------------------------------------------------------------
+
+/// Poller key reserved for the site's listener.
+const LISTENER_KEY: usize = usize::MAX;
+/// Max `FrameReader::fill` calls per connection per readiness pass
+/// (≤16 KiB each): bounds how long one firehose connection can hold the
+/// reactor. The poller is level-triggered, so leftovers re-fire on the
+/// next pass.
+const MAX_FILLS_PER_PASS: usize = 16;
+/// Pending-output high-water mark: a connection whose peer stops reading
+/// accumulates at most this much before the reactor stops *reading* from
+/// it (write interest stays armed), pushing backpressure onto the peer
+/// instead of into server memory.
+const OUT_HIGH_WATER: usize = 4 * 1024 * 1024;
+
+/// What one decoded frame owes the peer.
+enum Reply {
+    /// CAST: nothing.
+    None,
+    /// CALL: a bare response frame.
+    Bare,
+    /// CALL_SEQ: a seq-prefixed response frame.
+    Seq(u32),
+}
+
+/// A decoded frame on its way to a response.
+enum Outcome {
+    /// The next `serve_batch` response answers this frame.
+    FromBatch(Reply),
+    /// Decoding failed; the response is already known.
+    Immediate(Reply, RegistryResponse),
+}
+
+/// One reactor-managed connection.
+struct RConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Pending output; `sent` is the already-flushed prefix.
+    out: Vec<u8>,
+    sent: usize,
+    /// Peer sent EOF: serve what arrived, drain `out`, then close.
+    closing: bool,
+}
+
+impl RConn {
+    fn new(stream: TcpStream) -> RConn {
+        RConn {
+            stream,
+            reader: FrameReader::new(),
+            out: Vec::new(),
+            sent: 0,
+            closing: false,
+        }
+    }
+
+    /// Drain the readable socket into the frame reader, serve every
+    /// complete frame as one ordered batch, queue the responses.
+    /// Returns false when the connection must be dropped.
+    fn pump_read(&mut self, core: &Arc<ServiceCore>, site: SiteId) -> bool {
+        let mut eof = false;
+        for _ in 0..MAX_FILLS_PER_PASS {
+            match self.reader.fill(&mut self.stream) {
+                Ok(Fill::Progress) => continue,
+                Ok(Fill::Idle) => break,
+                Ok(Fill::Eof) => {
+                    eof = true;
+                    break;
+                }
+                Err(_) => return false,
+            }
+        }
+        let ok = self.dispatch(core, site);
+        if eof {
+            self.closing = true;
+        }
+        ok
+    }
+
+    /// Decode and serve everything buffered. The whole pass becomes one
+    /// [`ServiceCore::serve_batch`] call, so pipelined reads collapse
+    /// into shard-grouped multi-gets while responses stay in arrival
+    /// order — which is also what keeps CALL (unsequenced) correct: its
+    /// responses come back in the order the requests went out.
+    fn dispatch(&mut self, core: &Arc<ServiceCore>, site: SiteId) -> bool {
+        let mut reqs: Vec<RegistryRequest> = Vec::new();
+        let mut outcomes: Vec<Outcome> = Vec::new();
+        loop {
+            let body = match self.reader.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(_) => return false, // implausible frame length
+            };
+            if body.is_empty() {
+                return false;
+            }
+            match body[0] {
+                MODE_CALL => match RegistryRequest::decode(body.slice(1..)) {
+                    Ok(req) => {
+                        reqs.push(req);
+                        outcomes.push(Outcome::FromBatch(Reply::Bare));
+                    }
+                    Err(error) => outcomes.push(Outcome::Immediate(
+                        Reply::Bare,
+                        RegistryResponse::Error { error },
+                    )),
+                },
+                MODE_CAST => {
+                    // Valid casts join the batch (they must apply in
+                    // arrival order relative to calls); malformed ones
+                    // are dropped, as in the threaded path.
+                    if let Ok(req) = RegistryRequest::decode(body.slice(1..)) {
+                        reqs.push(req);
+                        outcomes.push(Outcome::FromBatch(Reply::None));
+                    }
+                }
+                MODE_CALL_SEQ => match split_seq(&body) {
+                    None => return false,
+                    Some((seq, Ok(req))) => {
+                        reqs.push(req);
+                        outcomes.push(Outcome::FromBatch(Reply::Seq(seq)));
+                    }
+                    Some((seq, Err(error))) => outcomes.push(Outcome::Immediate(
+                        Reply::Seq(seq),
+                        RegistryResponse::Error { error },
+                    )),
+                },
+                mode => outcomes.push(Outcome::Immediate(
+                    Reply::Bare,
+                    RegistryResponse::Error {
+                        error: MetaError::Codec(format!("unknown frame mode {mode}")),
+                    },
+                )),
+            }
+        }
+        if outcomes.is_empty() {
+            return true;
+        }
+        let mut responses = core.serve_batch(site, reqs).into_iter();
+        for outcome in outcomes {
+            match outcome {
+                Outcome::FromBatch(reply) => match responses.next() {
+                    Some(resp) => self.append_reply(reply, &resp),
+                    // serve_batch answers every request; a shortfall is a
+                    // server-side invariant breach — drop the connection
+                    // rather than answer the wrong caller.
+                    None => return false,
+                },
+                Outcome::Immediate(reply, resp) => self.append_reply(reply, &resp),
+            }
+        }
+        true
+    }
+
+    /// Queue one response frame on the output buffer.
+    fn append_reply(&mut self, reply: Reply, resp: &RegistryResponse) {
+        let body: Vec<u8> = match &reply {
+            Reply::None => return,
+            Reply::Bare => resp.encode().to_vec(),
+            Reply::Seq(seq) => seq_response_body(*seq, resp),
+        };
+        if write_frame(&mut self.out, &body).is_ok() {
+            return;
+        }
+        // Response exceeds the frame cap (a pathological Delta): send an
+        // encoded error instead so the caller fails fast rather than
+        // timing out on a missing response.
+        let err = RegistryResponse::Error {
+            error: MetaError::Codec("response exceeds frame cap".to_string()),
+        };
+        let body = match reply {
+            Reply::None => return,
+            Reply::Bare => err.encode().to_vec(),
+            Reply::Seq(seq) => seq_response_body(seq, &err),
+        };
+        let _ = write_frame(&mut self.out, &body); // Vec sink: cannot fail under the cap
+    }
+
+    /// Push pending output to the kernel. `Ok(true)` = fully drained.
+    fn flush_out(&mut self) -> std::io::Result<bool> {
+        while self.sent < self.out.len() {
+            match self.stream.write(&self.out[self.sent..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Reclaim the flushed prefix when it dominates the
+                    // buffer, so a long-lived backlog doesn't pin memory.
+                    if self.sent > 256 * 1024 {
+                        self.out.drain(..self.sent);
+                        self.sent = 0;
+                    }
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.sent = 0;
+        Ok(true)
+    }
+
+    /// Poller interest for the connection's current state.
+    fn desired_interest(&self, key: usize) -> Event {
+        let backlog = self.out.len() - self.sent;
+        Event {
+            key,
+            readable: !self.closing && backlog < OUT_HIGH_WATER,
+            writable: backlog > 0,
+        }
+    }
+}
+
+/// The per-site reactor: one thread drives the listener and every
+/// connection through nonblocking I/O and the poll shim. Poll waits are
+/// bounded by `tick` so the loop observes shutdown even when idle.
+fn reactor_loop(
+    listener: &TcpListener,
+    core: &Arc<ServiceCore>,
+    site: SiteId,
+    max_conns: usize,
+    tick: Duration,
+) {
+    let max_conns = max_conns.max(1);
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let Ok(poller) = Poller::new() else { return };
+    if poller.add(listener, Event::readable(LISTENER_KEY)).is_err() {
+        return;
+    }
+    let mut conns: Vec<Option<RConn>> = Vec::new();
+    let mut live = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    while !core.is_shutdown() {
+        events.clear();
+        if poller.wait(&mut events, Some(tick)).is_err() {
+            break;
+        }
+        for &ev in &events {
+            if ev.key == LISTENER_KEY {
+                accept_ready(listener, core, &poller, &mut conns, &mut live, max_conns);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(ev.key).and_then(Option::as_mut) else {
+                continue; // closed earlier in this pass
+            };
+            let mut dead = false;
+            if ev.readable && !conn.closing {
+                dead = !conn.pump_read(core, site);
+            }
+            if !dead {
+                match conn.flush_out() {
+                    Ok(drained) => dead = conn.closing && drained,
+                    Err(_) => dead = true,
+                }
+            }
+            if dead {
+                close_conn(&poller, &mut conns, ev.key, &mut live, max_conns, listener);
+            } else {
+                let interest = conn.desired_interest(ev.key);
+                if poller.modify(&conn.stream, interest).is_err() {
+                    close_conn(&poller, &mut conns, ev.key, &mut live, max_conns, listener);
+                }
+            }
+        }
+    }
+    // Dropping the connections closes every socket; in-flight requests
+    // were either answered above or die with the connection, which the
+    // client surfaces as Unavailable — the same contract as the
+    // threaded path at shutdown.
+}
+
+/// Accept until the listener would block. At `max_conns` the listener's
+/// read interest is paused (further clients queue in the kernel backlog,
+/// exactly like the threaded path's gate) and re-armed when a
+/// connection closes.
+fn accept_ready(
+    listener: &TcpListener,
+    core: &Arc<ServiceCore>,
+    poller: &Poller,
+    conns: &mut Vec<Option<RConn>>,
+    live: &mut usize,
+    max_conns: usize,
+) {
+    loop {
+        if *live >= max_conns {
+            let _ = poller.modify(listener, Event::none(LISTENER_KEY));
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if core.is_shutdown() {
+                    return; // dummy unblock connection, most likely
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let key = match conns.iter().position(Option::is_none) {
+                    Some(k) => k,
+                    None => {
+                        conns.push(None);
+                        conns.len() - 1
+                    }
+                };
+                if poller.add(&stream, Event::readable(key)).is_err() {
+                    continue;
+                }
+                conns[key] = Some(RConn::new(stream));
+                *live += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Persistent accept failure (EMFILE and friends) with a
+                // pending backlog would spin the poll loop at syscall
+                // speed; back off briefly, as the threaded path does.
+                std::thread::sleep(Duration::from_millis(10));
+                return;
+            }
+        }
+    }
+}
+
+/// Deregister and drop one connection, re-arming the listener if the
+/// pool was full.
+fn close_conn(
+    poller: &Poller,
+    conns: &mut [Option<RConn>],
+    key: usize,
+    live: &mut usize,
+    max_conns: usize,
+    listener: &TcpListener,
+) {
+    if let Some(conn) = conns[key].take() {
+        let _ = poller.delete(&conn.stream);
+        *live -= 1;
+        if *live == max_conns - 1 {
+            let _ = poller.modify(listener, Event::readable(LISTENER_KEY));
         }
     }
 }

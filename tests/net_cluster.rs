@@ -132,11 +132,11 @@ fn tcp_cluster_matches_in_process_run_and_shuts_down_cleanly() {
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    // Clean shutdown: every runtime thread joins (delay line + 4 accept
-    // loops, each of which joins its connection threads before exiting)…
+    // Clean shutdown: every runtime thread joins (delay line + 4 per-site
+    // reactors, each of which owns all of its connections)…
     drop(transport);
     let joined = runtime.shutdown();
-    assert_eq!(joined, 5, "delay line + one accept loop per site");
+    assert_eq!(joined, 5, "delay line + one reactor per site");
 
     // …and the ports are actually released.
     for addr in addrs {

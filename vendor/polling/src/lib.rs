@@ -1,0 +1,330 @@
+//! Offline stand-in for the [`polling`](https://github.com/smol-rs/polling)
+//! crate: portable readiness multiplexing for nonblocking sockets.
+//!
+//! Covers exactly the surface the geometa TCP reactor uses — a
+//! [`Poller`] that file descriptors are registered with
+//! ([`Poller::add`] / [`Poller::modify`] / [`Poller::delete`]) under a
+//! caller-chosen `usize` key, and a blocking [`Poller::wait`] that
+//! reports which descriptors are readable/writable as [`Event`]s.
+//!
+//! **One deliberate semantic divergence from upstream:** upstream
+//! `polling` arms every registration in *oneshot* mode (an event
+//! disarms the fd until the caller re-`modify`s it). This stand-in is
+//! **level-triggered**: the stored interest persists, and `wait`
+//! re-reports an fd for as long as it stays ready. The geometa reactor
+//! relies on level-triggered semantics (interest is updated only when
+//! the write buffer drains or fills), so a future swap back to the
+//! real crate must re-arm after every event — the registration points
+//! are confined to `crates/net`.
+//!
+//! The implementation is a direct wrapper over `poll(2)` via one FFI
+//! declaration into the platform libc (no external crates, per the
+//! vendoring policy). The registration table is a flat `Vec` scanned
+//! into a `pollfd` array on every wait — O(fds) per call, which at the
+//! reactor's scale (one listener plus tens of connections per site) is
+//! noise next to the syscall itself. Unix-only, like every deployment
+//! target of this workspace.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+const POLLNVAL: c_short = 0x020;
+
+#[repr(C)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Interest in (and readiness of) a registered descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen registration key, echoed back on readiness.
+    pub key: usize,
+    /// Interested in / ready for reading. Errors and hangups are also
+    /// reported as readable, so a read observes the failure.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Read interest only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write interest only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// No interest (the registration stays, silent until modified).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn to_poll_mask(self) -> c_short {
+        let mut mask = 0;
+        if self.readable {
+            mask |= POLLIN;
+        }
+        if self.writable {
+            mask |= POLLOUT;
+        }
+        mask
+    }
+}
+
+/// One registered descriptor.
+struct Registration {
+    fd: RawFd,
+    interest: Event,
+}
+
+/// A `poll(2)`-backed readiness multiplexer.
+pub struct Poller {
+    regs: Mutex<Vec<Registration>>,
+}
+
+impl Poller {
+    /// A poller with no registrations.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            regs: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Register `source` with the given interest. Errors if the
+    /// descriptor is already registered.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut regs = self.regs.lock().expect("poller registry poisoned");
+        if regs.iter().any(|r| r.fd == fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        regs.push(Registration { fd, interest });
+        Ok(())
+    }
+
+    /// Replace the interest of an already registered descriptor.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut regs = self.regs.lock().expect("poller registry poisoned");
+        match regs.iter_mut().find(|r| r.fd == fd) {
+            Some(r) => {
+                r.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Remove a registration. Errors if the descriptor is unknown.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut regs = self.regs.lock().expect("poller registry poisoned");
+        match regs.iter().position(|r| r.fd == fd) {
+            Some(i) => {
+                regs.swap_remove(i);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Block until at least one registered descriptor is ready or
+    /// `timeout` elapses (`None` = wait forever). Readiness lands in
+    /// `events` (appended; callers clear between waits, as with
+    /// upstream's `Events` type). Returns the number of events added.
+    ///
+    /// Descriptors whose interest is empty are skipped entirely.
+    /// `POLLERR`/`POLLHUP`/`POLLNVAL` are reported as *readable* so the
+    /// owner's next read observes the failure — the same mapping
+    /// upstream uses for epoll.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut keys: Vec<usize> = Vec::new();
+        {
+            let regs = self.regs.lock().expect("poller registry poisoned");
+            fds.reserve(regs.len());
+            for r in regs.iter() {
+                let mask = r.interest.to_poll_mask();
+                if mask == 0 {
+                    continue;
+                }
+                fds.push(PollFd {
+                    fd: r.fd,
+                    events: mask,
+                    revents: 0,
+                });
+                keys.push(r.interest.key);
+            }
+        }
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 100µs tick never busy-spins as 0ms.
+            Some(t) => t
+                .as_millis()
+                .max(if t.is_zero() { 0 } else { 1 })
+                .min(c_int::MAX as u128) as c_int,
+        };
+        let rc = loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if rc >= 0 {
+                break rc;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        };
+        if rc == 0 {
+            return Ok(0);
+        }
+        let mut added = 0;
+        for (pfd, &key) in fds.iter().zip(&keys) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let fail = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            events.push(Event {
+                key,
+                readable: pfd.revents & POLLIN != 0 || fail,
+                writable: pfd.revents & POLLOUT != 0,
+            });
+            added += 1;
+        }
+        Ok(added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_fires_only_when_bytes_are_pending() {
+        let (mut a, mut b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::readable(7)).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no bytes pending yet");
+        b.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable && !events[0].writable);
+        // Level-triggered: still ready until drained.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "level-triggered re-report");
+        let mut buf = [0u8; 4];
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained fd goes quiet");
+    }
+
+    #[test]
+    fn writable_and_interest_updates() {
+        let (a, _b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::writable(3)).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1, "an idle socket is writable");
+        assert!(events[0].writable);
+        // Drop interest: the registration stays but reports nothing.
+        poller.modify(&a, Event::none(3)).unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn add_modify_delete_lifecycle_errors() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::readable(0)).unwrap();
+        assert!(poller.add(&a, Event::readable(1)).is_err(), "double add");
+        assert!(poller.modify(&b, Event::readable(2)).is_err(), "unknown fd");
+        poller.delete(&a).unwrap();
+        assert!(poller.delete(&a).is_err(), "double delete");
+    }
+
+    #[test]
+    fn hangup_reports_as_readable() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::readable(9)).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "peer hangup must wake the reader");
+    }
+}
