@@ -283,6 +283,7 @@ mod tests {
             untracked_thread: true,
             unordered_iter: true,
             net_unwrap: false,
+            net_deadline: false,
             durability: false,
         }
     }

@@ -37,6 +37,11 @@ pub struct RuleSet {
     /// `net-unwrap`: no `unwrap()`/`expect()` on connection/framing
     /// paths in `crates/net`.
     pub net_unwrap: bool,
+    /// `net-deadline`: blocking socket calls in `crates/net` must carry
+    /// a deadline — no bare `TcpStream::connect`, and never
+    /// `set_read_timeout(None)` / `set_write_timeout(None)`. A socket
+    /// without a deadline turns one dark peer into a wedged thread.
+    pub net_deadline: bool,
     /// `durability`: in a WAL module, every `.write`/`.write_all` must
     /// have a `sync_data`/`sync_all` in reach — an acked append that
     /// only made it to the page cache is the torn-tail bug the whole
@@ -51,6 +56,7 @@ pub const RULE_NAMES: &[&str] = &[
     "untracked-thread",
     "unordered-iter",
     "net-unwrap",
+    "net-deadline",
     "durability",
 ];
 
@@ -85,6 +91,7 @@ pub fn rules_for(path: &str) -> Option<RuleSet> {
     }
     if in_src("net") {
         set.net_unwrap = true;
+        set.net_deadline = true;
     }
     // WAL modules (any crate, `src/wal*.rs`) carry the fsync contract.
     let file = path.rsplit('/').next().unwrap_or(path);
@@ -111,6 +118,9 @@ pub fn check(tokens: &[Tok], set: RuleSet) -> Vec<Finding> {
     }
     if set.net_unwrap {
         net_unwrap(tokens, &mut findings);
+    }
+    if set.net_deadline {
+        net_deadline(tokens, &mut findings);
     }
     if set.durability {
         durability(tokens, &mut findings);
@@ -209,6 +219,50 @@ fn net_unwrap(tokens: &[Tok], out: &mut Vec<Finding>) {
                 message: format!(
                     ".{}() in crates/net — peer input and connection failures must \
                      surface as errors, not panics in the server process",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn net_deadline(tokens: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test {
+            continue;
+        }
+        // `TcpStream::connect(` — the kernel's SYN retry schedule holds
+        // the caller for minutes against a dark peer.
+        if path2(tokens, i, "TcpStream", "connect")
+            && i + 3 < tokens.len()
+            && is(&tokens[i + 3], "(")
+        {
+            out.push(Finding {
+                rule: "net-deadline",
+                line: t.line,
+                message: "TcpStream::connect() dials without a deadline — use \
+                          connect_timeout so a dark peer costs a bounded wait, \
+                          not the kernel's minutes-long SYN retry schedule"
+                    .into(),
+            });
+        }
+        // `.set_read_timeout(None)` / `.set_write_timeout(None)` —
+        // explicitly clearing the deadline makes the socket block forever.
+        if (t.text == "set_read_timeout" || t.text == "set_write_timeout")
+            && i > 0
+            && is(&tokens[i - 1], ".")
+            && i + 2 < tokens.len()
+            && is(&tokens[i + 1], "(")
+            && is(&tokens[i + 2], "None")
+        {
+            out.push(Finding {
+                rule: "net-deadline",
+                line: t.line,
+                message: format!(
+                    ".{}(None) clears the socket deadline — every blocking \
+                     socket in crates/net must keep a timeout so one dark \
+                     peer cannot wedge a thread",
                     t.text
                 ),
             });
@@ -503,6 +557,32 @@ mod tests {
     }
 
     #[test]
+    fn net_deadline_flags_unbounded_socket_calls() {
+        let set = RuleSet {
+            net_deadline: true,
+            ..Default::default()
+        };
+        let f = run("fn f() { let s = TcpStream::connect(addr)?; }", set);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "net-deadline");
+        assert_eq!(
+            run("fn f(s: &TcpStream) { s.set_read_timeout(None)?; }", set).len(),
+            1
+        );
+        assert_eq!(
+            run("fn f(s: &TcpStream) { s.set_write_timeout(None)?; }", set).len(),
+            1
+        );
+        // Deadline-carrying forms are the contract, not violations.
+        assert!(run(
+            "fn f() { let s = TcpStream::connect_timeout(&addr, DIAL)?; \
+             s.set_read_timeout(Some(TICK))?; }",
+            set
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn unseeded_rng_flags_entropy_sources() {
         let set = RuleSet {
             unseeded_rng: true,
@@ -565,7 +645,13 @@ mod tests {
         assert!(sim.wall_clock && sim.unseeded_rng && sim.unordered_iter);
         assert!(!sim.net_unwrap);
         let net = rules_for("crates/net/src/server.rs").unwrap();
-        assert!(net.net_unwrap && net.unordered_iter && !net.wall_clock);
+        assert!(net.net_unwrap && net.net_deadline && net.unordered_iter && !net.wall_clock);
+        // Socket deadlines are a crates/net server contract only.
+        assert!(
+            !rules_for("crates/core/src/runtime.rs")
+                .unwrap()
+                .net_deadline
+        );
         let core = rules_for("crates/core/src/runtime.rs").unwrap();
         assert!(core.unseeded_rng && !core.wall_clock && !core.durability);
         assert!(rules_for("vendor/parking_lot/src/lib.rs").is_none());

@@ -1,0 +1,4 @@
+// Fixture: one net-deadline violation.
+pub fn dial(addr: &std::net::SocketAddr) -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect(addr)
+}

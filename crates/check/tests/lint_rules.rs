@@ -47,6 +47,11 @@ fn each_fixture_trips_exactly_its_rule() {
         ),
         ("net_unwrap.rs", "crates/net/src/fixture.rs", "net-unwrap"),
         (
+            "net_deadline.rs",
+            "crates/net/src/fixture.rs",
+            "net-deadline",
+        ),
+        (
             "durability.rs",
             "crates/core/src/wal_fixture.rs",
             "durability",

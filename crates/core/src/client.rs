@@ -64,6 +64,35 @@ impl<T: RegistryTransport> StrategyClient<T> {
         &self.stats
     }
 
+    /// Run `op`, refreshing the membership plan and retrying when the
+    /// cluster rejects it with [`MetaError::WrongEpoch`]. The refresh
+    /// asks the transport for the current `(epoch, members)` and rebuilds
+    /// the active strategy over them; transports without membership
+    /// epochs (in-process, channels) can't refresh, so the error
+    /// propagates. Bounded: a cluster reconfiguring faster than the
+    /// client can chase eventually surfaces the rejection.
+    fn with_epoch_refresh<R>(
+        &self,
+        mut op: impl FnMut(&Self) -> Result<R, MetaError>,
+    ) -> Result<R, MetaError> {
+        use std::sync::atomic::Ordering;
+        const EPOCH_CHASES: usize = 3;
+        let mut chased = 0;
+        loop {
+            match op(self) {
+                Err(e @ MetaError::WrongEpoch { .. }) if chased < EPOCH_CHASES => {
+                    let Some((_, members)) = self.transport.refresh_membership() else {
+                        return Err(e);
+                    };
+                    self.controller.switch_kind(self.controller.kind(), members);
+                    self.stats.epoch_refreshes.fetch_add(1, Ordering::Relaxed);
+                    chased += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Publish a file's metadata. Returns when every synchronous target has
     /// acknowledged; asynchronous targets are updated lazily.
     pub fn publish(&self, name: &str, size: u64) -> Result<(), MetaError> {
@@ -81,6 +110,10 @@ impl<T: RegistryTransport> StrategyClient<T> {
 
     /// Publish a pre-built entry (callers set provenance etc.).
     pub fn publish_entry(&self, entry: RegistryEntry) -> Result<(), MetaError> {
+        self.with_epoch_refresh(|c| c.publish_entry_once(entry.clone()))
+    }
+
+    fn publish_entry_once(&self, entry: RegistryEntry) -> Result<(), MetaError> {
         use std::sync::atomic::Ordering;
         let strategy = self.controller.strategy();
         // One intern serves placement, every sync write and every lazy push.
@@ -113,7 +146,16 @@ impl<T: RegistryTransport> StrategyClient<T> {
     }
 
     /// Resolve a file's metadata, probing per the active strategy's plan.
+    ///
+    /// An `Unavailable` probe (site down, circuit breaker open) fails
+    /// over to the plan's next probe instead of aborting the read — under
+    /// the replicating strategies another site can still answer. Only
+    /// when every probe misses or fails does the read error.
     pub fn resolve(&self, name: &str) -> Result<RegistryEntry, MetaError> {
+        self.with_epoch_refresh(|c| c.resolve_once(name))
+    }
+
+    fn resolve_once(&self, name: &str) -> Result<RegistryEntry, MetaError> {
         use std::sync::atomic::Ordering;
         let strategy = self.controller.strategy();
         // One intern serves placement and every probe (no per-probe String).
@@ -136,14 +178,28 @@ impl<T: RegistryTransport> StrategyClient<T> {
                 RegistryResponse::Error {
                     error: MetaError::NotFound,
                 } => {
-                    last_err = MetaError::NotFound;
+                    // A NotFound never downgrades an earlier Unavailable:
+                    // with a probe down, "missing" can't be trusted.
+                    if last_err != MetaError::Unavailable {
+                        last_err = MetaError::NotFound;
+                    }
+                    continue;
+                }
+                RegistryResponse::Error {
+                    error: MetaError::Unavailable,
+                } => {
+                    // Failover: a later probe may hold a replica.
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    last_err = MetaError::Unavailable;
                     continue;
                 }
                 RegistryResponse::Error { error } => return Err(error),
                 other => return Err(MetaError::Codec(format!("unexpected response {other:?}"))),
             }
         }
-        self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
+        if last_err == MetaError::NotFound {
+            self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
+        }
         Err(last_err)
     }
 
@@ -177,6 +233,10 @@ impl<T: RegistryTransport> StrategyClient<T> {
 
     /// Remove a file's metadata from every site the write plan touches.
     pub fn unpublish(&self, name: &str) -> Result<(), MetaError> {
+        self.with_epoch_refresh(|c| c.unpublish_once(name))
+    }
+
+    fn unpublish_once(&self, name: &str) -> Result<(), MetaError> {
         let strategy = self.controller.strategy();
         let key = geometa_cache::Key::new(name);
         let plan = strategy.write_plan_key(&key, self.config.site);
@@ -357,6 +417,177 @@ mod tests {
         remote.publish("b", 1).unwrap();
         assert_eq!(local.stats().snapshot().local_writes, 1);
         assert_eq!(remote.stats().snapshot().remote_writes, 1);
+    }
+
+    #[test]
+    fn resolve_fails_over_past_an_unavailable_probe() {
+        use crate::controller::RING_VNODES;
+        use crate::hash::{ConsistentRing, SitePlacer};
+
+        /// Wraps the in-process transport; one site answers `Unavailable`.
+        struct FlakySite {
+            inner: Arc<InProcessTransport>,
+            down: SiteId,
+        }
+        impl RegistryTransport for FlakySite {
+            fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+                if target == self.down {
+                    return RegistryResponse::Error {
+                        error: MetaError::Unavailable,
+                    };
+                }
+                self.inner.call(target, req)
+            }
+            fn cast(&self, target: SiteId, req: RegistryRequest) {
+                self.inner.cast(target, req)
+            }
+            fn now_micros(&self) -> u64 {
+                self.inner.now_micros()
+            }
+            fn sites(&self) -> Vec<SiteId> {
+                self.inner.sites()
+            }
+        }
+
+        let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+        let inner = Arc::new(InProcessTransport::new(&sites, 8));
+        let controller = Arc::new(ArchitectureController::with_kind(
+            StrategyKind::DhtLocalReplica,
+            sites.clone(),
+        ));
+        // A name whose hash owner is NOT the reader's site, so the DR
+        // read plan is [local, owner] with distinct sites.
+        let ring = ConsistentRing::new(sites, RING_VNODES);
+        let reader_site = SiteId(2);
+        let name = (0..)
+            .map(|i| format!("fo{i}"))
+            .find(|n| ring.owner(n) != reader_site)
+            .unwrap();
+        let writer = StrategyClient::new(
+            Arc::clone(&inner),
+            Arc::clone(&controller),
+            ClientConfig {
+                site: ring.owner(&name),
+                node: 0,
+            },
+        );
+        writer.publish(&name, 1).unwrap();
+        // The reader's local probe is down; the read must fail over to
+        // the owner probe instead of erroring out.
+        let reader = StrategyClient::new(
+            Arc::new(FlakySite {
+                inner,
+                down: reader_site,
+            }),
+            controller,
+            ClientConfig {
+                site: reader_site,
+                node: 0,
+            },
+        );
+        let e = reader.resolve(&name).unwrap();
+        assert_eq!(&*e.name, name.as_str());
+        assert_eq!(reader.stats().snapshot().failovers, 1);
+        // A name that exists nowhere now reports Unavailable (a down
+        // probe means "not found" can't be trusted), not NotFound.
+        assert_eq!(reader.resolve("ghost"), Err(MetaError::Unavailable));
+    }
+
+    #[test]
+    fn wrong_epoch_refreshes_the_plan_and_retries() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Rejects everything with `WrongEpoch` until the client asks for
+        /// the current membership, then serves normally.
+        struct EpochGate {
+            inner: Arc<InProcessTransport>,
+            refreshed: AtomicBool,
+        }
+        impl RegistryTransport for EpochGate {
+            fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+                if !self.refreshed.load(Ordering::Acquire) {
+                    return RegistryResponse::Error {
+                        error: MetaError::WrongEpoch { epoch: 1 },
+                    };
+                }
+                self.inner.call(target, req)
+            }
+            fn cast(&self, target: SiteId, req: RegistryRequest) {
+                self.inner.cast(target, req)
+            }
+            fn now_micros(&self) -> u64 {
+                self.inner.now_micros()
+            }
+            fn sites(&self) -> Vec<SiteId> {
+                self.inner.sites()
+            }
+            fn refresh_membership(&self) -> Option<(u64, Vec<SiteId>)> {
+                self.refreshed.store(true, Ordering::Release);
+                Some((1, (0..3).map(SiteId).collect()))
+            }
+        }
+
+        let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+        let inner = Arc::new(InProcessTransport::new(&sites, 8));
+        let controller = Arc::new(ArchitectureController::with_kind(
+            StrategyKind::DhtNonReplicated,
+            sites,
+        ));
+        let client = StrategyClient::new(
+            Arc::new(EpochGate {
+                inner,
+                refreshed: AtomicBool::new(false),
+            }),
+            Arc::clone(&controller),
+            ClientConfig {
+                site: SiteId(0),
+                node: 0,
+            },
+        );
+        client.publish("fresh", 1).unwrap();
+        assert_eq!(client.stats().snapshot().epoch_refreshes, 1);
+        // The refresh rebuilt the strategy over the server's member list.
+        assert_eq!(controller.history().len(), 2);
+        assert_eq!(
+            controller.strategy().kind(),
+            StrategyKind::DhtNonReplicated,
+            "refresh keeps the strategy kind"
+        );
+    }
+
+    #[test]
+    fn wrong_epoch_without_refresh_support_propagates() {
+        struct AlwaysStale;
+        impl RegistryTransport for AlwaysStale {
+            fn call(&self, _target: SiteId, _req: RegistryRequest) -> RegistryResponse {
+                RegistryResponse::Error {
+                    error: MetaError::WrongEpoch { epoch: 7 },
+                }
+            }
+            fn cast(&self, _target: SiteId, _req: RegistryRequest) {}
+            fn now_micros(&self) -> u64 {
+                0
+            }
+            fn sites(&self) -> Vec<SiteId> {
+                vec![SiteId(0)]
+            }
+        }
+        let controller = Arc::new(ArchitectureController::with_kind(
+            StrategyKind::Centralized,
+            vec![SiteId(0)],
+        ));
+        let client = StrategyClient::new(
+            Arc::new(AlwaysStale),
+            controller,
+            ClientConfig {
+                site: SiteId(0),
+                node: 0,
+            },
+        );
+        assert_eq!(
+            client.publish("f", 1),
+            Err(MetaError::WrongEpoch { epoch: 7 })
+        );
     }
 
     #[test]

@@ -66,6 +66,11 @@ impl ArchitectureController {
     }
 }
 
+/// Virtual nodes per site in every canonical consistent ring. The
+/// elastic rebalance planner builds before/after rings with the same
+/// count so its placement agrees with the strategies clients run.
+pub const RING_VNODES: usize = 128;
+
 /// Build the canonical instance of each strategy kind over `sites`.
 pub fn build_strategy(kind: StrategyKind, sites: Vec<SiteId>) -> Arc<dyn MetadataStrategy> {
     assert!(!sites.is_empty(), "strategy needs at least one site");
@@ -76,11 +81,11 @@ pub fn build_strategy(kind: StrategyKind, sites: Vec<SiteId>) -> Arc<dyn Metadat
             Arc::new(Replicated::new(sites, agent))
         }
         StrategyKind::DhtNonReplicated => {
-            let placer: Arc<dyn SitePlacer> = Arc::new(ConsistentRing::new(sites, 128));
+            let placer: Arc<dyn SitePlacer> = Arc::new(ConsistentRing::new(sites, RING_VNODES));
             Arc::new(DhtNonReplicated::new(placer))
         }
         StrategyKind::DhtLocalReplica => {
-            let placer: Arc<dyn SitePlacer> = Arc::new(ConsistentRing::new(sites, 128));
+            let placer: Arc<dyn SitePlacer> = Arc::new(ConsistentRing::new(sites, RING_VNODES));
             Arc::new(DhtLocalReplica::new(placer))
         }
     }

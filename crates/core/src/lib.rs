@@ -88,6 +88,13 @@ pub enum MetaError {
     Unavailable,
     /// Optimistic concurrency conflict that exhausted its retry budget.
     Contention,
+    /// The request was routed with a placement plan from a retired
+    /// membership epoch. Carries the server's current epoch so the client
+    /// knows it must refresh its member list before retrying.
+    WrongEpoch {
+        /// The server's current membership epoch.
+        epoch: u64,
+    },
     /// Malformed wire payload.
     Codec(String),
 }
@@ -98,6 +105,9 @@ impl std::fmt::Display for MetaError {
             MetaError::NotFound => write!(f, "metadata entry not found"),
             MetaError::Unavailable => write!(f, "registry instance unavailable"),
             MetaError::Contention => write!(f, "optimistic concurrency retry budget exhausted"),
+            MetaError::WrongEpoch { epoch } => {
+                write!(f, "stale membership plan (server is at epoch {epoch})")
+            }
             MetaError::Codec(m) => write!(f, "codec error: {m}"),
         }
     }

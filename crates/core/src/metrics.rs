@@ -23,6 +23,10 @@ pub struct OpStats {
     pub async_pushes: AtomicU64,
     /// Read retries performed (replicated strategy waiting for sync).
     pub retries: AtomicU64,
+    /// Read probes that failed over past an unavailable site.
+    pub failovers: AtomicU64,
+    /// Operations retried after refreshing a stale membership plan.
+    pub epoch_refreshes: AtomicU64,
 }
 
 /// Plain-data snapshot of [`OpStats`].
@@ -42,6 +46,10 @@ pub struct OpStatsSnapshot {
     pub async_pushes: u64,
     /// Read retries performed.
     pub retries: u64,
+    /// Read probes that failed over past an unavailable site.
+    pub failovers: u64,
+    /// Operations retried after refreshing a stale membership plan.
+    pub epoch_refreshes: u64,
 }
 
 impl OpStats {
@@ -55,6 +63,8 @@ impl OpStats {
             remote_writes: self.remote_writes.load(Ordering::Relaxed),
             async_pushes: self.async_pushes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            epoch_refreshes: self.epoch_refreshes.load(Ordering::Relaxed),
         }
     }
 }

@@ -9,6 +9,7 @@ use crate::entry::RegistryEntry;
 use crate::MetaError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use geometa_cache::Key;
+use geometa_sim::topology::SiteId;
 
 /// Fixed per-message framing overhead (headers, request ids) charged by the
 /// network model on top of the payload.
@@ -39,6 +40,54 @@ pub enum RegistryRequest {
     Remove { key: Key },
     /// Sync agent: give me everything modified after `since`.
     DeltaPull { since: u64 },
+    /// Ops: report the serving site's health (epoch, WAL position,
+    /// connection count). Never epoch-checked — a client with a stale
+    /// plan must still be able to ask where the cluster is.
+    Status,
+    /// Ops: change cluster membership. The serving site coordinates the
+    /// rebalance transfer and epoch bump; `Ack` means *accepted*, not
+    /// *finished* — poll [`RegistryRequest::Status`] for the epoch flip.
+    Reconfigure {
+        /// What to do with `site`.
+        op: ReconfigureOp,
+        /// The site joining, leaving or draining.
+        site: SiteId,
+    },
+}
+
+/// A membership change verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconfigureOp {
+    /// Add the site to the member set (pulls ~1/n of the keys to it).
+    Join,
+    /// Evacuate the site's keys, then remove it from the member set.
+    Leave,
+    /// Copy the site's keys to their post-leave owners *without* changing
+    /// membership — a warm-up that makes a later `Leave` near-instant.
+    Drain,
+}
+
+/// One site's health snapshot, served for [`RegistryRequest::Status`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteStatus {
+    /// The site that answered.
+    pub site: SiteId,
+    /// Current membership epoch.
+    pub epoch: u64,
+    /// Current member sites, sorted by id.
+    pub members: Vec<SiteId>,
+    /// Highest WAL sequence number assigned at this site (0 when the WAL
+    /// is disabled or empty).
+    pub wal_seq: u64,
+    /// Entries currently held by this site's registry.
+    pub entries: u64,
+    /// Open server-side connections at this site (0 for transports that
+    /// have no connections, e.g. in-process).
+    pub conns: u32,
+    /// Whether a rebalance transfer is currently in flight.
+    pub rebalancing: bool,
+    /// Entries moved by the most recently completed rebalance.
+    pub last_moved: u64,
 }
 
 impl RegistryRequest {
@@ -52,6 +101,8 @@ impl RegistryRequest {
             }
             RegistryRequest::Remove { key } => key.len(),
             RegistryRequest::DeltaPull { .. } => 8,
+            RegistryRequest::Status => 1,
+            RegistryRequest::Reconfigure { .. } => 3,
         };
         (FRAME_OVERHEAD + payload) as u64
     }
@@ -76,6 +127,8 @@ pub enum RegistryResponse {
     Ack,
     /// Delta pull result.
     Delta { entries: Vec<RegistryEntry> },
+    /// Health snapshot for a [`RegistryRequest::Status`].
+    Status { status: SiteStatus },
     /// Operation failed.
     Error { error: MetaError },
 }
@@ -89,6 +142,7 @@ impl RegistryResponse {
             RegistryResponse::Delta { entries } => {
                 entries.iter().map(|e| e.encoded_len()).sum::<usize>()
             }
+            RegistryResponse::Status { status } => 40 + 2 * status.members.len(),
             RegistryResponse::Error { .. } => 16,
         };
         (FRAME_OVERHEAD + payload) as u64
@@ -109,6 +163,15 @@ impl RegistryResponse {
             RegistryResponse::Ack => Ok(()),
             RegistryResponse::Error { error } => Err(error),
             other => Err(MetaError::Codec(format!("expected Ack, got {other:?}"))),
+        }
+    }
+
+    /// Unwrap a status snapshot.
+    pub fn into_status(self) -> Result<SiteStatus, MetaError> {
+        match self {
+            RegistryResponse::Status { status } => Ok(status),
+            RegistryResponse::Error { error } => Err(error),
+            other => Err(MetaError::Codec(format!("expected Status, got {other:?}"))),
         }
     }
 }
@@ -134,16 +197,24 @@ mod tag {
     pub const REQ_ABSORB: u8 = 3;
     pub const REQ_REMOVE: u8 = 4;
     pub const REQ_DELTA_PULL: u8 = 5;
+    pub const REQ_STATUS: u8 = 6;
+    pub const REQ_RECONFIGURE: u8 = 7;
 
     pub const RESP_FOUND: u8 = 1;
     pub const RESP_ACK: u8 = 2;
     pub const RESP_DELTA: u8 = 3;
     pub const RESP_ERROR: u8 = 4;
+    pub const RESP_STATUS: u8 = 5;
 
     pub const ERR_NOT_FOUND: u8 = 1;
     pub const ERR_UNAVAILABLE: u8 = 2;
     pub const ERR_CONTENTION: u8 = 3;
     pub const ERR_CODEC: u8 = 4;
+    pub const ERR_WRONG_EPOCH: u8 = 5;
+
+    pub const OP_JOIN: u8 = 1;
+    pub const OP_LEAVE: u8 = 2;
+    pub const OP_DRAIN: u8 = 3;
 }
 
 fn put_prefixed(buf: &mut BytesMut, bytes: &[u8]) {
@@ -212,6 +283,24 @@ fn entries_encoded_len(entries: &[RegistryEntry]) -> usize {
     4 + entries.iter().map(|e| 4 + e.encoded_len()).sum::<usize>()
 }
 
+fn put_sites(buf: &mut BytesMut, sites: &[SiteId]) {
+    buf.put_u16_le(sites.len() as u16);
+    for s in sites {
+        buf.put_u16_le(s.0);
+    }
+}
+
+fn get_sites(buf: &mut Bytes) -> Result<Vec<SiteId>, MetaError> {
+    if buf.remaining() < 2 {
+        return Err(MetaError::Codec("truncated site count".into()));
+    }
+    let n = buf.get_u16_le() as usize;
+    if buf.remaining() < n * 2 {
+        return Err(MetaError::Codec("truncated site list".into()));
+    }
+    Ok((0..n).map(|_| SiteId(buf.get_u16_le())).collect())
+}
+
 fn finish(buf: Bytes) -> Result<(), MetaError> {
     if buf.has_remaining() {
         Err(MetaError::Codec(format!(
@@ -249,6 +338,16 @@ impl RegistryRequest {
                 buf.put_u8(tag::REQ_DELTA_PULL);
                 buf.put_u64_le(*since);
             }
+            RegistryRequest::Status => buf.put_u8(tag::REQ_STATUS),
+            RegistryRequest::Reconfigure { op, site } => {
+                buf.put_u8(tag::REQ_RECONFIGURE);
+                buf.put_u8(match op {
+                    ReconfigureOp::Join => tag::OP_JOIN,
+                    ReconfigureOp::Leave => tag::OP_LEAVE,
+                    ReconfigureOp::Drain => tag::OP_DRAIN,
+                });
+                buf.put_u16_le(site.0);
+            }
         }
         buf.freeze()
     }
@@ -280,6 +379,22 @@ impl RegistryRequest {
                     since: buf.get_u64_le(),
                 }
             }
+            tag::REQ_STATUS => RegistryRequest::Status,
+            tag::REQ_RECONFIGURE => {
+                if buf.remaining() < 3 {
+                    return Err(MetaError::Codec("truncated reconfigure".into()));
+                }
+                let op = match buf.get_u8() {
+                    tag::OP_JOIN => ReconfigureOp::Join,
+                    tag::OP_LEAVE => ReconfigureOp::Leave,
+                    tag::OP_DRAIN => ReconfigureOp::Drain,
+                    other => return Err(MetaError::Codec(format!("bad reconfigure op {other}"))),
+                };
+                RegistryRequest::Reconfigure {
+                    op,
+                    site: SiteId(buf.get_u16_le()),
+                }
+            }
             other => return Err(MetaError::Codec(format!("bad request tag {other}"))),
         };
         finish(buf)?;
@@ -294,6 +409,8 @@ impl RegistryRequest {
             RegistryRequest::Put { entry } => 4 + entry.encoded_len(),
             RegistryRequest::Absorb { entries } => entries_encoded_len(entries),
             RegistryRequest::DeltaPull { .. } => 8,
+            RegistryRequest::Status => 0,
+            RegistryRequest::Reconfigure { .. } => 3,
         }
     }
 }
@@ -313,12 +430,27 @@ impl RegistryResponse {
                 buf.put_u8(tag::RESP_DELTA);
                 put_entries(&mut buf, entries);
             }
+            RegistryResponse::Status { status } => {
+                buf.put_u8(tag::RESP_STATUS);
+                buf.put_u16_le(status.site.0);
+                buf.put_u64_le(status.epoch);
+                put_sites(&mut buf, &status.members);
+                buf.put_u64_le(status.wal_seq);
+                buf.put_u64_le(status.entries);
+                buf.put_u32_le(status.conns);
+                buf.put_u8(status.rebalancing as u8);
+                buf.put_u64_le(status.last_moved);
+            }
             RegistryResponse::Error { error } => {
                 buf.put_u8(tag::RESP_ERROR);
                 match error {
                     MetaError::NotFound => buf.put_u8(tag::ERR_NOT_FOUND),
                     MetaError::Unavailable => buf.put_u8(tag::ERR_UNAVAILABLE),
                     MetaError::Contention => buf.put_u8(tag::ERR_CONTENTION),
+                    MetaError::WrongEpoch { epoch } => {
+                        buf.put_u8(tag::ERR_WRONG_EPOCH);
+                        buf.put_u64_le(*epoch);
+                    }
                     MetaError::Codec(msg) => {
                         buf.put_u8(tag::ERR_CODEC);
                         put_prefixed(&mut buf, msg.as_bytes());
@@ -342,6 +474,29 @@ impl RegistryResponse {
             tag::RESP_DELTA => RegistryResponse::Delta {
                 entries: get_entries(&mut buf)?,
             },
+            tag::RESP_STATUS => {
+                if buf.remaining() < 10 {
+                    return Err(MetaError::Codec("truncated status head".into()));
+                }
+                let site = SiteId(buf.get_u16_le());
+                let epoch = buf.get_u64_le();
+                let members = get_sites(&mut buf)?;
+                if buf.remaining() < 8 + 8 + 4 + 1 + 8 {
+                    return Err(MetaError::Codec("truncated status body".into()));
+                }
+                RegistryResponse::Status {
+                    status: SiteStatus {
+                        site,
+                        epoch,
+                        members,
+                        wal_seq: buf.get_u64_le(),
+                        entries: buf.get_u64_le(),
+                        conns: buf.get_u32_le(),
+                        rebalancing: buf.get_u8() != 0,
+                        last_moved: buf.get_u64_le(),
+                    },
+                }
+            }
             tag::RESP_ERROR => {
                 if !buf.has_remaining() {
                     return Err(MetaError::Codec("truncated error tag".into()));
@@ -350,6 +505,14 @@ impl RegistryResponse {
                     tag::ERR_NOT_FOUND => MetaError::NotFound,
                     tag::ERR_UNAVAILABLE => MetaError::Unavailable,
                     tag::ERR_CONTENTION => MetaError::Contention,
+                    tag::ERR_WRONG_EPOCH => {
+                        if buf.remaining() < 8 {
+                            return Err(MetaError::Codec("truncated epoch".into()));
+                        }
+                        MetaError::WrongEpoch {
+                            epoch: buf.get_u64_le(),
+                        }
+                    }
                     tag::ERR_CODEC => {
                         let raw = get_prefixed(&mut buf)?;
                         let msg = std::str::from_utf8(&raw)
@@ -372,8 +535,12 @@ impl RegistryResponse {
             RegistryResponse::Found { entry } => 4 + entry.encoded_len(),
             RegistryResponse::Ack => 0,
             RegistryResponse::Delta { entries } => entries_encoded_len(entries),
+            RegistryResponse::Status { status } => {
+                2 + 8 + 2 + 2 * status.members.len() + 8 + 8 + 4 + 1 + 8
+            }
             RegistryResponse::Error { error } => match error {
                 MetaError::Codec(msg) => 1 + 4 + msg.len(),
+                MetaError::WrongEpoch { .. } => 1 + 8,
                 _ => 1,
             },
         }
@@ -457,6 +624,19 @@ mod tests {
             },
             RegistryRequest::Remove { key: "gone".into() },
             RegistryRequest::DeltaPull { since: u64::MAX },
+            RegistryRequest::Status,
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Join,
+                site: SiteId(4),
+            },
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Leave,
+                site: SiteId(1),
+            },
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Drain,
+                site: SiteId(0),
+            },
         ]
     }
 
@@ -478,7 +658,34 @@ mod tests {
                 error: MetaError::Contention,
             },
             RegistryResponse::Error {
+                error: MetaError::WrongEpoch { epoch: 7 },
+            },
+            RegistryResponse::Error {
                 error: MetaError::Codec("bad frame".into()),
+            },
+            RegistryResponse::Status {
+                status: SiteStatus {
+                    site: SiteId(2),
+                    epoch: 9,
+                    members: vec![SiteId(0), SiteId(2), SiteId(3)],
+                    wal_seq: 1234,
+                    entries: 56,
+                    conns: 3,
+                    rebalancing: true,
+                    last_moved: 78,
+                },
+            },
+            RegistryResponse::Status {
+                status: SiteStatus {
+                    site: SiteId(0),
+                    epoch: 0,
+                    members: vec![],
+                    wal_seq: 0,
+                    entries: 0,
+                    conns: 0,
+                    rebalancing: false,
+                    last_moved: 0,
+                },
             },
         ]
     }

@@ -30,8 +30,11 @@
 //! comparable to simulated ones.
 
 use crate::client::{ClientConfig, StrategyClient};
-use crate::controller::ArchitectureController;
-use crate::protocol::{RegistryRequest, RegistryResponse};
+use crate::controller::{ArchitectureController, RING_VNODES};
+use crate::entry::RegistryEntry;
+use crate::hash::{ConsistentRing, SitePlacer};
+use crate::protocol::{ReconfigureOp, RegistryRequest, RegistryResponse, SiteStatus};
+use crate::rebalance::plan_rebalance;
 use crate::registry::RegistryInstance;
 use crate::strategy::StrategyKind;
 use crate::sync_agent::SyncAgentState;
@@ -41,10 +44,10 @@ use crate::MetaError;
 use geometa_sim::rng::SplitMix64;
 use geometa_sim::topology::{SiteId, Topology};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -82,6 +85,14 @@ pub struct RuntimeConfig {
     pub wal: WalConfig,
     /// Appends between snapshot + log-truncation cycles.
     pub snapshot_every: u64,
+    /// Initial member sites (placement targets). `None` means every
+    /// topology site. A subset leaves the excluded sites' registries and
+    /// serving loops running but out of the placement plan — they join
+    /// later through [`ServiceCore::serve`]-level `Reconfigure`.
+    pub members: Option<Vec<SiteId>>,
+    /// Pause between rebalance transfer chunks, throttling background
+    /// migration against foreground traffic.
+    pub rebalance_throttle: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -93,6 +104,8 @@ impl Default for RuntimeConfig {
             sync_interval: Duration::from_millis(5),
             wal: WalConfig::Memory,
             snapshot_every: 4096,
+            members: None,
+            rebalance_throttle: Duration::from_micros(500),
         }
     }
 }
@@ -246,6 +259,24 @@ pub struct ServiceCore {
     delay: Arc<DelayLine>,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
+    membership: Mutex<MembershipState>,
+    conn_counts: HashMap<SiteId, AtomicU32>,
+    rebalance_throttle: Duration,
+    background: Mutex<Vec<JoinHandle<()>>>,
+    me: Weak<ServiceCore>,
+}
+
+/// Versioned member set plus rebalance bookkeeping, guarded by one lock.
+struct MembershipState {
+    /// Bumped on every applied join/leave; clients carrying an older
+    /// epoch are rejected with [`MetaError::WrongEpoch`] by the net layer.
+    epoch: u64,
+    /// Current placement targets, sorted by id.
+    members: Vec<SiteId>,
+    /// A reconfigure transfer is in flight (concurrent ones are refused).
+    rebalancing: bool,
+    /// Entries moved by the most recently completed reconfigure.
+    last_moved: u64,
 }
 
 impl ServiceCore {
@@ -290,17 +321,45 @@ impl ServiceCore {
                 }
             }
         }
-        Ok(Arc::new(ServiceCore {
+        let mut members = match &config.members {
+            None => sites.clone(),
+            Some(m) => {
+                assert!(
+                    m.iter().all(|s| registries.contains_key(s)),
+                    "initial members must be topology sites"
+                );
+                m.clone()
+            }
+        };
+        members.sort();
+        members.dedup();
+        assert!(!members.is_empty(), "need at least one member site");
+        let conn_counts = sites.iter().map(|&s| (s, AtomicU32::new(0))).collect();
+        let controller = Arc::new(ArchitectureController::with_kind(
+            config.kind,
+            members.clone(),
+        ));
+        Ok(Arc::new_cyclic(|me| ServiceCore {
             topology,
             registries,
             wals,
             snapshot_every: config.snapshot_every.max(1),
             recovery,
-            controller: Arc::new(ArchitectureController::with_kind(config.kind, sites)),
+            controller,
             sync_stats: Arc::new(SyncAgentStats::default()),
             delay: DelayLine::new(),
             epoch: Instant::now(),
             shutdown: Arc::new(AtomicBool::new(false)),
+            membership: Mutex::new(MembershipState {
+                epoch: 0,
+                members,
+                rebalancing: false,
+                last_moved: 0,
+            }),
+            conn_counts,
+            rebalance_throttle: config.rebalance_throttle,
+            background: Mutex::new(Vec::new()),
+            me: me.clone(),
         }))
     }
 
@@ -345,6 +404,15 @@ impl ServiceCore {
     /// `Unavailable` — the write may exist in memory, but the durability
     /// contract ("acked ⇒ recoverable") is never weakened silently.
     pub fn serve(&self, site: SiteId, req: RegistryRequest) -> RegistryResponse {
+        // Ops requests are answered by the runtime itself: membership and
+        // WALs live here, not in the registry.
+        match req {
+            RegistryRequest::Status => return self.status_response(site),
+            RegistryRequest::Reconfigure { op, site: target } => {
+                return self.start_reconfigure(op, target)
+            }
+            _ => {}
+        }
         let Some(r) = self.registries.get(&site) else {
             return RegistryResponse::Error {
                 error: MetaError::Unavailable,
@@ -464,6 +532,213 @@ impl ServiceCore {
             None => false,
         }
     }
+
+    /// Current membership `(epoch, members)`.
+    pub fn membership(&self) -> (u64, Vec<SiteId>) {
+        let m = self.membership.lock();
+        (m.epoch, m.members.clone())
+    }
+
+    /// Current membership epoch (what net frames are checked against).
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership.lock().epoch
+    }
+
+    /// Connection accounting: the net layer's reactor reports every
+    /// accepted connection here so `Status` can surface it.
+    pub fn conn_opened(&self, site: SiteId) {
+        if let Some(c) = self.conn_counts.get(&site) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// See [`Self::conn_opened`].
+    pub fn conn_closed(&self, site: SiteId) {
+        if let Some(c) = self.conn_counts.get(&site) {
+            c.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Answer a `Status` request for `site`.
+    fn status_response(&self, site: SiteId) -> RegistryResponse {
+        let (epoch, members, rebalancing, last_moved) = {
+            let m = self.membership.lock();
+            (m.epoch, m.members.clone(), m.rebalancing, m.last_moved)
+        };
+        RegistryResponse::Status {
+            status: SiteStatus {
+                site,
+                epoch,
+                members,
+                wal_seq: self.wals.get(&site).map_or(0, |w| w.next_seq()),
+                entries: self.registries.get(&site).map_or(0, |r| r.len() as u64),
+                conns: self
+                    .conn_counts
+                    .get(&site)
+                    .map_or(0, |c| c.load(Ordering::Relaxed)),
+                rebalancing,
+                last_moved,
+            },
+        }
+    }
+
+    /// Validate and launch a membership change. `Ack` means *accepted*:
+    /// the transfer runs on a background thread (joined at shutdown);
+    /// callers poll `Status` for the epoch flip. A second `Reconfigure`
+    /// while one is in flight is refused with `Contention`; an invalid
+    /// target (unknown site, join of a member, leave of a non-member or
+    /// of the last member) with `Unavailable`.
+    fn start_reconfigure(&self, op: ReconfigureOp, target: SiteId) -> RegistryResponse {
+        let refuse = |error| RegistryResponse::Error { error };
+        let new_members = {
+            let mut m = self.membership.lock();
+            if m.rebalancing {
+                return refuse(MetaError::Contention);
+            }
+            let next = match op {
+                ReconfigureOp::Join => {
+                    if !self.registries.contains_key(&target) || m.members.contains(&target) {
+                        return refuse(MetaError::Unavailable);
+                    }
+                    let mut n = m.members.clone();
+                    n.push(target);
+                    n.sort();
+                    n
+                }
+                ReconfigureOp::Leave | ReconfigureOp::Drain => {
+                    if !m.members.contains(&target) || m.members.len() <= 1 {
+                        return refuse(MetaError::Unavailable);
+                    }
+                    m.members.iter().copied().filter(|&s| s != target).collect()
+                }
+            };
+            m.rebalancing = true;
+            next
+        };
+        let Some(core) = self.me.upgrade() else {
+            // Only reachable while the core is being torn down.
+            self.membership.lock().rebalancing = false;
+            return refuse(MetaError::Unavailable);
+        };
+        let handle =
+            // geometa-lint: allow(untracked-thread) tracked through ServiceCore::background; ServiceRuntime::shutdown joins these after the serving threads
+            std::thread::Builder::new()
+                .name(format!("reconfigure-{}", target.0))
+                .spawn(move || core.run_reconfigure(op, new_members))
+                .expect("spawn reconfigure thread");
+        self.background.lock().push(handle);
+        RegistryResponse::Ack
+    }
+
+    /// Drive one membership change end to end (background thread).
+    ///
+    /// Two-pass transfer: pass 1 copies every entry whose owner changes
+    /// to its new site while the *old* epoch keeps serving writes; then
+    /// the epoch, member list and strategy flip atomically (stale clients
+    /// start bouncing with [`MetaError::WrongEpoch`]); pass 2 re-plans
+    /// and moves the stragglers written to old owners during pass 1.
+    /// `Drain` is pass 1 without the flip — a copy-ahead warm-up that
+    /// makes the later `Leave` near-instant.
+    fn run_reconfigure(&self, op: ReconfigureOp, new_members: Vec<SiteId>) {
+        let old_members = self.membership.lock().members.clone();
+        let kind = self.controller.kind();
+        let before = rebalance_placer(kind, &old_members);
+        let after = rebalance_placer(kind, &new_members);
+        let mut moved = self.transfer(&*before, &*after);
+        if op != ReconfigureOp::Drain {
+            {
+                let mut m = self.membership.lock();
+                m.epoch += 1;
+                m.members = new_members.clone();
+            }
+            self.controller.switch_kind(kind, new_members);
+            moved += self.transfer(&*before, &*after);
+        }
+        let mut m = self.membership.lock();
+        m.last_moved = moved;
+        m.rebalancing = false;
+    }
+
+    /// Copy every entry whose owner changed between two placements to its
+    /// new site, through [`Self::serve`] so the target's WAL covers the
+    /// migrated entries. Chunked like the sync agent's pushes and paused
+    /// between chunks so foreground traffic keeps its shard locks.
+    /// Returns the number of entries successfully moved; a failed chunk
+    /// is skipped (the next pass or a re-issued reconfigure re-plans it —
+    /// absorb is idempotent).
+    fn transfer(&self, before: &dyn SitePlacer, after: &dyn SitePlacer) -> u64 {
+        // The planner sees the old copies pass 1 left in place (absorb
+        // never deletes), so re-planning would re-copy the whole set.
+        // Skipping entries the target already holds at least as new keeps
+        // pass 2 down to the stragglers — and keeps the total movement at
+        // the placement bound, which the elasticity tests assert.
+        let moves = plan_rebalance(before, after, &self.registries);
+        let mut by_target: BTreeMap<SiteId, Vec<RegistryEntry>> = BTreeMap::new();
+        for m in moves {
+            let delivered = self
+                .registries
+                .get(&m.to)
+                .and_then(|r| r.get(&m.entry.name).ok())
+                .is_some_and(|held| held.created_at >= m.entry.created_at);
+            if !delivered {
+                by_target.entry(m.to).or_default().push(m.entry);
+            }
+        }
+        let mut moved = 0u64;
+        for (to, entries) in by_target {
+            for chunk in entries.chunks(SYNC_PUSH_CHUNK) {
+                if self.is_shutdown() {
+                    return moved;
+                }
+                let resp = self.serve(
+                    to,
+                    RegistryRequest::Absorb {
+                        entries: chunk.to_vec(),
+                    },
+                );
+                if resp.into_ack().is_ok() {
+                    moved += chunk.len() as u64;
+                }
+                std::thread::sleep(self.rebalance_throttle);
+            }
+        }
+        moved
+    }
+}
+
+/// The placement a membership change re-plans against, per strategy kind:
+/// the DHT strategies place by consistent ring (same vnode count as
+/// [`build_strategy`](crate::controller::build_strategy), so the planner
+/// agrees with what clients will compute); centralized and replicated
+/// keep every authoritative copy at the first member.
+fn rebalance_placer(kind: StrategyKind, members: &[SiteId]) -> Box<dyn SitePlacer> {
+    match kind {
+        StrategyKind::Centralized | StrategyKind::Replicated => Box::new(HomePlacer {
+            home: members[0],
+            members: members.to_vec(),
+        }),
+        StrategyKind::DhtNonReplicated | StrategyKind::DhtLocalReplica => {
+            Box::new(ConsistentRing::new(members.to_vec(), RING_VNODES))
+        }
+    }
+}
+
+/// Everything lives at one home site — the centralized/replicated
+/// authoritative placement, shaped as a [`SitePlacer`] so the rebalance
+/// planner can diff it.
+struct HomePlacer {
+    home: SiteId,
+    members: Vec<SiteId>,
+}
+
+impl SitePlacer for HomePlacer {
+    fn owner(&self, _key: &str) -> SiteId {
+        self.home
+    }
+
+    fn sites(&self) -> Vec<SiteId> {
+        self.members.clone()
+    }
 }
 
 /// Tracked thread spawning: every thread a layer starts is joined by
@@ -559,7 +834,11 @@ impl<L: ConnectionLayer> ServiceRuntime<L> {
     }
 
     fn spawn_sync_agent(&mut self) {
-        let sites: Vec<SiteId> = self.core.topology.site_ids().collect();
+        // The agent replicates across the *boot-time* members. Elastic
+        // joins under the replicated strategy get metadata through the
+        // rebalance transfer; continuous agent coverage of late joiners
+        // is future work (the agent's site list is fixed at spawn).
+        let (_, sites) = self.core.membership();
         let agent_site = sites[0];
         let transport = self.layer.transport(&self.core, agent_site);
         let shutdown = Arc::clone(&self.core.shutdown);
@@ -627,6 +906,11 @@ impl<L: ConnectionLayer> ServiceRuntime<L> {
         self.layer.unblock();
         let joined = self.threads.len();
         for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Reconfigure transfers abort at the next chunk (they poll the
+        // shutdown flag) — join them before the WALs close underneath.
+        for t in self.core.background.lock().drain(..) {
             let _ = t.join();
         }
         // After every serving thread is gone: flush and stop the WALs
@@ -784,7 +1068,252 @@ pub fn drive_sync_agent<T: RegistryTransport>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::FileLocation;
     use crossbeam::channel::unbounded;
+
+    fn put_all(core: &Arc<ServiceCore>, ring: &ConsistentRing, n: usize) {
+        for i in 0..n {
+            let name = format!("f{i}");
+            let owner = ring.owner(&name);
+            let entry = RegistryEntry::new(
+                &name,
+                1,
+                FileLocation {
+                    site: owner,
+                    node: 0,
+                },
+                i as u64 + 1,
+            );
+            core.serve(owner, RegistryRequest::Put { entry })
+                .into_ack()
+                .unwrap();
+        }
+    }
+
+    /// Block until no transfer is in flight and the epoch reads `epoch`.
+    fn wait_settled(core: &Arc<ServiceCore>, epoch: u64) {
+        for _ in 0..5000 {
+            {
+                let m = core.membership.lock();
+                if !m.rebalancing && m.epoch == epoch {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("reconfigure did not settle at epoch {epoch}");
+    }
+
+    fn elastic_config(members: &[u16]) -> RuntimeConfig {
+        RuntimeConfig {
+            kind: StrategyKind::DhtNonReplicated,
+            members: Some(members.iter().map(|&s| SiteId(s)).collect()),
+            rebalance_throttle: Duration::ZERO,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn join_rebalances_bounded_and_bumps_epoch() {
+        let core = ServiceCore::new(&elastic_config(&[0, 1, 2])).unwrap();
+        let old_ring = ConsistentRing::new((0..3).map(SiteId).collect(), RING_VNODES);
+        let n = 1_000;
+        put_all(&core, &old_ring, n);
+        core.serve(
+            SiteId(0),
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Join,
+                site: SiteId(3),
+            },
+        )
+        .into_ack()
+        .unwrap();
+        wait_settled(&core, 1);
+        let (epoch, members) = core.membership();
+        assert_eq!(epoch, 1);
+        assert_eq!(members, (0..4).map(SiteId).collect::<Vec<_>>());
+        // Every key is resolvable at its new owner, and only ~1/n of the
+        // keys moved (the consistent-ring bound, with slack).
+        let new_ring = ConsistentRing::new(members, RING_VNODES);
+        for i in 0..n {
+            let name = format!("f{i}");
+            let owner = new_ring.owner(&name);
+            assert!(
+                core.registry(owner).unwrap().get(&name).is_ok(),
+                "{name} missing at post-join owner {owner}"
+            );
+        }
+        let moved = core.membership.lock().last_moved;
+        assert!(moved > 0, "a join must pull keys to the new site");
+        let frac = moved as f64 / n as f64;
+        assert!(frac < 0.45, "join moved {frac} of the keys (bound ~0.25)");
+        match core.serve(SiteId(3), RegistryRequest::Status) {
+            RegistryResponse::Status { status } => {
+                assert_eq!(status.epoch, 1);
+                assert_eq!(status.members.len(), 4);
+                assert!(!status.rebalancing);
+                assert_eq!(status.last_moved, moved);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        for t in core.background.lock().drain(..) {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn drain_copies_ahead_then_leave_flips() {
+        let core = ServiceCore::new(&elastic_config(&[0, 1, 2, 3])).unwrap();
+        let ring = ConsistentRing::new((0..4).map(SiteId).collect(), RING_VNODES);
+        let n = 600;
+        put_all(&core, &ring, n);
+        // Drain: keys copied to their post-leave owners, nothing flips.
+        core.serve(
+            SiteId(0),
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Drain,
+                site: SiteId(2),
+            },
+        )
+        .into_ack()
+        .unwrap();
+        wait_settled(&core, 0);
+        let (epoch, members) = core.membership();
+        assert_eq!(epoch, 0, "drain must not bump the epoch");
+        assert_eq!(members.len(), 4, "drain must not change membership");
+        let drained = core.membership.lock().last_moved;
+        assert!(drained > 0, "drain copies the departing site's keys");
+        // Leave: epoch flips; every key lives at a surviving owner. The
+        // second transfer re-plans, so the drain made it near-empty.
+        core.serve(
+            SiteId(0),
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Leave,
+                site: SiteId(2),
+            },
+        )
+        .into_ack()
+        .unwrap();
+        wait_settled(&core, 1);
+        let (epoch, members) = core.membership();
+        assert_eq!(epoch, 1);
+        assert_eq!(members, vec![SiteId(0), SiteId(1), SiteId(3)]);
+        let shrunk = ConsistentRing::new(members, RING_VNODES);
+        for i in 0..n {
+            let name = format!("f{i}");
+            let owner = shrunk.owner(&name);
+            assert_ne!(owner, SiteId(2));
+            assert!(
+                core.registry(owner).unwrap().get(&name).is_ok(),
+                "{name} missing at post-leave owner {owner}"
+            );
+        }
+        assert!(
+            !core
+                .controller()
+                .strategy()
+                .read_plan("f0", SiteId(0))
+                .probes
+                .is_empty(),
+            "controller still serves plans after the switch"
+        );
+        for t in core.background.lock().drain(..) {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reconfigure_validates_targets() {
+        let core = ServiceCore::new(&elastic_config(&[0, 1])).unwrap();
+        let refuse =
+            |op, site| match core.serve(SiteId(0), RegistryRequest::Reconfigure { op, site }) {
+                RegistryResponse::Error { error } => error,
+                other => panic!("expected refusal, got {other:?}"),
+            };
+        // Join of a current member / of a site outside the topology.
+        assert_eq!(
+            refuse(ReconfigureOp::Join, SiteId(1)),
+            MetaError::Unavailable
+        );
+        assert_eq!(
+            refuse(ReconfigureOp::Join, SiteId(9)),
+            MetaError::Unavailable
+        );
+        // Leave/drain of a non-member.
+        assert_eq!(
+            refuse(ReconfigureOp::Leave, SiteId(3)),
+            MetaError::Unavailable
+        );
+        assert_eq!(
+            refuse(ReconfigureOp::Drain, SiteId(3)),
+            MetaError::Unavailable
+        );
+        // A transfer in flight refuses concurrent reconfigures.
+        core.membership.lock().rebalancing = true;
+        assert_eq!(
+            refuse(ReconfigureOp::Join, SiteId(2)),
+            MetaError::Contention
+        );
+        core.membership.lock().rebalancing = false;
+        // The last member cannot leave.
+        let solo = ServiceCore::new(&elastic_config(&[0])).unwrap();
+        match solo.serve(
+            SiteId(0),
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Leave,
+                site: SiteId(0),
+            },
+        ) {
+            RegistryResponse::Error { error } => assert_eq!(error, MetaError::Unavailable),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn centralized_leave_rehomes_everything() {
+        let mut config = elastic_config(&[0, 1, 2]);
+        config.kind = StrategyKind::Centralized;
+        let core = ServiceCore::new(&config).unwrap();
+        for i in 0..50 {
+            let name = format!("c{i}");
+            let entry = RegistryEntry::new(
+                &name,
+                1,
+                FileLocation {
+                    site: SiteId(0),
+                    node: 0,
+                },
+                i + 1,
+            );
+            core.serve(SiteId(0), RegistryRequest::Put { entry })
+                .into_ack()
+                .unwrap();
+        }
+        // Site 0 is the home; its leave must move every entry to the new
+        // home (the next member in id order).
+        core.serve(
+            SiteId(1),
+            RegistryRequest::Reconfigure {
+                op: ReconfigureOp::Leave,
+                site: SiteId(0),
+            },
+        )
+        .into_ack()
+        .unwrap();
+        wait_settled(&core, 1);
+        let (_, members) = core.membership();
+        assert_eq!(members, vec![SiteId(1), SiteId(2)]);
+        for i in 0..50 {
+            let name = format!("c{i}");
+            assert!(
+                core.registry(SiteId(1)).unwrap().get(&name).is_ok(),
+                "{name} missing at the new home"
+            );
+        }
+        for t in core.background.lock().drain(..) {
+            t.join().unwrap();
+        }
+    }
 
     #[test]
     fn delay_line_executes_in_deadline_order() {

@@ -42,6 +42,15 @@ pub trait RegistryTransport: Send + Sync {
 
     /// Sites reachable through this transport.
     fn sites(&self) -> Vec<SiteId>;
+
+    /// Fetch the cluster's current membership `(epoch, members)`, for
+    /// clients retiring a stale placement plan after a
+    /// [`MetaError::WrongEpoch`] rejection. Transports that have no
+    /// membership epochs (in-process, channels — their controller is
+    /// shared with the server, so plans are never stale) return `None`.
+    fn refresh_membership(&self) -> Option<(u64, Vec<SiteId>)> {
+        None
+    }
 }
 
 /// Zero-latency transport: registry instances in the same process.
@@ -90,6 +99,14 @@ impl InProcessTransport {
             RegistryRequest::DeltaPull { since } => RegistryResponse::Delta {
                 entries: registry.delta_since(since),
             },
+            // Ops requests are answered by the runtime (`ServiceCore`),
+            // which owns membership and WALs; a bare registry instance
+            // has neither.
+            RegistryRequest::Status | RegistryRequest::Reconfigure { .. } => {
+                RegistryResponse::Error {
+                    error: MetaError::Unavailable,
+                }
+            }
         }
     }
 }

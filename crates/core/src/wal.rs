@@ -324,6 +324,11 @@ pub trait WalSink: Send + Sync {
     /// Records appended since the last snapshot (the snapshot trigger).
     fn records_since_snapshot(&self) -> u64;
 
+    /// The sequence number the next append will be assigned — i.e. one
+    /// past the highest record ever written (0 for a fresh log). The ops
+    /// surface reports this as the site's WAL position.
+    fn next_seq(&self) -> u64;
+
     /// Flush everything and stop background machinery. Idempotent.
     fn close(&self);
 }
@@ -404,6 +409,10 @@ impl WalSink for MemWal {
 
     fn records_since_snapshot(&self) -> u64 {
         self.inner.lock().records.len() as u64
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.inner.lock().next_seq
     }
 
     fn close(&self) {}
@@ -699,6 +708,10 @@ impl WalSink for FileWal {
 
     fn records_since_snapshot(&self) -> u64 {
         self.shared.state.lock().records_since_snapshot
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.shared.state.lock().next_seq
     }
 
     fn close(&self) {

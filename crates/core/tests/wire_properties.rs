@@ -4,7 +4,9 @@
 //! variant, and the frame-size accounting the network layers rely on.
 
 use geometa_core::entry::{FileLocation, RegistryEntry};
-use geometa_core::protocol::{RegistryRequest, RegistryResponse, FRAME_OVERHEAD};
+use geometa_core::protocol::{
+    ReconfigureOp, RegistryRequest, RegistryResponse, SiteStatus, FRAME_OVERHEAD,
+};
 use geometa_core::MetaError;
 use geometa_sim::topology::SiteId;
 use proptest::prelude::*;
@@ -40,8 +42,44 @@ fn arb_error() -> impl Strategy<Value = MetaError> {
         Just(MetaError::NotFound),
         Just(MetaError::Unavailable),
         Just(MetaError::Contention),
+        any::<u64>().prop_map(|epoch| MetaError::WrongEpoch { epoch }),
         "[ -~]{0,60}".prop_map(MetaError::Codec),
     ]
+}
+
+fn arb_op() -> impl Strategy<Value = ReconfigureOp> {
+    prop_oneof![
+        Just(ReconfigureOp::Join),
+        Just(ReconfigureOp::Leave),
+        Just(ReconfigureOp::Drain),
+    ]
+}
+
+fn arb_status() -> impl Strategy<Value = SiteStatus> {
+    (
+        (0..8u16, any::<u64>(), prop::collection::vec(0..64u16, 0..8)),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |((site, epoch, members), (wal_seq, entries, conns, rebalancing, last_moved))| {
+                SiteStatus {
+                    site: SiteId(site),
+                    epoch,
+                    members: members.into_iter().map(SiteId).collect(),
+                    wal_seq,
+                    entries,
+                    conns,
+                    rebalancing,
+                    last_moved,
+                }
+            },
+        )
 }
 
 fn arb_request() -> impl Strategy<Value = RegistryRequest> {
@@ -52,6 +90,11 @@ fn arb_request() -> impl Strategy<Value = RegistryRequest> {
             .prop_map(|entries| RegistryRequest::Absorb { entries }),
         "[a-z0-9/_.]{1,40}".prop_map(|k| RegistryRequest::Remove { key: k.into() }),
         any::<u64>().prop_map(|since| RegistryRequest::DeltaPull { since }),
+        Just(RegistryRequest::Status),
+        (arb_op(), 0..64u16).prop_map(|(op, s)| RegistryRequest::Reconfigure {
+            op,
+            site: SiteId(s),
+        }),
     ]
 }
 
@@ -61,6 +104,7 @@ fn arb_response() -> impl Strategy<Value = RegistryResponse> {
         Just(RegistryResponse::Ack),
         prop::collection::vec(arb_entry(), 0..5)
             .prop_map(|entries| RegistryResponse::Delta { entries }),
+        arb_status().prop_map(|status| RegistryResponse::Status { status }),
         arb_error().prop_map(|error| RegistryResponse::Error { error }),
     ]
 }
@@ -133,11 +177,15 @@ proptest! {
     fn wire_size_accounts_for_the_real_frame(req in arb_request(), resp in arb_response()) {
         // Payload exactness: encoded_len minus codec framing equals the
         // wire_size payload term.
-        let req_framing = 1 + match &req {
-            RegistryRequest::Get { .. } | RegistryRequest::Remove { .. } => 4,
-            RegistryRequest::Put { .. } => 4,
-            RegistryRequest::Absorb { entries } => 4 + 4 * entries.len(),
-            RegistryRequest::DeltaPull { .. } => 0,
+        let req_framing = match &req {
+            RegistryRequest::Get { .. } | RegistryRequest::Remove { .. } => 1 + 4,
+            RegistryRequest::Put { .. } => 1 + 4,
+            RegistryRequest::Absorb { entries } => 1 + 4 + 4 * entries.len(),
+            RegistryRequest::DeltaPull { .. } => 1,
+            // Ops messages charge their whole (tiny, fixed) encoding as
+            // the wire payload, so codec framing nets to ≤1 byte.
+            RegistryRequest::Status => 0,
+            RegistryRequest::Reconfigure { .. } => 1,
         };
         prop_assert_eq!(
             req.encoded_len() - req_framing,
@@ -161,6 +209,11 @@ proptest! {
                 prop_assert_eq!(resp.encoded_len(), framing + payload);
                 prop_assert_eq!(resp.wire_size() as usize, FRAME_OVERHEAD + payload);
             }
+            RegistryResponse::Status { status } => {
+                let n = status.members.len();
+                prop_assert_eq!(resp.encoded_len(), 42 + 2 * n);
+                prop_assert_eq!(resp.wire_size() as usize, FRAME_OVERHEAD + 40 + 2 * n);
+            }
             RegistryResponse::Error { error } => {
                 // The network model charges a flat 16-byte error payload;
                 // the real encoding is 2 bytes plus the codec text. Both
@@ -169,6 +222,7 @@ proptest! {
                 prop_assert_eq!(resp.wire_size() as usize, FRAME_OVERHEAD + 16);
                 let text = match error {
                     MetaError::Codec(m) => 4 + m.len(),
+                    MetaError::WrongEpoch { .. } => 8,
                     _ => 0,
                 };
                 prop_assert_eq!(resp.encoded_len(), 2 + text);

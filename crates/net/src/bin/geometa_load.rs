@@ -138,6 +138,11 @@ fn main() {
     let run_mode = |name: &'static str, stream: &OpStream, load_mode: LoadMode| -> LoadReport {
         let opts = LoadOptions {
             mode: load_mode,
+            // Per-(workload, mode) namespace: without it, the open-loop
+            // pass of `--mode both` replays names the closed-loop pass
+            // already published, every resolve hits the pre-propagated
+            // entry, and `resolve_retries` is identically 0.
+            key_namespace: format!("{name}/{}#", load_mode.label()),
             ..LoadOptions::default()
         };
         let report = run_stream(make_client, stream, &opts)

@@ -27,19 +27,20 @@
 //! delivery.
 
 use crate::frame::{write_frame_with_mode, Fill, FrameReader, MAX_FRAME};
-use crate::server::{MODE_CALL_SEQ, MODE_CAST};
+use crate::server::{epoch_checked, MODE_CALL_EPOCH, MODE_CALL_SEQ, MODE_CAST};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use geometa_core::protocol::{RegistryRequest, RegistryResponse};
 use geometa_core::transport::RegistryTransport;
 use geometa_core::MetaError;
 use geometa_sim::rng::SplitMix64;
 use geometa_sim::topology::SiteId;
+use parking_lot::Mutex;
 use polling::{Event, Poller};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,6 +97,14 @@ impl CastBackoff {
         self.until.get(&target).is_some_and(|&t| now < t)
     }
 
+    /// Consecutive failures recorded against `target` (0 after a
+    /// success). Exposed through
+    /// [`TcpClientTransport::cast_strikes`] so recovery tests can assert
+    /// the schedule reset, not just infer it from timing.
+    fn strikes(&self, target: SiteId) -> u32 {
+        self.strikes.get(&target).copied().unwrap_or(0)
+    }
+
     /// A delivery succeeded: the target is healthy again.
     fn record_success(&mut self, target: SiteId) {
         self.strikes.remove(&target);
@@ -119,6 +128,91 @@ impl CastBackoff {
     }
 }
 
+/// Consecutive transport-level failures before a site's breaker opens.
+/// Three strikes separates a stray timeout from a dead peer without
+/// letting a flapping site eat `call_timeout` per operation.
+const BREAKER_THRESHOLD: u32 = 3;
+/// First open-interval for a tripped breaker; doubles per re-open.
+const BREAKER_BASE: Duration = Duration::from_millis(250);
+/// Ceiling on the open interval (pre-jitter).
+const BREAKER_CAP: Duration = Duration::from_secs(8);
+/// Multiplicative jitter on every open interval (`±25%`) so many
+/// clients that watched the same site die do not half-open in lockstep.
+const BREAKER_JITTER: f64 = 0.25;
+/// Seed for the breaker's jitter stream (per-transport deterministic).
+const BREAKER_SEED: u64 = 0x0B4E_A4E4_5EED;
+
+/// Per-site breaker record.
+#[derive(Default)]
+struct SiteBreaker {
+    /// Consecutive failures since the last success.
+    failures: u32,
+    /// Times this breaker has opened since the last success (drives the
+    /// exponential open interval).
+    opens: u32,
+    /// Open until this deadline; `None` = closed (or half-open once a
+    /// previous deadline passed).
+    open_until: Option<Instant>,
+}
+
+/// Per-site circuit breaker for the *call* path, layered on the
+/// exactly-once retry rule: it watches **transport-level** outcomes
+/// only. Any correlated response — including a server-sent
+/// `Error { Unavailable }` — proves the connection works and closes the
+/// breaker; only dial failures, dead connections, and response timeouts
+/// count as strikes.
+///
+/// States: closed (deliver) → after [`BREAKER_THRESHOLD`] consecutive
+/// strikes, open (fast-fail without touching the socket) → when the
+/// open interval lapses, half-open (the next call probes the site; a
+/// success closes the breaker, a failure re-opens it at double the
+/// interval, capped and jittered).
+struct CircuitBreaker {
+    rng: SplitMix64,
+    sites: HashMap<SiteId, SiteBreaker>,
+}
+
+impl CircuitBreaker {
+    fn new(seed: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            rng: SplitMix64::new(seed),
+            sites: HashMap::new(),
+        }
+    }
+
+    /// Whether calls to `target` should fast-fail right now.
+    fn is_open(&self, target: SiteId, now: Instant) -> bool {
+        self.sites
+            .get(&target)
+            .and_then(|s| s.open_until)
+            .is_some_and(|t| now < t)
+    }
+
+    /// A correlated response arrived: the site is reachable. Full reset.
+    fn record_success(&mut self, target: SiteId) {
+        self.sites.remove(&target);
+    }
+
+    /// A transport-level failure. Returns the open interval when this
+    /// strike tripped (or re-tripped) the breaker.
+    fn record_failure(&mut self, target: SiteId, now: Instant) -> Option<Duration> {
+        let s = self.sites.entry(target).or_default();
+        s.failures = s.failures.saturating_add(1);
+        // Before the first open, demand a full threshold of strikes; in
+        // half-open, a single failed probe re-opens immediately.
+        if s.opens == 0 && s.failures < BREAKER_THRESHOLD {
+            return None;
+        }
+        s.opens = s.opens.saturating_add(1);
+        let base = BREAKER_BASE
+            .saturating_mul(1u32 << (s.opens - 1).min(16))
+            .min(BREAKER_CAP);
+        let delay = base.mul_f64(1.0 + self.rng.jitter(BREAKER_JITTER));
+        s.open_until = Some(now + delay);
+        Some(delay)
+    }
+}
+
 /// How one submitted call ended, as reported by the reactor.
 enum CallOutcome {
     /// A correlated response arrived.
@@ -135,6 +229,10 @@ enum CallOutcome {
 struct Submission {
     target: SiteId,
     body: bytes::Bytes,
+    /// Membership epoch to stamp on the frame
+    /// ([`MODE_CALL_EPOCH`]); `None` sends a plain
+    /// [`MODE_CALL_SEQ`] frame (epoch-exempt requests).
+    epoch: Option<u64>,
     reply: Sender<CallOutcome>,
 }
 
@@ -181,14 +279,23 @@ impl CConn {
     }
 
     /// Frame one call onto the output buffer and record it pending.
-    fn enqueue_call(&mut self, body: &[u8], reply: Sender<CallOutcome>) {
+    /// With an epoch the frame is `[MODE_CALL_EPOCH][seq][epoch][req]`,
+    /// without it `[MODE_CALL_SEQ][seq][req]`.
+    fn enqueue_call(&mut self, body: &[u8], epoch: Option<u64>, reply: Sender<CallOutcome>) {
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
-        let frame_body = 1 + 4 + body.len();
+        let frame_body = 1 + 4 + if epoch.is_some() { 8 } else { 0 } + body.len();
         self.out
             .extend_from_slice(&(frame_body as u32).to_le_bytes());
-        self.out.push(MODE_CALL_SEQ);
+        self.out.push(if epoch.is_some() {
+            MODE_CALL_EPOCH
+        } else {
+            MODE_CALL_SEQ
+        });
         self.out.extend_from_slice(&seq.to_le_bytes());
+        if let Some(e) = epoch {
+            self.out.extend_from_slice(&e.to_le_bytes());
+        }
         self.out.extend_from_slice(body);
         self.queued_abs += (4 + frame_body) as u64;
         self.pending.push_back(PendingCall {
@@ -377,7 +484,8 @@ impl CallReactor {
     /// Route one submission onto its target's connection, dialing if
     /// needed. Dial failures are `NotSent` by definition.
     fn submit(&mut self, sub: Submission) {
-        if 1 + 4 + sub.body.len() > MAX_FRAME {
+        let header = 1 + 4 + if sub.epoch.is_some() { 8 } else { 0 };
+        if header + sub.body.len() > MAX_FRAME {
             let _ = sub.reply.send(CallOutcome::NotSent); // unframeable
             return;
         }
@@ -405,7 +513,7 @@ impl CallReactor {
             }
         }
         if let Some(conn) = self.conns[key].as_mut() {
-            conn.enqueue_call(&sub.body, sub.reply);
+            conn.enqueue_call(&sub.body, sub.epoch, sub.reply);
         }
     }
 
@@ -470,7 +578,23 @@ pub struct TcpClientTransport {
     /// Mirror of the reactor's park gate (see `CallReactor::parked`).
     reactor_parked: Arc<AtomicBool>,
     call_timeout: Duration,
-    epoch: Instant,
+    boot: Instant,
+    /// Last membership epoch learned from the cluster; stamped on every
+    /// epoch-checked call frame. Starts at 0, matching a fresh cluster;
+    /// a stale value is corrected by the first `WrongEpoch` rejection.
+    mem_epoch: AtomicU64,
+    /// Per-site call breaker (see [`CircuitBreaker`]); shared with the
+    /// cast path for shedding.
+    breaker: Mutex<CircuitBreaker>,
+    /// Calls answered `Unavailable` without touching the socket because
+    /// the target's breaker was open.
+    breaker_fast_fails: AtomicU64,
+    /// Casts dropped at enqueue because the target's breaker was open
+    /// (shed lazy pushes before acked calls under breaker pressure).
+    casts_shed: AtomicU64,
+    /// The cast pump's backoff schedule, shared so callers can observe
+    /// per-target strike counts ([`Self::cast_strikes`]).
+    cast_backoff: Arc<Mutex<CastBackoff>>,
 }
 
 impl TcpClientTransport {
@@ -514,10 +638,12 @@ impl TcpClientTransport {
         let (cast_tx, cast_rx) = bounded::<(SiteId, bytes::Bytes)>(CAST_QUEUE);
         let pump_addrs = addrs.clone();
         let pump_closing = Arc::clone(&closing);
+        let cast_backoff = Arc::new(Mutex::new(CastBackoff::new(CAST_BACKOFF_SEED)));
+        let pump_backoff = Arc::clone(&cast_backoff);
         // geometa-lint: allow(untracked-thread) the cast pump's handle is stored in cast_worker and joined in Drop
         let cast_worker = std::thread::Builder::new()
             .name("tcp-cast-pump".into())
-            .spawn(move || cast_pump(&cast_rx, &pump_addrs, &pump_closing))
+            .spawn(move || cast_pump(&cast_rx, &pump_addrs, &pump_closing, &pump_backoff))
             .expect("spawn cast pump"); // geometa-lint: allow(net-unwrap) construction-time, before any peer traffic: a host that cannot spawn one thread cannot run the transport at all
 
         TcpClientTransport {
@@ -530,7 +656,12 @@ impl TcpClientTransport {
             closing,
             reactor_parked,
             call_timeout,
-            epoch: Instant::now(),
+            boot: Instant::now(),
+            mem_epoch: AtomicU64::new(0),
+            breaker: Mutex::new(CircuitBreaker::new(BREAKER_SEED)),
+            breaker_fast_fails: AtomicU64::new(0),
+            casts_shed: AtomicU64::new(0),
+            cast_backoff,
         }
     }
 
@@ -549,6 +680,32 @@ impl TcpClientTransport {
         }
         Ok(())
     }
+
+    /// Membership epoch this transport currently stamps on calls.
+    pub fn membership_epoch(&self) -> u64 {
+        self.mem_epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether `target`'s call breaker is open right now.
+    pub fn breaker_open(&self, target: SiteId) -> bool {
+        self.breaker.lock().is_open(target, Instant::now())
+    }
+
+    /// Calls fast-failed without touching the socket (open breaker).
+    pub fn breaker_fast_fails(&self) -> u64 {
+        self.breaker_fast_fails.load(Ordering::Relaxed)
+    }
+
+    /// Casts shed at enqueue because the target's breaker was open.
+    pub fn casts_shed(&self) -> u64 {
+        self.casts_shed.load(Ordering::Relaxed)
+    }
+
+    /// The cast pump's consecutive-failure count for `target` (0 once a
+    /// delivery succeeds — recovery tests assert this reset directly).
+    pub fn cast_strikes(&self, target: SiteId) -> u32 {
+        self.cast_backoff.lock().strikes(target)
+    }
 }
 
 /// The cast pump loop: drain the queue, coalesce by target, deliver each
@@ -557,9 +714,9 @@ fn cast_pump(
     cast_rx: &Receiver<(SiteId, bytes::Bytes)>,
     addrs: &HashMap<SiteId, SocketAddr>,
     closing: &AtomicBool,
+    backoff: &Mutex<CastBackoff>,
 ) {
     let mut conns: HashMap<SiteId, TcpStream> = HashMap::new();
-    let mut backoff = CastBackoff::new(CAST_BACKOFF_SEED);
     while let Ok(first) = cast_rx.recv() {
         // On close, discard the backlog instead of pushing it through
         // (possibly wedged) peers — otherwise Drop could wait
@@ -586,8 +743,9 @@ fn cast_pump(
             };
             // Dead-peer backoff: casts to a recently failed target drop
             // instantly rather than paying connect timeouts per group
-            // and starving other sites.
-            if backoff.is_dead(target, Instant::now()) {
+            // and starving other sites. The lock is shared only with
+            // cheap observers (`cast_strikes`), never held across I/O.
+            if backoff.lock().is_dead(target, Instant::now()) {
                 continue;
             }
             // One reconnect attempt per group; on failure the group is
@@ -626,9 +784,9 @@ fn cast_pump(
                 }
             }
             if delivered {
-                backoff.record_success(target);
+                backoff.lock().record_success(target);
             } else {
-                backoff.record_failure(target, Instant::now());
+                backoff.lock().record_failure(target, Instant::now());
             }
         }
     }
@@ -644,6 +802,19 @@ fn write_cast_group(stream: &mut TcpStream, bodies: &[bytes::Bytes]) -> std::io:
 
 impl RegistryTransport for TcpClientTransport {
     fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
+        // Epoch-checked requests carry the cached membership epoch and
+        // respect the breaker. Exempt requests (Status, Reconfigure,
+        // replication plumbing) always go through — they are how a
+        // half-open site is probed and how stale clients re-learn the
+        // membership, so fast-failing them would wedge recovery.
+        let checked = epoch_checked(&req);
+        if checked && self.breaker.lock().is_open(target, Instant::now()) {
+            self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+            return RegistryResponse::Error {
+                error: MetaError::Unavailable,
+            };
+        }
+        let epoch = checked.then(|| self.mem_epoch.load(Ordering::Acquire));
         let body = req.encode();
         for attempt in 0..2 {
             let (reply_tx, reply_rx) = bounded::<CallOutcome>(1);
@@ -651,6 +822,7 @@ impl RegistryTransport for TcpClientTransport {
                 .submit(Submission {
                     target,
                     body: body.clone(),
+                    epoch,
                     reply: reply_tx,
                 })
                 .is_err()
@@ -658,7 +830,21 @@ impl RegistryTransport for TcpClientTransport {
                 break; // transport closing
             }
             match reply_rx.recv_timeout(self.call_timeout) {
-                Ok(CallOutcome::Response(resp)) => return resp,
+                Ok(CallOutcome::Response(resp)) => {
+                    // Any correlated response — even a server-sent error
+                    // — proves the transport works: close the breaker.
+                    self.breaker.lock().record_success(target);
+                    // A WrongEpoch rejection names the current epoch:
+                    // adopt it eagerly so the very next call is stamped
+                    // correctly even before the caller re-plans.
+                    if let RegistryResponse::Error {
+                        error: MetaError::WrongEpoch { epoch },
+                    } = resp
+                    {
+                        self.mem_epoch.store(epoch, Ordering::Release);
+                    }
+                    return resp;
+                }
                 // The frame never fully reached the kernel: the one case
                 // where a second send cannot double-apply.
                 Ok(CallOutcome::NotSent) if attempt == 0 => continue,
@@ -668,15 +854,23 @@ impl RegistryTransport for TcpClientTransport {
                 Ok(CallOutcome::NotSent) | Ok(CallOutcome::Failed) | Err(_) => break,
             }
         }
+        self.breaker.lock().record_failure(target, Instant::now());
         RegistryResponse::Error {
             error: MetaError::Unavailable,
         }
     }
 
     /// Enqueue on the cast pump; never blocks on the target. When the
-    /// pump is `CAST_QUEUE` messages behind, the cast is dropped rather
-    /// than growing the queue without bound (best-effort semantics).
+    /// pump is `CAST_QUEUE` messages behind the cast is dropped rather
+    /// than growing the queue without bound, and when the target's call
+    /// breaker is open the cast is shed immediately — under breaker
+    /// pressure lazy pushes are sacrificed before acked calls
+    /// (best-effort semantics; absorb idempotence re-converges).
     fn cast(&self, target: SiteId, req: RegistryRequest) {
+        if self.breaker.lock().is_open(target, Instant::now()) {
+            self.casts_shed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if let Some(tx) = &self.cast_tx {
             if let Err(TrySendError::Full(_)) = tx.try_send((target, req.encode())) {
                 // Dropped: the pump is saturated or wedged on a slow peer.
@@ -685,13 +879,27 @@ impl RegistryTransport for TcpClientTransport {
     }
 
     fn now_micros(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.boot.elapsed().as_micros() as u64
     }
 
     fn sites(&self) -> Vec<SiteId> {
         let mut s: Vec<SiteId> = self.addrs.keys().copied().collect();
         s.sort();
         s
+    }
+
+    /// Ask the cluster for the current membership: probe every known
+    /// address (breaker-exempt `Status` calls) until one answers, adopt
+    /// its epoch, and hand `(epoch, members)` to the caller for
+    /// re-planning.
+    fn refresh_membership(&self) -> Option<(u64, Vec<SiteId>)> {
+        for site in self.sites() {
+            if let RegistryResponse::Status { status } = self.call(site, RegistryRequest::Status) {
+                self.mem_epoch.store(status.epoch, Ordering::Release);
+                return Some((status.epoch, status.members));
+            }
+        }
+        None
     }
 }
 
@@ -816,13 +1024,92 @@ mod tests {
         let mut conn = CConn::new(stream);
         let (tx1, rx1) = bounded::<CallOutcome>(1);
         let (tx2, rx2) = bounded::<CallOutcome>(1);
-        conn.enqueue_call(b"first", tx1);
+        conn.enqueue_call(b"first", None, tx1);
         let first_end = conn.queued_abs;
-        conn.enqueue_call(b"second", tx2);
+        conn.enqueue_call(b"second", None, tx2);
         // Pretend the kernel took the first frame plus half the second.
         conn.flushed_abs = first_end + 3;
         conn.fail_pending();
         assert!(matches!(rx1.try_recv(), Ok(CallOutcome::Failed)));
         assert!(matches!(rx2.try_recv(), Ok(CallOutcome::NotSent)));
+    }
+
+    #[test]
+    fn epoch_calls_are_framed_as_mode_call_epoch() {
+        let stream = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            std::net::TcpStream::connect(l.local_addr().unwrap()).unwrap()
+        };
+        let mut conn = CConn::new(stream);
+        let (tx, _rx) = bounded::<CallOutcome>(1);
+        conn.enqueue_call(b"req", Some(0xDEAD_BEEF_0042), tx);
+        // [len u32][mode][seq u32][epoch u64][body]
+        let out = &conn.out;
+        let len = u32::from_le_bytes([out[0], out[1], out[2], out[3]]) as usize;
+        assert_eq!(len, 1 + 4 + 8 + 3);
+        assert_eq!(out[4], MODE_CALL_EPOCH);
+        assert_eq!(&out[5..9], &0u32.to_le_bytes());
+        assert_eq!(
+            u64::from_le_bytes(out[9..17].try_into().unwrap()),
+            0xDEAD_BEEF_0042
+        );
+        assert_eq!(&out[17..20], b"req");
+        assert_eq!(conn.queued_abs, (4 + len) as u64);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_halfopen_reopens_on_failure() {
+        let mut b = CircuitBreaker::new(1);
+        let t = SiteId(0);
+        let now = Instant::now();
+        // Two strikes: still closed.
+        assert!(b.record_failure(t, now).is_none());
+        assert!(b.record_failure(t, now).is_none());
+        assert!(!b.is_open(t, now));
+        // Third strike trips it, within the jitter band of the base.
+        let d1 = b.record_failure(t, now).expect("threshold trips");
+        assert!(d1 >= BREAKER_BASE.mul_f64(1.0 - BREAKER_JITTER));
+        assert!(d1 <= BREAKER_BASE.mul_f64(1.0 + BREAKER_JITTER));
+        assert!(b.is_open(t, now));
+        // The interval lapses: half-open (not open), and one failed
+        // probe re-opens immediately at roughly double the interval.
+        let later = now + d1;
+        assert!(!b.is_open(t, later));
+        let d2 = b
+            .record_failure(t, later)
+            .expect("half-open failure re-opens");
+        assert!(d2 >= (BREAKER_BASE * 2).mul_f64(1.0 - BREAKER_JITTER));
+        assert!(b.is_open(t, later));
+    }
+
+    #[test]
+    fn breaker_success_closes_and_resets_the_schedule() {
+        let mut b = CircuitBreaker::new(2);
+        let (t, u) = (SiteId(3), SiteId(4));
+        let now = Instant::now();
+        for _ in 0..6 {
+            b.record_failure(t, now);
+        }
+        assert!(b.is_open(t, now));
+        assert!(!b.is_open(u, now), "breakers are per-site");
+        b.record_success(t);
+        assert!(!b.is_open(t, now));
+        // After the reset a single failure is a first strike again.
+        assert!(b.record_failure(t, now).is_none());
+    }
+
+    #[test]
+    fn breaker_open_interval_caps_out() {
+        let mut b = CircuitBreaker::new(3);
+        let t = SiteId(0);
+        let now = Instant::now();
+        let mut last = Duration::ZERO;
+        for _ in 0..24 {
+            if let Some(d) = b.record_failure(t, now) {
+                last = d;
+            }
+        }
+        assert!(last <= BREAKER_CAP.mul_f64(1.0 + BREAKER_JITTER));
+        assert!(last >= BREAKER_CAP.mul_f64(1.0 - BREAKER_JITTER));
     }
 }

@@ -22,7 +22,10 @@
 //!   with write coalescing so lazy pushes never stall on a slow target;
 //! * [`loadgen`] — the seeded load generator driving synthetic /
 //!   Montage / BuzzFlow op streams (`geometa_workflow::apps::ops`) in
-//!   closed-loop and coordinated-omission-safe open-loop modes.
+//!   closed-loop and coordinated-omission-safe open-loop modes;
+//! * [`chaos`] — [`ChaosLayer`]: seeded frame-aware fault proxies in
+//!   front of every site (drops, resets, delays, slow drips, asymmetric
+//!   partition windows) — the live analogue of `geometa_sim::faults`.
 //!
 //! Binaries: `geometa-server` boots an N-site cluster on loopback ports;
 //! `geometa-load` drives it (or a self-spawned cluster) in both load
@@ -40,12 +43,14 @@
 //! cluster.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod cli;
 pub mod client;
 pub mod frame;
 pub mod loadgen;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosLayer, ChaosStats, PartitionWindow};
 pub use client::{transport_for, TcpClientTransport};
 pub use loadgen::{LoadOptions, LoadReport};
 pub use server::{TcpConfig, TcpLayer};

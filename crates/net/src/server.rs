@@ -47,6 +47,28 @@ pub const MODE_CAST: u8 = 1;
 /// Frame-body mode byte: pipelined RPC. A `u32_le` sequence id follows
 /// the mode byte; the response frame leads with the same id.
 pub const MODE_CALL_SEQ: u8 = 2;
+/// Frame-body mode byte: epoch-guarded pipelined RPC. Layout
+/// `[mode][u32_le seq][u64_le epoch][request]`. The server rejects the
+/// request with [`MetaError::WrongEpoch`] when `epoch` is behind the
+/// cluster's membership epoch — the live cluster's defence against
+/// clients routing by a retired placement plan. The epoch lives at the
+/// *frame* layer, not in `RegistryRequest`, so the simulator's wire-size
+/// accounting (and the repro pipeline's byte-identical CSVs) are
+/// untouched.
+pub const MODE_CALL_EPOCH: u8 = 3;
+
+/// Whether a request's placement depends on the membership plan. Only
+/// these are epoch-rejected: `Status`/`Reconfigure` must work from stale
+/// clients (that is how they learn the new epoch), and
+/// `Absorb`/`DeltaPull` are idempotent replication plumbing — the sync
+/// agent and lazy pushes keep flowing across a flip; stragglers are
+/// swept by the rebalance's second pass.
+pub(crate) fn epoch_checked(req: &RegistryRequest) -> bool {
+    matches!(
+        req,
+        RegistryRequest::Get { .. } | RegistryRequest::Put { .. } | RegistryRequest::Remove { .. }
+    )
+}
 
 /// Tuning for the TCP layer.
 #[derive(Clone, Debug)]
@@ -244,7 +266,9 @@ fn accept_loop(
                 let spawned = std::thread::Builder::new()
                     .name(format!("tcp-conn-{site}"))
                     .spawn(move || {
+                        core.conn_opened(site);
                         serve_connection(stream, &core, site, read_timeout);
+                        core.conn_closed(site);
                         thread_gate.release();
                     });
                 match spawned {
@@ -347,6 +371,27 @@ fn handle_frame(
                 .and_then(|()| stream.flush())
                 .is_ok()
         }
+        MODE_CALL_EPOCH => {
+            let Some((seq, epoch, req)) = split_epoch(&body) else {
+                return false; // truncated header: protocol violation
+            };
+            let resp = match req {
+                Ok(req) => {
+                    let current = core.membership_epoch();
+                    if epoch != current && epoch_checked(&req) {
+                        RegistryResponse::Error {
+                            error: MetaError::WrongEpoch { epoch: current },
+                        }
+                    } else {
+                        core.serve(site, req)
+                    }
+                }
+                Err(error) => RegistryResponse::Error { error },
+            };
+            write_frame(stream, &seq_response_body(seq, &resp))
+                .and_then(|()| stream.flush())
+                .is_ok()
+        }
         _ => {
             // Unknown mode: answer CALL-style so a confused client fails
             // fast instead of hanging on a missing response.
@@ -366,6 +411,20 @@ fn split_seq(body: &bytes::Bytes) -> Option<(u32, Result<RegistryRequest, MetaEr
     }
     let seq = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
     Some((seq, RegistryRequest::decode(body.slice(5..))))
+}
+
+/// Parse a CALL_EPOCH body (`[mode][u32_le seq][u64_le epoch][request]`).
+/// `None` means the header itself is truncated — a protocol violation.
+#[allow(clippy::type_complexity)]
+fn split_epoch(body: &bytes::Bytes) -> Option<(u32, u64, Result<RegistryRequest, MetaError>)> {
+    if body.len() < 13 {
+        return None;
+    }
+    let seq = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
+    let mut e = [0u8; 8];
+    e.copy_from_slice(&body[5..13]);
+    let epoch = u64::from_le_bytes(e);
+    Some((seq, epoch, RegistryRequest::decode(body.slice(13..))))
 }
 
 /// Response frame body for a CALL_SEQ: `[u32_le seq][response]`.
@@ -465,6 +524,10 @@ impl RConn {
     fn dispatch(&mut self, core: &Arc<ServiceCore>, site: SiteId) -> bool {
         let mut reqs: Vec<RegistryRequest> = Vec::new();
         let mut outcomes: Vec<Outcome> = Vec::new();
+        // One epoch read per pass: every frame in a batch is judged
+        // against the same epoch (a flip mid-pass rejects from the next
+        // pass on, which is within the flip's happens-before anyway).
+        let mut current_epoch: Option<u64> = None;
         loop {
             let body = match self.reader.next_frame() {
                 Ok(Some(body)) => body,
@@ -501,6 +564,27 @@ impl RConn {
                         outcomes.push(Outcome::FromBatch(Reply::Seq(seq)));
                     }
                     Some((seq, Err(error))) => outcomes.push(Outcome::Immediate(
+                        Reply::Seq(seq),
+                        RegistryResponse::Error { error },
+                    )),
+                },
+                MODE_CALL_EPOCH => match split_epoch(&body) {
+                    None => return false,
+                    Some((seq, epoch, Ok(req))) => {
+                        let current = *current_epoch.get_or_insert_with(|| core.membership_epoch());
+                        if epoch != current && epoch_checked(&req) {
+                            outcomes.push(Outcome::Immediate(
+                                Reply::Seq(seq),
+                                RegistryResponse::Error {
+                                    error: MetaError::WrongEpoch { epoch: current },
+                                },
+                            ));
+                        } else {
+                            reqs.push(req);
+                            outcomes.push(Outcome::FromBatch(Reply::Seq(seq)));
+                        }
+                    }
+                    Some((seq, _, Err(error))) => outcomes.push(Outcome::Immediate(
                         Reply::Seq(seq),
                         RegistryResponse::Error { error },
                     )),
@@ -624,7 +708,9 @@ fn reactor_loop(
         }
         for &ev in &events {
             if ev.key == LISTENER_KEY {
-                accept_ready(listener, core, &poller, &mut conns, &mut live, max_conns);
+                accept_ready(
+                    listener, core, site, &poller, &mut conns, &mut live, max_conns,
+                );
                 continue;
             }
             let Some(conn) = conns.get_mut(ev.key).and_then(Option::as_mut) else {
@@ -642,10 +728,12 @@ fn reactor_loop(
             }
             if dead {
                 close_conn(&poller, &mut conns, ev.key, &mut live, max_conns, listener);
+                core.conn_closed(site);
             } else {
                 let interest = conn.desired_interest(ev.key);
                 if poller.modify(&conn.stream, interest).is_err() {
                     close_conn(&poller, &mut conns, ev.key, &mut live, max_conns, listener);
+                    core.conn_closed(site);
                 }
             }
         }
@@ -654,6 +742,10 @@ fn reactor_loop(
     // were either answered above or die with the connection, which the
     // client surfaces as Unavailable — the same contract as the
     // threaded path at shutdown.
+    for conn in conns.into_iter().flatten() {
+        drop(conn);
+        core.conn_closed(site);
+    }
 }
 
 /// Accept until the listener would block. At `max_conns` the listener's
@@ -663,6 +755,7 @@ fn reactor_loop(
 fn accept_ready(
     listener: &TcpListener,
     core: &Arc<ServiceCore>,
+    site: SiteId,
     poller: &Poller,
     conns: &mut Vec<Option<RConn>>,
     live: &mut usize,
@@ -694,6 +787,7 @@ fn accept_ready(
                 }
                 conns[key] = Some(RConn::new(stream));
                 *live += 1;
+                core.conn_opened(site);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,

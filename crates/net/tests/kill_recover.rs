@@ -29,6 +29,7 @@
 use geometa_core::controller::ArchitectureController;
 use geometa_core::protocol::RegistryRequest;
 use geometa_core::strategy::StrategyKind;
+use geometa_core::transport::RegistryTransport;
 use geometa_core::wal::{read_log_file, read_snapshot_file, LOG_FILE, SNAPSHOT_FILE};
 use geometa_core::{ClientConfig, StrategyClient};
 use geometa_net::transport_for;
@@ -254,6 +255,167 @@ fn acked_writes_survive_sigkill_and_recover() {
     if !keep {
         let _ = std::fs::remove_dir_all(&root);
     }
+}
+
+/// A base port where all `SITES` consecutive ports currently bind. The
+/// probe listeners are dropped before the server boots — a small race,
+/// tolerated because this tier already owns real processes and ports.
+fn free_base_port() -> u16 {
+    let mut base = 7200 + (std::process::id() % 2000) as u16;
+    'outer: for _ in 0..64 {
+        let mut probes = Vec::new();
+        for i in 0..SITES as u16 {
+            match std::net::TcpListener::bind(("127.0.0.1", base + i)) {
+                Ok(l) => probes.push(l),
+                Err(_) => {
+                    base += SITES as u16 + 1;
+                    continue 'outer;
+                }
+            }
+        }
+        return base;
+    }
+    panic!("no free base port found");
+}
+
+/// The cast pump's dead-peer backoff must *recover*: strikes accumulate
+/// while the peer is down and reset to zero after the reborn peer takes
+/// a delivery. One transport lives across the kill and the restart —
+/// the cluster must come back on the same ports for its strike history
+/// to be about the same addresses.
+#[test]
+fn cast_backoff_strikes_reset_after_peer_recovery() {
+    let (root, keep) = data_root();
+    let data_dir = root.join("cast-backoff-recovery");
+    std::fs::create_dir_all(&data_dir).expect("create data dir");
+    let base = free_base_port();
+
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_geometa-server"));
+    cmd.args(["--sites", &SITES.to_string(), "--strategy", "centralized"])
+        .args(["--base-port", &base.to_string(), "--fsync", "always"])
+        .arg("--data-dir")
+        .arg(&data_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn geometa-server");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    wait_ready(&mut stdout);
+
+    let addrs: Vec<SocketAddr> = (0..SITES as u16)
+        .map(|i| format!("127.0.0.1:{}", base + i).parse().unwrap())
+        .collect();
+    let transport = transport_for(&addrs, CALL_TIMEOUT);
+    let target = SiteId(1);
+    let absorb = || RegistryRequest::Absorb {
+        entries: vec![geometa_core::RegistryEntry::new(
+            "cast-backoff-probe",
+            64,
+            geometa_core::FileLocation {
+                site: target,
+                node: 0,
+            },
+            1,
+        )],
+    };
+
+    // One acked write so `--recover` later has on-disk state to replay,
+    // then a warm cast delivery, confirmed by reading the absorbed entry
+    // back from the target (strikes alone start at 0, which proves
+    // nothing about delivery).
+    {
+        let sites: Vec<SiteId> = (0..SITES as u16).map(SiteId).collect();
+        let controller = Arc::new(ArchitectureController::with_kind(
+            StrategyKind::Centralized,
+            sites,
+        ));
+        let client = StrategyClient::new(
+            Arc::clone(&transport),
+            controller,
+            ClientConfig {
+                site: SiteId(0),
+                node: 0,
+            },
+        );
+        client
+            .publish("cast-backoff-anchor", 64)
+            .expect("publish anchor");
+    }
+    transport.cast(target, absorb());
+    wait_until("first cast delivered", || {
+        matches!(
+            transport.call(
+                target,
+                RegistryRequest::Get {
+                    key: geometa_core::Key::from("cast-backoff-probe"),
+                },
+            ),
+            geometa_core::protocol::RegistryResponse::Found { .. }
+        )
+    });
+    assert_eq!(transport.cast_strikes(target), 0);
+
+    // Kill the whole cluster; casts now strike out.
+    child.kill().expect("SIGKILL server");
+    let _ = child.wait();
+    wait_until("strikes accumulate against the dead peer", || {
+        transport.cast(target, absorb());
+        transport.cast_strikes(target) >= 2
+    });
+    let down_strikes = transport.cast_strikes(target);
+    assert!(down_strikes >= 2, "dead peer accumulated {down_strikes}");
+
+    // Rebirth on the same ports.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_geometa-server"));
+    cmd.args(["--sites", &SITES.to_string(), "--strategy", "centralized"])
+        .args(["--base-port", &base.to_string(), "--fsync", "always"])
+        .args(["--recover"])
+        .arg("--data-dir")
+        .arg(&data_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped());
+    let mut child = cmd.spawn().expect("respawn geometa-server");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    wait_ready(&mut stdout);
+
+    // One delivered cast wipes the whole strike history for the target.
+    wait_until("strikes reset after the peer recovered", || {
+        transport.cast(target, absorb());
+        transport.cast_strikes(target) == 0
+    });
+
+    drop(child.stdin.take());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).expect("drain server stdout");
+    let _ = child.wait();
+    if !keep {
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+}
+
+/// Drain server stdout until the READY banner.
+fn wait_ready(stdout: &mut BufReader<std::process::ChildStdout>) {
+    loop {
+        let mut line = String::new();
+        assert!(
+            stdout.read_line(&mut line).expect("server stdout") > 0,
+            "server exited before READY"
+        );
+        if line.starts_with("READY") {
+            return;
+        }
+    }
+}
+
+/// Poll `cond` for up to 30s (cast cooldowns reach seconds under
+/// repeated strikes), panicking with `what` on timeout.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..600 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("timed out waiting for: {what}");
 }
 
 #[test]

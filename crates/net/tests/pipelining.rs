@@ -10,7 +10,7 @@ use geometa_core::protocol::{RegistryRequest, RegistryResponse};
 use geometa_core::transport::RegistryTransport;
 use geometa_core::{FileLocation, MetaError, RegistryEntry};
 use geometa_net::frame::{Fill, FrameReader};
-use geometa_net::server::MODE_CALL_SEQ;
+use geometa_net::server::{MODE_CALL_EPOCH, MODE_CALL_SEQ};
 use geometa_net::TcpClientTransport;
 use geometa_sim::topology::SiteId;
 use std::collections::HashMap;
@@ -36,11 +36,27 @@ fn read_frame(stream: &mut TcpStream, reader: &mut FrameReader) -> Option<bytes:
     }
 }
 
-/// Split a client CALL_SEQ frame body into (seq, decoded request).
+/// Split a client call frame body into (seq, decoded request).
+/// Epoch-checked requests (Get/Put/Remove) arrive as CALL_EPOCH
+/// (`[mode][seq][epoch u64][req]`), the rest as CALL_SEQ
+/// (`[mode][seq][req]`); the response format is the same for both.
 fn parse_call(body: &bytes::Bytes) -> (u32, RegistryRequest) {
-    assert_eq!(body[0], MODE_CALL_SEQ, "pipelined client sends CALL_SEQ");
     let seq = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
-    let req = RegistryRequest::decode(body.slice(5..)).expect("decodable request");
+    let req_at = match body[0] {
+        MODE_CALL_SEQ => 5,
+        MODE_CALL_EPOCH => 5 + 8,
+        mode => panic!("pipelined client sent unexpected frame mode {mode}"),
+    };
+    let req = RegistryRequest::decode(body.slice(req_at..)).expect("decodable request");
+    // Routing-sensitive requests must carry the epoch stamp — a client
+    // that silently downgrades them to CALL_SEQ would dodge the
+    // server's WrongEpoch staleness check.
+    if matches!(
+        req,
+        RegistryRequest::Get { .. } | RegistryRequest::Put { .. } | RegistryRequest::Remove { .. }
+    ) {
+        assert_eq!(body[0], MODE_CALL_EPOCH, "{req:?} must be epoch-stamped");
+    }
     (seq, req)
 }
 
