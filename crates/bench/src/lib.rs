@@ -14,5 +14,58 @@
 //!   (`ablation_locality`), plus microbenchmarks of the cache store, the
 //!   entry codec, and the DES kernel.
 //!
-//! All harnesses live under `benches/`; this library crate intentionally
-//! exports nothing.
+//! All harnesses live under `benches/`; this library crate exports
+//! nothing unless the `count-alloc` feature is on, which adds the
+//! counting-allocator harness used by `tests/alloc_gate.rs` to prove the
+//! wire path is allocation-free in steady state.
+
+#[cfg(feature = "count-alloc")]
+pub mod count_alloc {
+    //! A [`GlobalAlloc`] wrapper around the system allocator that counts
+    //! every allocation (alloc, realloc, alloc_zeroed — frees are not
+    //! interesting to the gate). The counter is process-wide, so the
+    //! gate test runs its phases sequentially inside one `#[test]` and
+    //! measures deltas only after the paths under test are warmed up.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Install with `#[global_allocator]` in the gate test binary.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Total allocations since process start.
+    pub fn allocs() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Run `f` and return (allocations it performed, its result).
+    ///
+    /// Only meaningful when nothing else in the process allocates
+    /// concurrently; the gate test keeps background threads quiescent
+    /// while measuring.
+    pub fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+        let before = allocs();
+        let out = f();
+        (allocs() - before, out)
+    }
+}

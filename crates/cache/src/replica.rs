@@ -63,6 +63,19 @@ impl HaCache {
         out
     }
 
+    /// Batched [`Self::get`] by borrowed key text: the server's zero-copy
+    /// request path reads straight from the wire buffer, so no `Key` is
+    /// interned. Same failover protocol as [`Self::multi_get_keys`].
+    pub fn multi_get(&self, keys: &[&str]) -> Vec<Result<CacheEntry, CacheError>> {
+        let primary = self.primary.read().clone();
+        let out = primary.multi_get(keys);
+        if out.iter().any(|r| r == &Err(CacheError::Unavailable)) {
+            self.promote();
+            return self.primary.read().multi_get(keys);
+        }
+        out
+    }
+
     /// Run a read-side operation against the primary; on primary failure,
     /// promote and retry once. Shared by the `&str` and `Key` variants so
     /// the failover protocol lives in one place.

@@ -71,7 +71,7 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
 pub fn lint_file(rel: &str, source: &str, set: rules::RuleSet, report: &mut LintReport) {
     let all_test = rel.contains("/tests/") || rel.contains("/benches/");
     let lexed = lexer::lex(source, all_test);
-    let findings = rules::check(&lexed.tokens, set);
+    let findings = rules::check(&lexed, set);
 
     // A waiver covers its own line and the line below it (so it can
     // trail the offending statement or sit on the line above).
@@ -285,6 +285,7 @@ mod tests {
             net_unwrap: false,
             net_deadline: false,
             durability: false,
+            hot_alloc: false,
         }
     }
 

@@ -52,9 +52,13 @@ pub struct Lexed {
     pub waivers: Vec<Waiver>,
     /// Waiver-looking comments that failed to parse.
     pub malformed: Vec<MalformedWaiver>,
+    /// Lines of `// geometa-hot` markers: each declares the next `fn`
+    /// allocation-free in steady state (the `hot-alloc` rule's scope).
+    pub hot_markers: Vec<u32>,
 }
 
 const WAIVER_MARK: &str = "geometa-lint:";
+const HOT_MARK: &str = "geometa-hot";
 
 /// Lex `source`. `all_test` marks every token as test code (integration
 /// test files, benches); otherwise only `#[cfg(test)]` module bodies
@@ -90,7 +94,16 @@ pub fn lex(source: &str, all_test: bool) -> Lexed {
                 // *describe* the waiver grammar without being waivers.
                 let is_doc = text.starts_with("///") || text.starts_with("//!");
                 if !is_doc {
-                    parse_waiver_comment(text, line, &mut out);
+                    let body = text.trim_start_matches('/').trim_start();
+                    let is_hot = body.strip_prefix(HOT_MARK).is_some_and(|rest| {
+                        rest.is_empty()
+                            || !rest.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '-')
+                    });
+                    if is_hot {
+                        out.hot_markers.push(line);
+                    } else {
+                        parse_waiver_comment(text, line, &mut out);
+                    }
                 }
                 i = end;
             }
@@ -441,6 +454,16 @@ let y = r#"SystemTime"#; let c = 'x'; let lt: &'static str = "s";"##,
         assert_eq!(l.waivers.len(), 1);
         assert_eq!(l.waivers[0].rules, vec!["wall-clock".to_string()]);
         assert_eq!(l.waivers[0].reason, "progress display only");
+        assert!(l.malformed.is_empty());
+    }
+
+    #[test]
+    fn hot_markers_are_captured() {
+        let l = lex(
+            "// geometa-hot\nfn fast() {}\n// geometa-hot: reason text\nfn also() {}\n/// geometa-hot in docs is prose\nfn not_hot() {}\n// geometa-hotness is a different word\nfn also_not() {}\n",
+            false,
+        );
+        assert_eq!(l.hot_markers, vec![1, 3]);
         assert!(l.malformed.is_empty());
     }
 

@@ -6,7 +6,7 @@
 //! actually relies on (simulation determinism, tracked threads, ordered
 //! wire output, peer-input error handling), not general Rust style.
 
-use crate::lexer::Tok;
+use crate::lexer::{Lexed, Tok};
 
 /// A rule violation at a specific line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +47,13 @@ pub struct RuleSet {
     /// only made it to the page cache is the torn-tail bug the whole
     /// log exists to prevent.
     pub durability: bool,
+    /// `hot-alloc`: no allocating construct (`Vec::new`, `.to_vec()`,
+    /// `format!`, `BytesMut::with_capacity`, `.collect()`, …) inside a
+    /// function marked `// geometa-hot` — the steady-state wire path is
+    /// allocation-free by contract (enforced empirically by the
+    /// `count-alloc` gate in `crates/bench`); justified allocations
+    /// carry a waiver.
+    pub hot_alloc: bool,
 }
 
 /// All rule names, for waiver validation.
@@ -58,6 +65,7 @@ pub const RULE_NAMES: &[&str] = &[
     "net-unwrap",
     "net-deadline",
     "durability",
+    "hot-alloc",
 ];
 
 /// Decide the applicable rules for a repo-relative path (forward
@@ -93,6 +101,13 @@ pub fn rules_for(path: &str) -> Option<RuleSet> {
         set.net_unwrap = true;
         set.net_deadline = true;
     }
+    // The alloc-free contract lives where `// geometa-hot` markers do:
+    // the wire path (net), the codec/serve path (core), and the store
+    // (cache). The rule is inert in files with no markers.
+    let hot = ["core", "net", "cache"];
+    if hot.iter().any(|k| in_src(k)) {
+        set.hot_alloc = true;
+    }
     // WAL modules (any crate, `src/wal*.rs`) carry the fsync contract.
     let file = path.rsplit('/').next().unwrap_or(path);
     if path.contains("/src/") && file.starts_with("wal") {
@@ -101,8 +116,9 @@ pub fn rules_for(path: &str) -> Option<RuleSet> {
     Some(set)
 }
 
-/// Run every applicable rule over one file's token stream.
-pub fn check(tokens: &[Tok], set: RuleSet) -> Vec<Finding> {
+/// Run every applicable rule over one file's lexed view.
+pub fn check(lexed: &Lexed, set: RuleSet) -> Vec<Finding> {
+    let tokens = &lexed.tokens[..];
     let mut findings = Vec::new();
     if set.wall_clock {
         wall_clock(tokens, &mut findings);
@@ -124,6 +140,9 @@ pub fn check(tokens: &[Tok], set: RuleSet) -> Vec<Finding> {
     }
     if set.durability {
         durability(tokens, &mut findings);
+    }
+    if set.hot_alloc {
+        hot_alloc(tokens, &lexed.hot_markers, &mut findings);
     }
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
@@ -305,6 +324,89 @@ fn durability(tokens: &[Tok], out: &mut Vec<Finding>) {
                          acked must imply durable, so sync on the spot or waive with \
                          the policy that guarantees the sync happens before the ack",
                         t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Allocating `Type::method` paths the `hot-alloc` rule rejects.
+const HOT_ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "from"),
+    ("Box", "new"),
+    ("BytesMut", "with_capacity"),
+    ("Bytes", "copy_from_slice"),
+];
+
+/// Allocating `.method()` calls the `hot-alloc` rule rejects.
+const HOT_ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "to_bytes", "collect"];
+
+/// Allocating macros the `hot-alloc` rule rejects.
+const HOT_ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+fn hot_alloc(tokens: &[Tok], markers: &[u32], out: &mut Vec<Finding>) {
+    for &mark in markers {
+        // The marked function: the first `fn` token at or below the
+        // marker line (tokens are in source order, so this is the fn
+        // the comment annotates).
+        let Some(fn_idx) = tokens.iter().position(|t| t.text == "fn" && t.line >= mark) else {
+            continue;
+        };
+        // Its body: the first `{` after the signature, brace-matched.
+        let Some(open) = (fn_idx..tokens.len()).find(|&i| is(&tokens[i], "{")) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut close = tokens.len() - 1;
+        for (i, t) in tokens.iter().enumerate().skip(open) {
+            if is(t, "{") {
+                depth += 1;
+            } else if is(t, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+        }
+        for i in open..=close {
+            let t = &tokens[i];
+            if t.in_test {
+                continue;
+            }
+            let what: Option<String> = if let Some((ty, m)) = HOT_ALLOC_PATHS
+                .iter()
+                .find(|(ty, m)| path2(tokens, i, ty, m))
+            {
+                Some(format!("{ty}::{m}"))
+            } else if HOT_ALLOC_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && is(&tokens[i - 1], ".")
+                && i + 1 < tokens.len()
+                && is(&tokens[i + 1], "(")
+            {
+                Some(format!(".{}()", t.text))
+            } else if HOT_ALLOC_MACROS.contains(&t.text.as_str())
+                && i + 1 < tokens.len()
+                && is(&tokens[i + 1], "!")
+            {
+                Some(format!("{}!", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(Finding {
+                    rule: "hot-alloc",
+                    line: t.line,
+                    message: format!(
+                        "{what} allocates inside a `// geometa-hot` function — the \
+                         steady-state wire path is allocation-free by contract (the \
+                         count-alloc gate measures it); reuse scratch, hoist to \
+                         setup, or waive with the justification"
                     ),
                 });
             }
@@ -497,7 +599,7 @@ mod tests {
     use crate::lexer::lex;
 
     fn run(src: &str, set: RuleSet) -> Vec<Finding> {
-        check(&lex(src, false).tokens, set)
+        check(&lex(src, false), set)
     }
 
     #[test]
@@ -640,12 +742,42 @@ mod tests {
     }
 
     #[test]
+    fn hot_alloc_flags_allocations_only_in_marked_fns() {
+        let set = RuleSet {
+            hot_alloc: true,
+            ..Default::default()
+        };
+        // Marked fn: every allocating form fires.
+        let f = run(
+            "// geometa-hot\nfn fast() {\n  let a: Vec<u8> = Vec::new();\n  let b = x.to_vec();\n  let c = format!(\"{y}\");\n  let d = BytesMut::with_capacity(64);\n  let e: Vec<u32> = it.collect();\n}\n",
+            set,
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(f.len(), 5, "{f:?}");
+        assert!(rules.iter().all(|r| *r == "hot-alloc"));
+        // Unmarked fn: the same body is fine.
+        let f = run(
+            "fn cold() {\n  let a: Vec<u8> = Vec::new();\n  let c = format!(\"{y}\");\n}\n",
+            set,
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // The marker scopes to exactly one fn: the next one.
+        let f = run(
+            "// geometa-hot\nfn fast() { x.push(1); }\nfn later() { let v = Vec::new(); }\n",
+            set,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn rules_for_scopes_by_path() {
         let sim = rules_for("crates/sim/src/scheduler.rs").unwrap();
         assert!(sim.wall_clock && sim.unseeded_rng && sim.unordered_iter);
         assert!(!sim.net_unwrap);
         let net = rules_for("crates/net/src/server.rs").unwrap();
         assert!(net.net_unwrap && net.net_deadline && net.unordered_iter && !net.wall_clock);
+        assert!(net.hot_alloc, "the wire path carries the alloc contract");
+        assert!(!rules_for("crates/sim/src/scheduler.rs").unwrap().hot_alloc);
         // Socket deadlines are a crates/net server contract only.
         assert!(
             !rules_for("crates/core/src/runtime.rs")

@@ -1,0 +1,12 @@
+// Fixture: allocation inside a `// geometa-hot` function. Exactly one
+// violation — the unmarked sibling below allocates freely.
+
+// geometa-hot
+fn dispatch_frame(out: &mut [u8]) {
+    let scratch: Vec<u8> = Vec::new();
+    let _ = (out, scratch);
+}
+
+fn cold_path() -> String {
+    format!("allocating here is fine: {}", 42)
+}

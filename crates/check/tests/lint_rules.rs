@@ -56,6 +56,7 @@ fn each_fixture_trips_exactly_its_rule() {
             "crates/core/src/wal_fixture.rs",
             "durability",
         ),
+        ("hot_alloc.rs", "crates/core/src/fixture.rs", "hot-alloc"),
     ];
     for (file, path, rule) in cases {
         let report = lint_fixture(file, path);

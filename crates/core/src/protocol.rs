@@ -217,7 +217,7 @@ mod tag {
     pub const OP_DRAIN: u8 = 3;
 }
 
-fn put_prefixed(buf: &mut BytesMut, bytes: &[u8]) {
+fn put_prefixed<B: BufMut>(buf: &mut B, bytes: &[u8]) {
     buf.put_u32_le(bytes.len() as u32);
     buf.put_slice(bytes);
 }
@@ -238,7 +238,7 @@ fn get_prefixed(buf: &mut Bytes) -> Result<Bytes, MetaError> {
     Ok(buf.split_to(len))
 }
 
-fn put_key(buf: &mut BytesMut, key: &Key) {
+fn put_key<B: BufMut>(buf: &mut B, key: &Key) {
     put_prefixed(buf, key.as_str().as_bytes());
 }
 
@@ -248,7 +248,7 @@ fn get_key(buf: &mut Bytes) -> Result<Key, MetaError> {
     Ok(Key::new(s))
 }
 
-fn put_entries(buf: &mut BytesMut, entries: &[RegistryEntry]) {
+fn put_entries<B: BufMut>(buf: &mut B, entries: &[RegistryEntry]) {
     buf.put_u32_le(entries.len() as u32);
     for e in entries {
         buf.put_u32_le(e.encoded_len() as u32);
@@ -283,7 +283,7 @@ fn entries_encoded_len(entries: &[RegistryEntry]) -> usize {
     4 + entries.iter().map(|e| 4 + e.encoded_len()).sum::<usize>()
 }
 
-fn put_sites(buf: &mut BytesMut, sites: &[SiteId]) {
+fn put_sites<B: BufMut>(buf: &mut B, sites: &[SiteId]) {
     buf.put_u16_le(sites.len() as u16);
     for s in sites {
         buf.put_u16_le(s.0);
@@ -301,6 +301,43 @@ fn get_sites(buf: &mut Bytes) -> Result<Vec<SiteId>, MetaError> {
     Ok((0..n).map(|_| SiteId(buf.get_u16_le())).collect())
 }
 
+/// Borrowed fast-path view of an encoded [`RegistryRequest::Get`]: when
+/// `wire` is exactly a well-formed `Get`, returns the key as a `&str`
+/// view into `wire` — no interning, no allocation. Anything else
+/// (other tags, truncation, bad UTF-8) returns `None` and the caller
+/// falls back to the total decoder, which produces the proper error.
+// geometa-hot
+pub fn decode_get_key(wire: &[u8]) -> Option<&str> {
+    if wire.len() < 5 || wire[0] != tag::REQ_GET {
+        return None;
+    }
+    let len = u32::from_le_bytes([wire[1], wire[2], wire[3], wire[4]]) as usize;
+    if wire.len() != 5 + len {
+        return None;
+    }
+    std::str::from_utf8(&wire[5..]).ok()
+}
+
+/// Borrowed fast-path decode for the fixed-shape responses (`Ack` and
+/// the payload-free errors) straight from a wire slice — no allocation.
+/// Returns `None` for anything carrying heap data (`Found`, `Delta`,
+/// `Status`, codec errors); the caller falls back to
+/// [`RegistryResponse::decode`] after materializing the frame.
+// geometa-hot
+pub fn decode_fixed_response(wire: &[u8]) -> Option<RegistryResponse> {
+    let error = match *wire {
+        [tag::RESP_ACK] => return Some(RegistryResponse::Ack),
+        [tag::RESP_ERROR, tag::ERR_NOT_FOUND] => MetaError::NotFound,
+        [tag::RESP_ERROR, tag::ERR_UNAVAILABLE] => MetaError::Unavailable,
+        [tag::RESP_ERROR, tag::ERR_CONTENTION] => MetaError::Contention,
+        [tag::RESP_ERROR, tag::ERR_WRONG_EPOCH, a, b, c, d, e, f, g, h] => MetaError::WrongEpoch {
+            epoch: u64::from_le_bytes([a, b, c, d, e, f, g, h]),
+        },
+        _ => return None,
+    };
+    Some(RegistryResponse::Error { error })
+}
+
 fn finish(buf: Bytes) -> Result<(), MetaError> {
     if buf.has_remaining() {
         Err(MetaError::Codec(format!(
@@ -316,23 +353,35 @@ impl RegistryRequest {
     /// Serialize for a byte-stream transport. `encoded_len` is exact.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serialize by appending to an existing buffer — the in-place variant
+    /// of [`RegistryRequest::encode`], byte-identical output. Appends
+    /// exactly [`RegistryRequest::encoded_len`] bytes; with the buffer
+    /// pre-reserved this performs no allocation (the writer owns the
+    /// buffer lifecycle, so steady-state encode is alloc-free).
+    // geometa-hot
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
         match self {
             RegistryRequest::Get { key } => {
                 buf.put_u8(tag::REQ_GET);
-                put_key(&mut buf, key);
+                put_key(buf, key);
             }
             RegistryRequest::Put { entry } => {
                 buf.put_u8(tag::REQ_PUT);
                 buf.put_u32_le(entry.encoded_len() as u32);
+                // geometa-lint: allow(hot-alloc) entry bodies own heap strings; Put is not on the alloc-gated echo path
                 buf.put_slice(&entry.to_bytes());
             }
             RegistryRequest::Absorb { entries } => {
                 buf.put_u8(tag::REQ_ABSORB);
-                put_entries(&mut buf, entries);
+                put_entries(buf, entries);
             }
             RegistryRequest::Remove { key } => {
                 buf.put_u8(tag::REQ_REMOVE);
-                put_key(&mut buf, key);
+                put_key(buf, key);
             }
             RegistryRequest::DeltaPull { since } => {
                 buf.put_u8(tag::REQ_DELTA_PULL);
@@ -349,7 +398,6 @@ impl RegistryRequest {
                 buf.put_u16_le(site.0);
             }
         }
-        buf.freeze()
     }
 
     /// Deserialize one request. Total: errors on garbage, truncation, and
@@ -419,22 +467,34 @@ impl RegistryResponse {
     /// Serialize for a byte-stream transport. `encoded_len` is exact.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serialize by appending to an existing buffer — the in-place variant
+    /// of [`RegistryResponse::encode`], byte-identical output. The server
+    /// reactor uses this to encode responses directly into a connection's
+    /// out-buffer behind the frame header, skipping the intermediate
+    /// `Bytes` and its copy.
+    // geometa-hot
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
         match self {
             RegistryResponse::Found { entry } => {
                 buf.put_u8(tag::RESP_FOUND);
                 buf.put_u32_le(entry.encoded_len() as u32);
+                // geometa-lint: allow(hot-alloc) entry bodies own heap strings; Found is the documented get-hit cost
                 buf.put_slice(&entry.to_bytes());
             }
             RegistryResponse::Ack => buf.put_u8(tag::RESP_ACK),
             RegistryResponse::Delta { entries } => {
                 buf.put_u8(tag::RESP_DELTA);
-                put_entries(&mut buf, entries);
+                put_entries(buf, entries);
             }
             RegistryResponse::Status { status } => {
                 buf.put_u8(tag::RESP_STATUS);
                 buf.put_u16_le(status.site.0);
                 buf.put_u64_le(status.epoch);
-                put_sites(&mut buf, &status.members);
+                put_sites(buf, &status.members);
                 buf.put_u64_le(status.wal_seq);
                 buf.put_u64_le(status.entries);
                 buf.put_u32_le(status.conns);
@@ -453,12 +513,11 @@ impl RegistryResponse {
                     }
                     MetaError::Codec(msg) => {
                         buf.put_u8(tag::ERR_CODEC);
-                        put_prefixed(&mut buf, msg.as_bytes());
+                        put_prefixed(buf, msg.as_bytes());
                     }
                 }
             }
         }
-        buf.freeze()
     }
 
     /// Deserialize one response. Total, like [`RegistryRequest::decode`].
@@ -702,6 +761,67 @@ mod tests {
             assert_eq!(wire.len(), resp.encoded_len(), "{resp:?}");
             assert_eq!(RegistryResponse::decode(wire).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_every_shape() {
+        let mut buf = bytes::BytesMut::new();
+        for req in request_shapes() {
+            buf = bytes::BytesMut::new();
+            req.encode_into(&mut buf);
+            assert_eq!(&buf[..], &req.encode()[..], "{req:?}");
+            let mut vec_buf: Vec<u8> = Vec::new();
+            req.encode_into(&mut vec_buf);
+            assert_eq!(&vec_buf[..], &req.encode()[..], "{req:?} via Vec<u8>");
+        }
+        for resp in response_shapes() {
+            buf = bytes::BytesMut::new();
+            resp.encode_into(&mut buf);
+            assert_eq!(&buf[..], &resp.encode()[..], "{resp:?}");
+        }
+        let _ = buf;
+    }
+
+    #[test]
+    fn borrowed_get_key_fast_path() {
+        let wire = RegistryRequest::Get {
+            key: "dir/file.fits".into(),
+        }
+        .encode();
+        assert_eq!(decode_get_key(&wire), Some("dir/file.fits"));
+        // Everything that is not exactly a well-formed Get falls through.
+        assert_eq!(decode_get_key(&RegistryRequest::Status.encode()), None);
+        assert_eq!(decode_get_key(&wire[..wire.len() - 1]), None);
+        assert_eq!(decode_get_key(b"\x01\xff\xff\xff\xff"), None);
+        assert_eq!(decode_get_key(b"\x01\x02\x00\x00\x00\xff\xfe"), None);
+    }
+
+    #[test]
+    fn borrowed_fixed_response_fast_path() {
+        for resp in response_shapes() {
+            let wire = resp.encode();
+            match decode_fixed_response(&wire) {
+                Some(fast) => assert_eq!(fast, resp, "fast path must agree"),
+                None => assert!(
+                    matches!(
+                        resp,
+                        RegistryResponse::Found { .. }
+                            | RegistryResponse::Delta { .. }
+                            | RegistryResponse::Status { .. }
+                            | RegistryResponse::Error {
+                                error: MetaError::Codec(_)
+                            }
+                    ),
+                    "only heap-carrying responses may fall back: {resp:?}"
+                ),
+            }
+        }
+        // Ack and the simple errors must take the fast path.
+        assert_eq!(
+            decode_fixed_response(&RegistryResponse::Ack.encode()),
+            Some(RegistryResponse::Ack)
+        );
+        assert!(decode_fixed_response(b"").is_none());
     }
 
     #[test]

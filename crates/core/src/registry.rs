@@ -88,6 +88,24 @@ impl RegistryInstance {
             .collect()
     }
 
+    /// Batched [`Self::get`] by borrowed key text — the reactor's
+    /// zero-copy request path parses keys as `&str` views into the wire
+    /// buffer and never interns a [`Key`]. One shard lock per shard
+    /// group, results in request order; each key counts as one get.
+    pub fn multi_get(&self, keys: &[&str]) -> Vec<Result<RegistryEntry, MetaError>> {
+        self.gets.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.cache
+            .multi_get(keys)
+            .into_iter()
+            .map(|r| match r {
+                Ok(e) => RegistryEntry::from_bytes(e.value),
+                Err(CacheError::NotFound) => Err(MetaError::NotFound),
+                Err(CacheError::Unavailable) => Err(MetaError::Unavailable),
+                Err(e) => Err(MetaError::Codec(e.to_string())),
+            })
+            .collect()
+    }
+
     /// Publish an entry: the paper's lookup-then-write sequence, with
     /// optimistic-concurrency retry. Existing entries are merged.
     ///

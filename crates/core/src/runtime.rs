@@ -266,6 +266,33 @@ pub struct ServiceCore {
     me: Weak<ServiceCore>,
 }
 
+/// Caller-owned scratch for [`ServiceCore::serve_batch_into`]: the
+/// batch's hoisted read run and its pending-WAL write run. The server
+/// reactor keeps one per connection — cleared between batches, never
+/// shrunk — so batching itself allocates nothing at steady state.
+#[derive(Default)]
+pub struct BatchScratch {
+    /// Interned keys of every `Get` in the batch, hoisted for one
+    /// grouped read.
+    gets: Vec<geometa_cache::Key>,
+    /// `out` index each hoisted get's response is restored to.
+    get_slots: Vec<usize>,
+    /// Acked writes awaiting the batched WAL append.
+    writes: Vec<RegistryRequest>,
+    /// `out` index of each pending write's ack (demoted to
+    /// `Unavailable` if the batch append fails).
+    write_slots: Vec<usize>,
+}
+
+impl BatchScratch {
+    fn clear(&mut self) {
+        self.gets.clear();
+        self.get_slots.clear();
+        self.writes.clear();
+        self.write_slots.clear();
+    }
+}
+
 /// Versioned member set plus rebalance bookkeeping, guarded by one lock.
 struct MembershipState {
     /// Bumped on every applied join/leave; clients carrying an older
@@ -383,6 +410,13 @@ impl ServiceCore {
         self.epoch.elapsed().as_micros() as u64
     }
 
+    /// Reusable scratch for [`ServiceCore::serve_batch_into`]: the hoisted
+    /// read run and the pending-WAL write run live here between batches,
+    /// cleared but never shrunk, so steady-state batching is alloc-free.
+    pub fn new_batch_scratch(&self) -> BatchScratch {
+        BatchScratch::default()
+    }
+
     /// Whether shutdown has begun (serving loops poll this).
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
@@ -443,62 +477,149 @@ impl ServiceCore {
     }
 
     /// Serve an ordered batch of requests against `site`'s registry,
-    /// responses in request order.
-    ///
-    /// Runs of consecutive `Get`s are grouped into one
-    /// [`RegistryInstance::multi_get_keys`] call (one shard lock per shard
-    /// group instead of one per key) — the server reactor decodes a whole
-    /// readiness pass worth of pipelined frames and hands them here.
-    /// Everything else (writes, delta pulls) goes through [`Self::serve`]
-    /// one at a time, so the WAL append-before-ack contract and snapshot
-    /// triggers are untouched. A write between two gets splits the get run:
-    /// batching never reorders a read past a write it arrived behind.
+    /// responses in request order. Convenience wrapper over
+    /// [`Self::serve_batch_into`] for callers without a reusable scratch.
     pub fn serve_batch(&self, site: SiteId, reqs: Vec<RegistryRequest>) -> Vec<RegistryResponse> {
-        let Some(r) = self.registries.get(&site) else {
-            return reqs
-                .iter()
-                .map(|_| RegistryResponse::Error {
-                    error: MetaError::Unavailable,
-                })
-                .collect();
-        };
+        let mut reqs = reqs;
         let mut out = Vec::with_capacity(reqs.len());
-        let mut gets = Vec::new();
-        for req in reqs {
-            match req {
-                RegistryRequest::Get { key } => gets.push(key),
-                other => {
-                    self.flush_gets(site, r, &mut gets, &mut out);
-                    out.push(self.serve(site, other));
-                }
-            }
-        }
-        self.flush_gets(site, r, &mut gets, &mut out);
+        let mut scratch = BatchScratch::default();
+        self.serve_batch_into(site, &mut reqs, &mut out, &mut scratch);
         out
     }
 
-    /// Drain a pending run of `Get` keys into `out`. A single get goes
-    /// through the ordinary [`Self::serve`] path; two or more use the
-    /// shard-grouped batch read.
-    fn flush_gets(
+    /// Serve a batch, draining `reqs` and appending one response per
+    /// request to `out` (request order). The caller owns every buffer —
+    /// the server reactor keeps `reqs`, `out` and `scratch` per
+    /// connection, so a steady-state batch performs no allocation for
+    /// the batching itself.
+    ///
+    /// *All* of the batch's `Get`s — not just consecutive runs — are
+    /// sort-grouped into one [`RegistryInstance::multi_get_keys`] call
+    /// (one shard-lock acquisition per shard group), with responses
+    /// restored to request order. Hoisting reads past writes is a valid
+    /// linearization because the requests of one batch are concurrent:
+    /// every caller has at most one call in flight, so no two requests
+    /// in a batch are ordered by the same session.
+    ///
+    /// Acked writes are appended to the WAL as **one batch** (one lock,
+    /// one contiguous seq range, one group-commit wait) after serving;
+    /// responses only leave this function after that append returns, so
+    /// the acked ⇒ durable contract is unchanged. If the batch append
+    /// fails, every acked write in the batch is converted to
+    /// `Unavailable` — conservative for records that did reach the log,
+    /// but never the reverse.
+    // geometa-hot
+    pub fn serve_batch_into(
         &self,
         site: SiteId,
-        r: &Arc<RegistryInstance>,
-        gets: &mut Vec<geometa_cache::Key>,
+        reqs: &mut Vec<RegistryRequest>,
         out: &mut Vec<RegistryResponse>,
+        scratch: &mut BatchScratch,
     ) {
-        match gets.len() {
+        let Some(r) = self.registries.get(&site) else {
+            for _ in reqs.drain(..) {
+                out.push(RegistryResponse::Error {
+                    error: MetaError::Unavailable,
+                });
+            }
+            return;
+        };
+        let wal = self.wals.get(&site);
+        let now = self.now_micros();
+        scratch.clear();
+        for req in reqs.drain(..) {
+            match req {
+                RegistryRequest::Get { key } => {
+                    scratch.get_slots.push(out.len());
+                    scratch.gets.push(key);
+                    // Placeholder; overwritten by the grouped read below.
+                    out.push(RegistryResponse::Ack);
+                }
+                RegistryRequest::Status => out.push(self.status_response(site)),
+                RegistryRequest::Reconfigure { op, site: target } => {
+                    out.push(self.start_reconfigure(op, target))
+                }
+                req => {
+                    let logged = wal.filter(|_| req.is_write()).map(|_| req.clone());
+                    let resp = InProcessTransport::serve(r, req, now);
+                    if let (Some(req), RegistryResponse::Ack) = (logged, &resp) {
+                        scratch.write_slots.push(out.len());
+                        scratch.writes.push(req);
+                    }
+                    out.push(resp);
+                }
+            }
+        }
+        match scratch.gets.len() {
             0 => {}
             1 => {
-                let key = gets.pop().expect("len checked");
-                out.push(self.serve(site, RegistryRequest::Get { key }));
-            }
-            _ => {
-                out.extend(r.multi_get_keys(gets).into_iter().map(|res| match res {
+                out[scratch.get_slots[0]] = match r.get_key(&scratch.gets[0]) {
                     Ok(entry) => RegistryResponse::Found { entry },
                     Err(error) => RegistryResponse::Error { error },
-                }));
-                gets.clear();
+                };
+            }
+            _ => {
+                let results = r.multi_get_keys(&scratch.gets);
+                for (&slot, res) in scratch.get_slots.iter().zip(results) {
+                    out[slot] = match res {
+                        Ok(entry) => RegistryResponse::Found { entry },
+                        Err(error) => RegistryResponse::Error { error },
+                    };
+                }
+            }
+        }
+        if let Some(wal) = wal {
+            if !scratch.writes.is_empty() {
+                if let Err(e) = wal.append_batch(&scratch.writes, now) {
+                    eprintln!("geometa: wal append failed at site {}: {e}", site.0);
+                    for &slot in &scratch.write_slots {
+                        out[slot] = RegistryResponse::Error {
+                            error: MetaError::Unavailable,
+                        };
+                    }
+                } else if wal.records_since_snapshot() >= self.snapshot_every {
+                    let registry = Arc::clone(r);
+                    if let Err(e) = wal.install_snapshot(&mut || registry.all_entries()) {
+                        // Snapshot failure is not fatal to the acks (the
+                        // records are durable in the log); it is surfaced
+                        // and retried at the next trigger.
+                        eprintln!("geometa: wal snapshot failed at site {}: {e}", site.0);
+                    }
+                }
+            }
+        }
+        scratch.clear();
+    }
+
+    /// Serve a run of reads addressed by *borrowed* key text — the
+    /// reactor's zero-copy fast path, where keys are `&str` views into
+    /// the connection's read buffer and no [`geometa_cache::Key`] is
+    /// ever interned. Appends one response per key, in order. A single
+    /// key probes the store directly (no allocation on a miss); two or
+    /// more share shard locks through the grouped batch read.
+    // geometa-hot
+    pub fn serve_gets(&self, site: SiteId, keys: &[&str], out: &mut Vec<RegistryResponse>) {
+        let Some(r) = self.registries.get(&site) else {
+            for _ in keys {
+                out.push(RegistryResponse::Error {
+                    error: MetaError::Unavailable,
+                });
+            }
+            return;
+        };
+        match keys.len() {
+            0 => {}
+            1 => out.push(match r.get(keys[0]) {
+                Ok(entry) => RegistryResponse::Found { entry },
+                Err(error) => RegistryResponse::Error { error },
+            }),
+            _ => {
+                for res in r.multi_get(keys) {
+                    out.push(match res {
+                        Ok(entry) => RegistryResponse::Found { entry },
+                        Err(error) => RegistryResponse::Error { error },
+                    });
+                }
             }
         }
     }

@@ -128,6 +128,71 @@ proptest! {
         prop_assert_eq!(RegistryResponse::decode(wire).unwrap(), resp);
     }
 
+    /// The in-place encoder is byte-identical to the allocating one, and
+    /// strictly appends — bytes already in the buffer are untouched. The
+    /// server reactor relies on this to encode responses directly behind
+    /// the frame header it has already written.
+    #[test]
+    fn request_encode_into_matches_encode(
+        req in arb_request(),
+        prefix in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let wire = req.encode();
+        let mut buf = prefix.clone();
+        req.encode_into(&mut buf);
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&buf[prefix.len()..], &wire[..]);
+    }
+
+    /// Same for responses.
+    #[test]
+    fn response_encode_into_matches_encode(
+        resp in arb_response(),
+        prefix in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let wire = resp.encode();
+        let mut buf = prefix.clone();
+        resp.encode_into(&mut buf);
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&buf[prefix.len()..], &wire[..]);
+    }
+
+    /// The borrowed fast-path decoders agree with the full decoder:
+    /// `decode_get_key` answers `Some` exactly for Get requests (with the
+    /// right key), and whenever `decode_fixed_response` answers it equals
+    /// the full decode. Fixed-shape responses must actually take the fast
+    /// path — that is what keeps the echo call allocation-free.
+    #[test]
+    fn fast_path_decoders_agree(req in arb_request(), resp in arb_response()) {
+        use geometa_core::protocol::{decode_fixed_response, decode_get_key};
+
+        let wire = req.encode();
+        match &req {
+            RegistryRequest::Get { key } => {
+                prop_assert_eq!(decode_get_key(&wire), Some(key.as_str()));
+            }
+            _ => prop_assert_eq!(decode_get_key(&wire), None),
+        }
+
+        let wire = resp.encode();
+        if let Some(fast) = decode_fixed_response(&wire) {
+            prop_assert_eq!(fast, resp.clone());
+        }
+        let fixed_shape = matches!(
+            &resp,
+            RegistryResponse::Ack
+                | RegistryResponse::Error {
+                    error: MetaError::NotFound
+                        | MetaError::Unavailable
+                        | MetaError::Contention
+                        | MetaError::WrongEpoch { .. },
+                }
+        );
+        if fixed_shape {
+            prop_assert!(decode_fixed_response(&wire).is_some());
+        }
+    }
+
     /// The decoders never panic on arbitrary garbage — they error.
     #[test]
     fn decoders_total_on_garbage(raw in prop::collection::vec(any::<u8>(), 0..512)) {

@@ -4,15 +4,21 @@
 //!
 //! # Calls: pipelining and exactly-once retries
 //!
-//! Every `call` is a *submission* to the reactor thread: the encoded
-//! request, the target site, and a one-shot reply channel. The reactor
-//! owns one nonblocking connection per target, tags each request with a
-//! per-connection sequence id ([`crate::server::MODE_CALL_SEQ`] frames),
-//! and writes every submission that arrived in one pass back-to-back —
-//! so concurrent callers share a connection, their requests coalesce
-//! into one kernel write, and the server's batch decode turns them into
+//! Every `call` runs on a *slot* from a free-list slab: the caller
+//! encodes the request into the slot's reused submission buffer, pushes
+//! the slot onto the reactor's queue, and sleeps on the slot's condvar.
+//! After warmup the whole round trip — submit, frame, correlate, wake —
+//! performs no heap allocation: slots, buffers and queues all reach a
+//! high-water mark and are recycled. The reactor owns one nonblocking
+//! connection per target, tags each request with a per-connection
+//! sequence id ([`crate::server::MODE_CALL_SEQ`] frames), and writes
+//! every submission that arrived in one pass back-to-back — so
+//! concurrent callers share a connection, their requests coalesce into
+//! one kernel write, and the server's batch decode turns them into
 //! shard-grouped multi-gets. Responses are correlated back to callers by
-//! the echoed sequence id, so they may resolve in any order.
+//! the echoed sequence id, so they may resolve in any order; a slot
+//! generation counter (bumped on every submission and on timeout)
+//! guards recycled slots against late deliveries.
 //!
 //! Retries are governed by one invariant: **a request may be re-sent
 //! only if it provably never reached the server**. The reactor tracks,
@@ -28,13 +34,13 @@
 
 use crate::frame::{write_frame_with_mode, Fill, FrameReader, MAX_FRAME};
 use crate::server::{epoch_checked, MODE_CALL_EPOCH, MODE_CALL_SEQ, MODE_CAST};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use geometa_core::protocol::{RegistryRequest, RegistryResponse};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use geometa_core::protocol::{self, RegistryRequest, RegistryResponse};
 use geometa_core::transport::RegistryTransport;
 use geometa_core::MetaError;
 use geometa_sim::rng::SplitMix64;
 use geometa_sim::topology::SiteId;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use polling::{Event, Poller};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -225,15 +231,68 @@ enum CallOutcome {
     Failed,
 }
 
-/// One unit of work for the reactor thread.
-struct Submission {
+/// Mutable state of one call slot, guarded by the slot's mutex.
+struct SlotState {
+    /// Submission generation: bumped by the caller on every submission
+    /// and again on timeout, so a late delivery against a stale
+    /// generation is dropped instead of resolving a recycled slot.
+    gen: u64,
+    /// The reactor's verdict for the current generation.
+    outcome: Option<CallOutcome>,
+    /// The caller's reused submission buffer: cleared (never shrunk) and
+    /// re-encoded into on every call, so steady-state submission touches
+    /// no allocator.
+    body: Vec<u8>,
     target: SiteId,
-    body: bytes::Bytes,
-    /// Membership epoch to stamp on the frame
-    /// ([`MODE_CALL_EPOCH`]); `None` sends a plain
-    /// [`MODE_CALL_SEQ`] frame (epoch-exempt requests).
+    /// Membership epoch to stamp on the frame ([`MODE_CALL_EPOCH`]);
+    /// `None` sends a plain [`MODE_CALL_SEQ`] frame (epoch-exempt).
     epoch: Option<u64>,
-    reply: Sender<CallOutcome>,
+}
+
+/// One slot of the call slab: a caller parks on `cv` until the reactor
+/// delivers an outcome for its generation.
+struct CallSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl CallSlot {
+    fn new() -> CallSlot {
+        CallSlot {
+            state: Mutex::new(SlotState {
+                gen: 0,
+                outcome: None,
+                body: Vec::new(),
+                target: SiteId(0),
+                epoch: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The call slab: a free list of recycled slots plus the submission
+/// queue the reactor drains. Both are plain `Mutex<Vec>`s — pushing a
+/// recycled slot or a submission is lock-push-unlock with no allocation
+/// once the vectors reach their high-water mark (a channel here would
+/// allocate per send in the vendored shim).
+struct CallSlab {
+    /// Submissions awaiting the reactor, with the generation each was
+    /// made under. Drained wholesale by `mem::swap` into the reactor's
+    /// local vector.
+    queue: Mutex<Vec<(Arc<CallSlot>, u64)>>,
+    /// Recycled slots ready for the next caller.
+    free: Mutex<Vec<Arc<CallSlot>>>,
+}
+
+/// Deliver `outcome` to a slot if its generation still matches, waking
+/// the parked caller.
+fn deliver(slot: &CallSlot, gen: u64, outcome: CallOutcome) {
+    let mut st = slot.state.lock();
+    if st.gen == gen {
+        st.outcome = Some(outcome);
+        slot.cv.notify_one();
+    }
 }
 
 /// A call waiting for its response on some connection.
@@ -242,7 +301,9 @@ struct PendingCall {
     /// Absolute output offset one past this call's frame: the frame is
     /// fully in the kernel iff `end_abs <= flushed_abs`.
     end_abs: u64,
-    reply: Sender<CallOutcome>,
+    slot: Arc<CallSlot>,
+    /// Generation the slot was submitted under (guards late delivery).
+    gen: u64,
 }
 
 /// One reactor-owned pipelined connection.
@@ -281,7 +342,8 @@ impl CConn {
     /// Frame one call onto the output buffer and record it pending.
     /// With an epoch the frame is `[MODE_CALL_EPOCH][seq][epoch][req]`,
     /// without it `[MODE_CALL_SEQ][seq][req]`.
-    fn enqueue_call(&mut self, body: &[u8], epoch: Option<u64>, reply: Sender<CallOutcome>) {
+    // geometa-hot
+    fn enqueue_call(&mut self, body: &[u8], epoch: Option<u64>, slot: Arc<CallSlot>, gen: u64) {
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
         let frame_body = 1 + 4 + if epoch.is_some() { 8 } else { 0 } + body.len();
@@ -301,12 +363,14 @@ impl CConn {
         self.pending.push_back(PendingCall {
             seq,
             end_abs: self.queued_abs,
-            reply,
+            slot,
+            gen,
         });
     }
 
     /// Drain readable bytes and resolve every complete response frame.
     /// Returns false when the connection must be dropped.
+    // geometa-hot
     fn pump_read(&mut self) -> bool {
         let mut alive = true;
         for _ in 0..MAX_FILLS_PER_PASS {
@@ -321,42 +385,20 @@ impl CConn {
         }
         // Resolve responses that made it through even when the stream
         // just died — those callers get real answers, not Unavailable.
+        // Frames are popped as ranges into the read buffer: correlating
+        // a response touches the heap only when the response carries a
+        // payload (`Found`/`Delta`/`Status`) that must outlive the pass.
         loop {
-            match self.reader.next_frame() {
-                Ok(Some(body)) => {
-                    if !self.resolve(body) {
-                        return false;
-                    }
-                }
+            let range = match self.reader.next_frame_range() {
+                Ok(Some(range)) => range,
                 Ok(None) => break,
                 Err(_) => return false,
+            };
+            if !resolve_frame(&self.reader, range, &mut self.pending) {
+                return false;
             }
         }
         alive
-    }
-
-    /// Correlate one response frame (`[u32_le seq][response]`) back to
-    /// its caller. False on a protocol violation.
-    fn resolve(&mut self, body: bytes::Bytes) -> bool {
-        if body.len() < 4 {
-            return false;
-        }
-        let seq = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
-        // A garbled response still *arrived*: per the exactly-once
-        // contract it resolves the call (as a codec error), it does not
-        // trigger a retry.
-        let resp = match RegistryResponse::decode(body.slice(4..)) {
-            Ok(r) => r,
-            Err(error) => RegistryResponse::Error { error },
-        };
-        if let Some(pos) = self.pending.iter().position(|p| p.seq == seq) {
-            if let Some(p) = self.pending.remove(pos) {
-                let _ = p.reply.send(CallOutcome::Response(resp));
-            }
-        }
-        // An unknown seq is a caller that already timed out and dropped
-        // its receiver — nothing to do.
-        true
     }
 
     /// Push pending output to the kernel. `Ok(true)` = fully drained.
@@ -399,9 +441,43 @@ impl CConn {
             } else {
                 CallOutcome::NotSent
             };
-            let _ = p.reply.send(outcome);
+            deliver(&p.slot, p.gen, outcome);
         }
     }
+}
+
+/// Correlate one response frame (`[u32_le seq][response]`) back to its
+/// caller. False on a protocol violation. Fixed-shape responses (`Ack`,
+/// payload-free errors) decode straight from the borrowed frame view;
+/// everything else is copied out of the read buffer first. A garbled
+/// response still *arrived*: per the exactly-once contract it resolves
+/// the call (as a codec error), it does not trigger a retry. An unknown
+/// seq is a caller that already timed out — nothing to do.
+// geometa-hot
+fn resolve_frame(
+    reader: &FrameReader,
+    range: std::ops::Range<usize>,
+    pending: &mut VecDeque<PendingCall>,
+) -> bool {
+    let body = reader.view(range.clone());
+    if body.len() < 4 {
+        return false;
+    }
+    let seq = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    let Some(pos) = pending.iter().position(|p| p.seq == seq) else {
+        return true;
+    };
+    let resp = match protocol::decode_fixed_response(&body[4..]) {
+        Some(resp) => resp,
+        None => match RegistryResponse::decode(reader.materialize(range.start + 4..range.end)) {
+            Ok(resp) => resp,
+            Err(error) => RegistryResponse::Error { error },
+        },
+    };
+    if let Some(p) = pending.remove(pos) {
+        deliver(&p.slot, p.gen, CallOutcome::Response(resp));
+    }
+    true
 }
 
 /// Poller key for the reactor's wake pipe.
@@ -423,31 +499,31 @@ struct CallReactor {
 }
 
 impl CallReactor {
-    fn run(mut self, sub_rx: Receiver<Submission>, wake_rx: UnixStream, closing: Arc<AtomicBool>) {
+    fn run(mut self, slab: Arc<CallSlab>, wake_rx: UnixStream, closing: Arc<AtomicBool>) {
         let mut events: Vec<Event> = Vec::new();
+        // Reactor-local submission scratch, swapped with the slab queue:
+        // draining N submissions is one lock and zero allocation.
+        let mut local: Vec<(Arc<CallSlot>, u64)> = Vec::new();
         while !closing.load(Ordering::Acquire) {
             events.clear();
             // Park gate, SeqCst-paired with the swap in
             // `TcpClientTransport::submit`: either the submitter sees
-            // `parked == true` and writes a wake byte, or its send is
-            // already visible to the `try_recv` below and we skip the
-            // sleep. Both orders are covered; a missed wake is not
-            // possible.
+            // `parked == true` and writes a wake byte, or its push is
+            // already visible to the drain below and we skip the sleep.
+            // Both orders are covered; a missed wake is not possible.
             self.parked.store(true, Ordering::SeqCst);
-            match sub_rx.try_recv() {
-                Ok(sub) => {
-                    // A submission raced our parking (its sender may
-                    // have skipped the wake byte): process it now
-                    // instead of sleeping.
-                    self.parked.store(false, Ordering::SeqCst);
-                    self.submit(sub);
+            std::mem::swap(&mut *slab.queue.lock(), &mut local);
+            if !local.is_empty() {
+                // Submissions raced our parking (their callers may have
+                // skipped the wake byte): process them now, don't sleep.
+                self.parked.store(false, Ordering::SeqCst);
+                for (slot, gen) in local.drain(..) {
+                    self.submit(&slot, gen);
                 }
-                Err(_) => {
-                    if self.poller.wait(&mut events, Some(self.tick)).is_err() {
-                        break;
-                    }
-                    self.parked.store(false, Ordering::SeqCst);
-                }
+            } else if self.poller.wait(&mut events, Some(self.tick)).is_err() {
+                break;
+            } else {
+                self.parked.store(false, Ordering::SeqCst);
             }
             for &ev in &events {
                 if ev.key == WAKE_KEY {
@@ -467,8 +543,9 @@ impl CallReactor {
             // Coalesce: every submission queued right now is framed
             // before the flush pass, so concurrent callers' requests
             // leave in one kernel write per connection.
-            while let Ok(sub) = sub_rx.try_recv() {
-                self.submit(sub);
+            std::mem::swap(&mut *slab.queue.lock(), &mut local);
+            for (slot, gen) in local.drain(..) {
+                self.submit(&slot, gen);
             }
             self.flush_all();
         }
@@ -479,23 +556,35 @@ impl CallReactor {
             let _ = self.poller.delete(&conn.stream);
             conn.fail_pending();
         }
+        // Submissions still queued never touched a socket: resolve them
+        // too (as Failed — the transport is closing, the caller maps it
+        // to Unavailable) instead of leaving callers to ride out their
+        // full timeout.
+        std::mem::swap(&mut *slab.queue.lock(), &mut local);
+        for (slot, gen) in local.drain(..) {
+            deliver(&slot, gen, CallOutcome::Failed);
+        }
     }
 
     /// Route one submission onto its target's connection, dialing if
     /// needed. Dial failures are `NotSent` by definition.
-    fn submit(&mut self, sub: Submission) {
-        let header = 1 + 4 + if sub.epoch.is_some() { 8 } else { 0 };
-        if header + sub.body.len() > MAX_FRAME {
-            let _ = sub.reply.send(CallOutcome::NotSent); // unframeable
+    // geometa-hot
+    fn submit(&mut self, slot: &Arc<CallSlot>, gen: u64) {
+        let st = slot.state.lock();
+        let header = 1 + 4 + if st.epoch.is_some() { 8 } else { 0 };
+        if header + st.body.len() > MAX_FRAME {
+            drop(st);
+            deliver(slot, gen, CallOutcome::NotSent); // unframeable
             return;
         }
-        let key = sub.target.0 as usize;
+        let key = st.target.0 as usize;
         if key >= self.conns.len() {
             self.conns.resize_with(key + 1, || None);
         }
         if self.conns[key].is_none() {
-            let Some(&addr) = self.addrs.get(&sub.target) else {
-                let _ = sub.reply.send(CallOutcome::NotSent); // unknown site
+            let Some(&addr) = self.addrs.get(&st.target) else {
+                drop(st);
+                deliver(slot, gen, CallOutcome::NotSent); // unknown site
                 return;
             };
             let conn = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).and_then(|stream| {
@@ -507,13 +596,14 @@ impl CallReactor {
             match conn {
                 Ok(conn) => self.conns[key] = Some(conn),
                 Err(_) => {
-                    let _ = sub.reply.send(CallOutcome::NotSent);
+                    drop(st);
+                    deliver(slot, gen, CallOutcome::NotSent);
                     return;
                 }
             }
         }
         if let Some(conn) = self.conns[key].as_mut() {
-            conn.enqueue_call(&sub.body, sub.epoch, sub.reply);
+            conn.enqueue_call(&st.body, st.epoch, Arc::clone(slot), gen);
         }
     }
 
@@ -569,7 +659,8 @@ fn drain_wake(wake_rx: &UnixStream) {
 ///   immediately, so a slow or dead target cannot stall the lazy path.
 pub struct TcpClientTransport {
     addrs: HashMap<SiteId, SocketAddr>,
-    sub_tx: Option<Sender<Submission>>,
+    /// The call slab (slots + submission queue) shared with the reactor.
+    slab: Arc<CallSlab>,
     wake_tx: UnixStream,
     reactor: Option<std::thread::JoinHandle<()>>,
     cast_tx: Option<Sender<(SiteId, bytes::Bytes)>>,
@@ -614,7 +705,10 @@ impl TcpClientTransport {
         let (wake_tx, wake_rx) = UnixStream::pair().expect("socketpair"); // geometa-lint: allow(net-unwrap) construction-time, before any peer traffic: a host that cannot allocate a socketpair cannot run the transport at all
         let _ = wake_tx.set_nonblocking(true);
         let _ = wake_rx.set_nonblocking(true);
-        let (sub_tx, sub_rx) = unbounded::<Submission>();
+        let slab = Arc::new(CallSlab {
+            queue: Mutex::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+        });
         let poller = Poller::new().expect("poller"); // geometa-lint: allow(net-unwrap) construction-time, infallible in the poll(2) shim
         poller
             .add(&wake_rx, Event::readable(WAKE_KEY))
@@ -628,10 +722,11 @@ impl TcpClientTransport {
             parked: Arc::clone(&reactor_parked),
         };
         let reactor_closing = Arc::clone(&closing);
+        let reactor_slab = Arc::clone(&slab);
         // geometa-lint: allow(untracked-thread) the reactor's handle is stored in `reactor` and joined in Drop
         let reactor = std::thread::Builder::new()
             .name("tcp-call-reactor".into())
-            .spawn(move || reactor_state.run(sub_rx, wake_rx, reactor_closing))
+            .spawn(move || reactor_state.run(reactor_slab, wake_rx, reactor_closing))
             .expect("spawn call reactor"); // geometa-lint: allow(net-unwrap) construction-time, before any peer traffic: a host that cannot spawn one thread cannot run the transport at all
 
         // -- cast pump ------------------------------------------------------
@@ -648,7 +743,7 @@ impl TcpClientTransport {
 
         TcpClientTransport {
             addrs,
-            sub_tx: Some(sub_tx),
+            slab,
             wake_tx,
             reactor: Some(reactor),
             cast_tx: Some(cast_tx),
@@ -665,13 +760,14 @@ impl TcpClientTransport {
         }
     }
 
-    /// Hand one submission to the reactor, waking it only if it might be
+    /// Hand one slot to the reactor, waking it only if it might be
     /// blocked in `poll` (see `CallReactor::parked` for the pairing).
-    fn submit(&self, sub: Submission) -> Result<(), ()> {
-        let Some(tx) = &self.sub_tx else {
+    // geometa-hot
+    fn submit(&self, slot: &Arc<CallSlot>, gen: u64) -> Result<(), ()> {
+        if self.closing.load(Ordering::Acquire) {
             return Err(());
-        };
-        tx.send(sub).map_err(|_| ())?;
+        }
+        self.slab.queue.lock().push((Arc::clone(slot), gen));
         // swap, not load: concurrent submitters collapse into a single
         // wake byte, and a full wake pipe already guarantees a pending
         // wake-up anyway.
@@ -679,6 +775,83 @@ impl TcpClientTransport {
             let _ = (&self.wake_tx).write(&[1]);
         }
         Ok(())
+    }
+
+    /// Run one call on an acquired slot: encode into the slot's reused
+    /// buffer, submit, park on the slot's condvar, apply the
+    /// exactly-once retry rule. The slot is returned to the free list by
+    /// the caller ([`RegistryTransport::call`]).
+    // geometa-hot
+    fn call_on_slot(
+        &self,
+        slot: &Arc<CallSlot>,
+        target: SiteId,
+        epoch: Option<u64>,
+        req: &RegistryRequest,
+    ) -> RegistryResponse {
+        for attempt in 0..2 {
+            let gen = {
+                let mut st = slot.state.lock();
+                st.gen = st.gen.wrapping_add(1);
+                st.outcome = None;
+                st.target = target;
+                st.epoch = epoch;
+                if attempt == 0 {
+                    st.body.clear();
+                    req.encode_into(&mut st.body);
+                }
+                // A NotSent retry reuses the already-encoded body.
+                st.gen
+            };
+            if self.submit(slot, gen).is_err() {
+                break; // transport closing
+            }
+            let deadline = Instant::now() + self.call_timeout;
+            let outcome = {
+                let mut st = slot.state.lock();
+                while st.outcome.is_none() {
+                    if slot.cv.wait_until(&mut st, deadline).timed_out() {
+                        break;
+                    }
+                }
+                let outcome = st.outcome.take();
+                if outcome.is_none() {
+                    // Timed out: bump the generation under the lock so a
+                    // late delivery against this submission is dropped
+                    // instead of resolving the slot's next occupant.
+                    st.gen = st.gen.wrapping_add(1);
+                }
+                outcome
+            };
+            match outcome {
+                Some(CallOutcome::Response(resp)) => {
+                    // Any correlated response — even a server-sent error
+                    // — proves the transport works: close the breaker.
+                    self.breaker.lock().record_success(target);
+                    // A WrongEpoch rejection names the current epoch:
+                    // adopt it eagerly so the very next call is stamped
+                    // correctly even before the caller re-plans.
+                    if let RegistryResponse::Error {
+                        error: MetaError::WrongEpoch { epoch },
+                    } = resp
+                    {
+                        self.mem_epoch.store(epoch, Ordering::Release);
+                    }
+                    return resp;
+                }
+                // The frame never fully reached the kernel: the one case
+                // where a second send cannot double-apply.
+                Some(CallOutcome::NotSent) if attempt == 0 => continue,
+                // Flushed-but-unanswered, exhausted retries, a timeout,
+                // or reactor death: the server may have applied the
+                // request — report Unavailable, never re-send.
+                Some(CallOutcome::NotSent) | Some(CallOutcome::Failed) | None => break,
+            }
+        }
+        self.breaker.lock().record_failure(target, Instant::now());
+        RegistryResponse::Error {
+            error: MetaError::Unavailable,
+        }
     }
 
     /// Membership epoch this transport currently stamps on calls.
@@ -801,6 +974,7 @@ fn write_cast_group(stream: &mut TcpStream, bodies: &[bytes::Bytes]) -> std::io:
 }
 
 impl RegistryTransport for TcpClientTransport {
+    // geometa-hot
     fn call(&self, target: SiteId, req: RegistryRequest) -> RegistryResponse {
         // Epoch-checked requests carry the cached membership epoch and
         // respect the breaker. Exempt requests (Status, Reconfigure,
@@ -815,49 +989,15 @@ impl RegistryTransport for TcpClientTransport {
             };
         }
         let epoch = checked.then(|| self.mem_epoch.load(Ordering::Acquire));
-        let body = req.encode();
-        for attempt in 0..2 {
-            let (reply_tx, reply_rx) = bounded::<CallOutcome>(1);
-            if self
-                .submit(Submission {
-                    target,
-                    body: body.clone(),
-                    epoch,
-                    reply: reply_tx,
-                })
-                .is_err()
-            {
-                break; // transport closing
-            }
-            match reply_rx.recv_timeout(self.call_timeout) {
-                Ok(CallOutcome::Response(resp)) => {
-                    // Any correlated response — even a server-sent error
-                    // — proves the transport works: close the breaker.
-                    self.breaker.lock().record_success(target);
-                    // A WrongEpoch rejection names the current epoch:
-                    // adopt it eagerly so the very next call is stamped
-                    // correctly even before the caller re-plans.
-                    if let RegistryResponse::Error {
-                        error: MetaError::WrongEpoch { epoch },
-                    } = resp
-                    {
-                        self.mem_epoch.store(epoch, Ordering::Release);
-                    }
-                    return resp;
-                }
-                // The frame never fully reached the kernel: the one case
-                // where a second send cannot double-apply.
-                Ok(CallOutcome::NotSent) if attempt == 0 => continue,
-                // Flushed-but-unanswered, exhausted retries, a timeout,
-                // or reactor death: the server may have applied the
-                // request — report Unavailable, never re-send.
-                Ok(CallOutcome::NotSent) | Ok(CallOutcome::Failed) | Err(_) => break,
-            }
-        }
-        self.breaker.lock().record_failure(target, Instant::now());
-        RegistryResponse::Error {
-            error: MetaError::Unavailable,
-        }
+        // A recycled slot from the free list; the slab grows (one Arc)
+        // only while warming up past its previous high-water mark.
+        let slot = {
+            let recycled = self.slab.free.lock().pop();
+            recycled.unwrap_or_else(|| Arc::new(CallSlot::new()))
+        };
+        let resp = self.call_on_slot(&slot, target, epoch, &req);
+        self.slab.free.lock().push(slot);
+        resp
     }
 
     /// Enqueue on the cast pump; never blocks on the target. When the
@@ -905,11 +1045,12 @@ impl RegistryTransport for TcpClientTransport {
 
 impl Drop for TcpClientTransport {
     fn drop(&mut self) {
-        // Flag first so both workers discard any backlog, then close the
-        // channels and poke the wake pipe so they observe the flag
-        // promptly; joins are bounded by one poll tick / write timeout.
+        // Flag first so both workers discard any backlog (and `submit`
+        // rejects new slots), then poke the wake pipe so they observe
+        // the flag promptly; joins are bounded by one poll tick / write
+        // timeout. The reactor resolves everything pending or queued on
+        // its way out.
         self.closing.store(true, Ordering::Release);
-        drop(self.sub_tx.take());
         let _ = (&self.wake_tx).write(&[1]);
         if let Some(h) = self.reactor.take() {
             let _ = h.join();
@@ -1022,16 +1163,35 @@ mod tests {
         };
         drop(a);
         let mut conn = CConn::new(stream);
-        let (tx1, rx1) = bounded::<CallOutcome>(1);
-        let (tx2, rx2) = bounded::<CallOutcome>(1);
-        conn.enqueue_call(b"first", None, tx1);
+        let slot1 = Arc::new(CallSlot::new());
+        let slot2 = Arc::new(CallSlot::new());
+        conn.enqueue_call(b"first", None, Arc::clone(&slot1), 0);
         let first_end = conn.queued_abs;
-        conn.enqueue_call(b"second", None, tx2);
+        conn.enqueue_call(b"second", None, Arc::clone(&slot2), 0);
         // Pretend the kernel took the first frame plus half the second.
         conn.flushed_abs = first_end + 3;
         conn.fail_pending();
-        assert!(matches!(rx1.try_recv(), Ok(CallOutcome::Failed)));
-        assert!(matches!(rx2.try_recv(), Ok(CallOutcome::NotSent)));
+        assert!(matches!(
+            slot1.state.lock().outcome,
+            Some(CallOutcome::Failed)
+        ));
+        assert!(matches!(
+            slot2.state.lock().outcome,
+            Some(CallOutcome::NotSent)
+        ));
+    }
+
+    #[test]
+    fn stale_generation_deliveries_are_dropped() {
+        let slot = Arc::new(CallSlot::new());
+        slot.state.lock().gen = 7;
+        deliver(&slot, 6, CallOutcome::Failed);
+        assert!(slot.state.lock().outcome.is_none(), "stale gen must drop");
+        deliver(&slot, 7, CallOutcome::Failed);
+        assert!(matches!(
+            slot.state.lock().outcome,
+            Some(CallOutcome::Failed)
+        ));
     }
 
     #[test]
@@ -1041,8 +1201,8 @@ mod tests {
             std::net::TcpStream::connect(l.local_addr().unwrap()).unwrap()
         };
         let mut conn = CConn::new(stream);
-        let (tx, _rx) = bounded::<CallOutcome>(1);
-        conn.enqueue_call(b"req", Some(0xDEAD_BEEF_0042), tx);
+        let slot = Arc::new(CallSlot::new());
+        conn.enqueue_call(b"req", Some(0xDEAD_BEEF_0042), slot, 0);
         // [len u32][mode][seq u32][epoch u64][body]
         let out = &conn.out;
         let len = u32::from_le_bytes([out[0], out[1], out[2], out[3]]) as usize;

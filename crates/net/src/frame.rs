@@ -138,6 +138,50 @@ impl FrameReader {
         Ok(Some(body))
     }
 
+    /// Pop one complete frame as a *range into the internal buffer* — the
+    /// zero-copy variant of [`FrameReader::next_frame`]. The range stays
+    /// valid until the next [`FrameReader::fill`] (the only call that may
+    /// compact); a batch loop pops every buffered range, resolves them
+    /// through [`FrameReader::view`], and only then fills again. Unlike
+    /// `next_frame`, no owned `Bytes` is built, so popping a frame does
+    /// not touch the heap.
+    // geometa-hot
+    pub fn next_frame_range(&mut self) -> std::io::Result<Option<std::ops::Range<usize>>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                // geometa-lint: allow(hot-alloc) error path — an implausible length kills the connection, never steady state
+                format!("frame length {len} exceeds cap {MAX_FRAME}"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let at = self.start + 4;
+        self.start += 4 + len;
+        Ok(Some(at..at + len))
+    }
+
+    /// Resolve a range from [`FrameReader::next_frame_range`] to its bytes.
+    // geometa-hot
+    pub fn view(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+
+    /// Copy a popped range into an owned `Bytes` — for the frames whose
+    /// decoded form must outlive the read buffer (`MetaStr` views into
+    /// the message body escape into the registry).
+    // geometa-hot
+    pub fn materialize(&self, range: std::ops::Range<usize>) -> Bytes {
+        // geometa-lint: allow(hot-alloc) escape hatch for messages whose decoded strings outlive the buffer
+        Bytes::copy_from_slice(&self.buf[range])
+    }
+
     /// Whether any partial bytes are buffered (a pooled connection must be
     /// clean before reuse).
     pub fn is_clean(&self) -> bool {
@@ -254,6 +298,37 @@ mod tests {
             }
             assert_eq!(r.fill(&mut src).unwrap(), Fill::Progress);
         }
+    }
+
+    #[test]
+    fn range_frames_match_owned_frames() {
+        let wire: Vec<u8> = [framed(b"hello"), framed(b""), framed(b"world!")].concat();
+        let mut owned = FrameReader::new();
+        let mut ranged = FrameReader::new();
+        let mut src_a = Script {
+            parts: vec![wire.clone()],
+            at: 0,
+        };
+        let mut src_b = Script {
+            parts: vec![wire],
+            at: 0,
+        };
+        owned.fill(&mut src_a).unwrap();
+        ranged.fill(&mut src_b).unwrap();
+        // Pop every buffered range first — they must all stay valid
+        // (and correct) until the next fill.
+        let mut ranges = Vec::new();
+        while let Some(r) = ranged.next_frame_range().unwrap() {
+            ranges.push(r);
+        }
+        let mut i = 0;
+        while let Some(f) = owned.next_frame().unwrap() {
+            assert_eq!(&f[..], ranged.view(ranges[i].clone()));
+            assert_eq!(&f[..], &ranged.materialize(ranges[i].clone())[..]);
+            i += 1;
+        }
+        assert_eq!(i, ranges.len());
+        assert!(ranged.is_clean());
     }
 
     #[test]

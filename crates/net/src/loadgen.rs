@@ -80,6 +80,14 @@ pub struct LoadOptions {
     /// counter exists to measure is gone. Give each run its own
     /// namespace so its resolves race its own publishes.
     pub key_namespace: String,
+    /// Untimed operations each node stream issues before the measured
+    /// clock starts. Warmup resolves (of keys that cannot exist) dial
+    /// the TCP connections, fault in per-connection scratch buffers, and
+    /// fill the client's call-slot slab — so the first *measured* op
+    /// does not pay a TCP connect. Without this, closed-loop `max_us`
+    /// reports one ~hundred-ms connect instead of a service latency.
+    /// 0 disables the phase.
+    pub warmup_ops: usize,
 }
 
 impl Default for LoadOptions {
@@ -89,6 +97,7 @@ impl Default for LoadOptions {
             resolve_backoff: Duration::from_micros(200),
             mode: LoadMode::Closed,
             key_namespace: String::new(),
+            warmup_ops: 0,
         }
     }
 }
@@ -169,6 +178,27 @@ where
                 .publish(&key(name), *size)
                 .map_err(|e| format!("pre-publish {name}: {e}"))?;
         }
+    }
+
+    // Warmup: untimed resolves of keys that cannot exist, one thread per
+    // node stream, BEFORE the measured clock starts. The misses traverse
+    // the full wire path (dialing every connection the strategy will
+    // probe) without perturbing registry state, so the measured run
+    // starts against warm connections and warm scratch buffers.
+    if opts.warmup_ops > 0 {
+        std::thread::scope(|scope| {
+            for node in stream.nodes.iter() {
+                let make_client = &make_client;
+                let key = &key;
+                scope.spawn(move || {
+                    let client = make_client(node.site, node.node);
+                    for j in 0..opts.warmup_ops {
+                        let name = key(&format!("__warmup__/{}/{}/{j}", node.site.0, node.node));
+                        let _ = client.resolve(&name);
+                    }
+                });
+            }
+        });
     }
 
     // Open loop: each of the N node streams issues every Δ = N/rate
@@ -402,6 +432,48 @@ mod tests {
                 Err(geometa_core::MetaError::NotFound)
             ));
         }
+    }
+
+    /// Warmup ops run before the clock and are invisible to the report:
+    /// same op count, and the absent warmup keys leave no registry state.
+    #[test]
+    fn warmup_ops_are_untimed_and_stateless() {
+        let sites: Vec<SiteId> = (0..2).map(SiteId).collect();
+        let transport = Arc::new(InProcessTransport::new(&sites, 8));
+        let controller = Arc::new(ArchitectureController::with_kind(
+            StrategyKind::DhtLocalReplica,
+            sites.clone(),
+        ));
+        let make_client = |site, node| {
+            StrategyClient::new(
+                Arc::clone(&transport),
+                Arc::clone(&controller),
+                ClientConfig { site, node },
+            )
+        };
+        let spec = SyntheticSpec {
+            nodes: 2,
+            ops_per_node: 10,
+            compute_per_op: geometa_sim::time::SimDuration::ZERO,
+            seed: 5,
+        };
+        let stream = synthetic_streams(&spec, &sites);
+        let report = run_stream(
+            make_client,
+            &stream,
+            &LoadOptions {
+                warmup_ops: 8,
+                ..LoadOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.total_ops, spec.total_ops() as u64);
+
+        let probe = make_client(sites[0], 0);
+        assert!(matches!(
+            probe.resolve("__warmup__/0/0/0"),
+            Err(geometa_core::MetaError::NotFound)
+        ));
     }
 
     #[test]

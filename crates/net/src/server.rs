@@ -1,8 +1,11 @@
 //! The framed-TCP connection layer: one listener per site driven by a
-//! readiness reactor (one thread per site, nonblocking sockets
-//! multiplexed through the vendored `polling` shim), plus a legacy
-//! thread-per-connection accept pool kept as a compatibility path
-//! behind [`TcpConfig::thread_per_conn`].
+//! pool of readiness reactors ([`TcpConfig::reactors`] threads per site,
+//! nonblocking sockets multiplexed through the vendored `polling` shim),
+//! plus a legacy thread-per-connection accept pool kept as a
+//! compatibility path behind [`TcpConfig::thread_per_conn`]. Reactor 0
+//! owns the listener and hands accepted connections off round-robin to
+//! the pool via per-reactor mailboxes; a connection is owned by exactly
+//! one reactor for its lifetime, so connection state is never shared.
 //!
 //! Wire protocol (on top of [`crate::frame`]):
 //!
@@ -27,16 +30,18 @@
 //! wakes the poller immediately.
 
 use crate::client::TcpClientTransport;
-use crate::frame::{write_frame, Fill, FrameReader};
-use geometa_core::protocol::{RegistryRequest, RegistryResponse};
-use geometa_core::runtime::{ConnectionLayer, ServiceCore, Spawner};
+use crate::frame::{write_frame, Fill, FrameReader, MAX_FRAME};
+use geometa_core::protocol::{self, RegistryRequest, RegistryResponse};
+use geometa_core::runtime::{BatchScratch, ConnectionLayer, ServiceCore, Spawner};
 use geometa_core::MetaError;
 use geometa_sim::topology::SiteId;
 use parking_lot::{Condvar, Mutex};
 use polling::{Event, Poller};
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -91,6 +96,10 @@ pub struct TcpConfig {
     /// Compatibility path: serve each connection on its own blocking
     /// thread (the pre-reactor model) instead of the per-site reactor.
     pub thread_per_conn: bool,
+    /// Reactor threads per site. 0 = auto (`min(4, cores)`). Reactor 0
+    /// owns the listener and hands accepted connections off round-robin
+    /// to the pool; a connection lives on one reactor for its lifetime.
+    pub reactors: usize,
 }
 
 impl Default for TcpConfig {
@@ -102,7 +111,22 @@ impl Default for TcpConfig {
             call_timeout: Duration::from_secs(10),
             pool_per_site: crate::client::DEFAULT_POOL_PER_SITE,
             thread_per_conn: false,
+            reactors: 0,
         }
+    }
+}
+
+impl TcpConfig {
+    /// The reactor-pool size this config resolves to (`reactors`, or
+    /// `min(4, cores)` when 0/auto).
+    pub fn resolved_reactors(&self) -> usize {
+        if self.reactors != 0 {
+            return self.reactors;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
     }
 }
 
@@ -198,8 +222,36 @@ impl ConnectionLayer for TcpLayer {
                 });
             } else {
                 let max_conns = self.config.max_conns_per_site;
+                let pool = self.config.resolved_reactors().max(1);
+                // One live-connection counter shared by the whole pool:
+                // the listener pauses against the *site* total, exactly
+                // like the single-reactor gate did.
+                let live = Arc::new(AtomicUsize::new(0));
+                let mut peers: Vec<Arc<ReactorInbox>> = Vec::new();
+                for k in 1..pool {
+                    let Ok((wake_tx, wake_rx)) = UnixStream::pair() else {
+                        break; // fd pressure: serve with fewer reactors
+                    };
+                    if wake_tx.set_nonblocking(true).is_err()
+                        || wake_rx.set_nonblocking(true).is_err()
+                    {
+                        break;
+                    }
+                    let inbox = Arc::new(ReactorInbox {
+                        queue: Mutex::new(Vec::new()),
+                        wake: wake_tx,
+                    });
+                    peers.push(Arc::clone(&inbox));
+                    let core = Arc::clone(&core);
+                    let live = Arc::clone(&live);
+                    spawner.spawn(format!("tcp-reactor-{site}-{k}"), move || {
+                        let role = ReactorRole::Worker { inbox, wake_rx };
+                        reactor_loop(role, &core, site, &live, max_conns, read_timeout)
+                    });
+                }
                 spawner.spawn(format!("tcp-reactor-{site}"), move || {
-                    reactor_loop(&listener, &core, site, max_conns, read_timeout)
+                    let role = ReactorRole::Accepting { listener, peers };
+                    reactor_loop(role, &core, site, &live, max_conns, read_timeout)
                 });
             }
         }
@@ -453,6 +505,34 @@ const MAX_FILLS_PER_PASS: usize = 16;
 /// instead of into server memory.
 const OUT_HIGH_WATER: usize = 4 * 1024 * 1024;
 
+/// Poller key reserved for a worker reactor's hand-off wake pipe.
+const INBOX_WAKE_KEY: usize = usize::MAX - 1;
+
+/// Hand-off mailbox from the accepting reactor to a worker reactor:
+/// freshly accepted streams queue here and a byte on the wake pipe pops
+/// the worker's poll wait.
+struct ReactorInbox {
+    queue: Mutex<Vec<TcpStream>>,
+    /// Write end of the worker's wake pipe (nonblocking: a full pipe
+    /// means wakes are already pending, so a dropped byte is harmless).
+    wake: UnixStream,
+}
+
+/// Which job a reactor thread performs in the per-site pool.
+enum ReactorRole {
+    /// Reactor 0: owns the listener, serves its own share of the
+    /// connections, hands the rest off round-robin.
+    Accepting {
+        listener: TcpListener,
+        peers: Vec<Arc<ReactorInbox>>,
+    },
+    /// Reactors 1..n: serve the connections pushed into their inbox.
+    Worker {
+        inbox: Arc<ReactorInbox>,
+        wake_rx: UnixStream,
+    },
+}
+
 /// What one decoded frame owes the peer.
 enum Reply {
     /// CAST: nothing.
@@ -465,13 +545,18 @@ enum Reply {
 
 /// A decoded frame on its way to a response.
 enum Outcome {
-    /// The next `serve_batch` response answers this frame.
+    /// Answered by the pass's borrowed-key read run, in get order.
+    FromGets(Reply),
+    /// Answered by the pass's `serve_batch_into` call, in batch order.
     FromBatch(Reply),
-    /// Decoding failed; the response is already known.
+    /// The response is already known (decode error, epoch reject).
     Immediate(Reply, RegistryResponse),
 }
 
-/// One reactor-managed connection.
+/// One reactor-managed connection. The scratch vectors at the bottom are
+/// the allocation story of the wire path: cleared and reused every
+/// readiness pass, they reach a high-water mark during warmup and the
+/// steady state never touches the allocator again.
 struct RConn {
     stream: TcpStream,
     reader: FrameReader,
@@ -480,6 +565,18 @@ struct RConn {
     sent: usize,
     /// Peer sent EOF: serve what arrived, drain `out`, then close.
     closing: bool,
+    /// One entry per frame of the current pass, in arrival order.
+    outcomes: Vec<Outcome>,
+    /// Owned (non-get) requests of the pass, drained by `serve_batch_into`.
+    reqs: Vec<RegistryRequest>,
+    /// Responses to `reqs`, appended by `serve_batch_into`.
+    resps: Vec<RegistryResponse>,
+    /// Byte ranges (into `reader`'s buffer) of borrowed get keys.
+    get_keys: Vec<std::ops::Range<usize>>,
+    /// Responses to the borrowed gets, appended by `serve_gets`.
+    get_resps: Vec<RegistryResponse>,
+    /// The core's own per-batch scratch, held per connection.
+    batch: BatchScratch,
 }
 
 impl RConn {
@@ -490,6 +587,12 @@ impl RConn {
             out: Vec::new(),
             sent: 0,
             closing: false,
+            outcomes: Vec::new(),
+            reqs: Vec::new(),
+            resps: Vec::new(),
+            get_keys: Vec::new(),
+            get_resps: Vec::new(),
+            batch: BatchScratch::default(),
         }
     }
 
@@ -516,128 +619,174 @@ impl RConn {
         ok
     }
 
-    /// Decode and serve everything buffered. The whole pass becomes one
-    /// [`ServiceCore::serve_batch`] call, so pipelined reads collapse
-    /// into shard-grouped multi-gets while responses stay in arrival
-    /// order — which is also what keeps CALL (unsequenced) correct: its
-    /// responses come back in the order the requests went out.
+    /// Decode and serve everything buffered, replying into `out` in
+    /// arrival order — which is what keeps CALL (unsequenced) correct:
+    /// its responses come back in the order the requests went out.
+    ///
+    /// The zero-allocation path: frames are popped as *ranges* into the
+    /// reader's buffer, `Get` keys stay borrowed `&str` views resolved
+    /// through [`ServiceCore::serve_gets`], and responses are encoded
+    /// in place behind the frame header by [`append_reply`]. Only
+    /// non-get requests are materialized and decoded into owned form,
+    /// then served as one ordered [`ServiceCore::serve_batch_into`]
+    /// call (whole-batch shard-grouped reads, one WAL append).
+    // geometa-hot
     fn dispatch(&mut self, core: &Arc<ServiceCore>, site: SiteId) -> bool {
-        let mut reqs: Vec<RegistryRequest> = Vec::new();
-        let mut outcomes: Vec<Outcome> = Vec::new();
+        self.outcomes.clear();
+        self.reqs.clear();
+        self.resps.clear();
+        self.get_keys.clear();
+        self.get_resps.clear();
         // One epoch read per pass: every frame in a batch is judged
         // against the same epoch (a flip mid-pass rejects from the next
         // pass on, which is within the flip's happens-before anyway).
         let mut current_epoch: Option<u64> = None;
         loop {
-            let body = match self.reader.next_frame() {
-                Ok(Some(body)) => body,
+            let range = match self.reader.next_frame_range() {
+                Ok(Some(range)) => range,
                 Ok(None) => break,
                 Err(_) => return false, // implausible frame length
             };
+            let body = self.reader.view(range.clone());
             if body.is_empty() {
                 return false;
             }
-            match body[0] {
-                MODE_CALL => match RegistryRequest::decode(body.slice(1..)) {
-                    Ok(req) => {
-                        reqs.push(req);
-                        outcomes.push(Outcome::FromBatch(Reply::Bare));
+            // Header split: reply owed, payload offset, frame epoch.
+            let (reply, off, frame_epoch) = match body[0] {
+                MODE_CALL => (Reply::Bare, 1usize, None),
+                MODE_CAST => (Reply::None, 1, None),
+                MODE_CALL_SEQ => {
+                    if body.len() < 5 {
+                        return false; // truncated seq header
                     }
-                    Err(error) => outcomes.push(Outcome::Immediate(
+                    let seq = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
+                    (Reply::Seq(seq), 5, None)
+                }
+                MODE_CALL_EPOCH => {
+                    if body.len() < 13 {
+                        return false; // truncated header
+                    }
+                    let seq = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
+                    let mut e = [0u8; 8];
+                    e.copy_from_slice(&body[5..13]);
+                    (Reply::Seq(seq), 13, Some(u64::from_le_bytes(e)))
+                }
+                mode => {
+                    self.outcomes.push(Outcome::Immediate(
                         Reply::Bare,
-                        RegistryResponse::Error { error },
-                    )),
-                },
-                MODE_CAST => {
-                    // Valid casts join the batch (they must apply in
-                    // arrival order relative to calls); malformed ones
-                    // are dropped, as in the threaded path.
-                    if let Ok(req) = RegistryRequest::decode(body.slice(1..)) {
-                        reqs.push(req);
-                        outcomes.push(Outcome::FromBatch(Reply::None));
+                        RegistryResponse::Error {
+                            // geometa-lint: allow(hot-alloc) malformed-frame error path, never steady state
+                            error: MetaError::Codec(format!("unknown frame mode {mode}")),
+                        },
+                    ));
+                    continue;
+                }
+            };
+            let payload = &body[off..];
+            // Borrowed-GET fast path: the key never leaves the read
+            // buffer. Gets are always epoch-checked, so a stale frame is
+            // rejected before any decode. Cast gets (legal, pointless)
+            // fall through to the owned batch so their reads still count.
+            if protocol::decode_get_key(payload).is_some() {
+                if let Some(epoch) = frame_epoch {
+                    let current = *current_epoch.get_or_insert_with(|| core.membership_epoch());
+                    if epoch != current {
+                        self.outcomes.push(Outcome::Immediate(
+                            reply,
+                            RegistryResponse::Error {
+                                error: MetaError::WrongEpoch { epoch: current },
+                            },
+                        ));
+                        continue;
                     }
                 }
-                MODE_CALL_SEQ => match split_seq(&body) {
-                    None => return false,
-                    Some((seq, Ok(req))) => {
-                        reqs.push(req);
-                        outcomes.push(Outcome::FromBatch(Reply::Seq(seq)));
-                    }
-                    Some((seq, Err(error))) => outcomes.push(Outcome::Immediate(
-                        Reply::Seq(seq),
-                        RegistryResponse::Error { error },
-                    )),
-                },
-                MODE_CALL_EPOCH => match split_epoch(&body) {
-                    None => return false,
-                    Some((seq, epoch, Ok(req))) => {
+                if !matches!(reply, Reply::None) {
+                    self.get_keys.push(range.start + off + 5..range.end);
+                    self.outcomes.push(Outcome::FromGets(reply));
+                    continue;
+                }
+            }
+            // Owned path: everything that mutates or replicates escapes
+            // the read buffer (its decoded `MetaStr`s outlive the pass).
+            let owned = self.reader.materialize(range.start + off..range.end);
+            match RegistryRequest::decode(owned) {
+                Ok(req) => {
+                    if let Some(epoch) = frame_epoch {
                         let current = *current_epoch.get_or_insert_with(|| core.membership_epoch());
                         if epoch != current && epoch_checked(&req) {
-                            outcomes.push(Outcome::Immediate(
-                                Reply::Seq(seq),
+                            self.outcomes.push(Outcome::Immediate(
+                                reply,
                                 RegistryResponse::Error {
                                     error: MetaError::WrongEpoch { epoch: current },
                                 },
                             ));
-                        } else {
-                            reqs.push(req);
-                            outcomes.push(Outcome::FromBatch(Reply::Seq(seq)));
+                            continue;
                         }
                     }
-                    Some((seq, _, Err(error))) => outcomes.push(Outcome::Immediate(
-                        Reply::Seq(seq),
-                        RegistryResponse::Error { error },
-                    )),
-                },
-                mode => outcomes.push(Outcome::Immediate(
-                    Reply::Bare,
-                    RegistryResponse::Error {
-                        error: MetaError::Codec(format!("unknown frame mode {mode}")),
-                    },
-                )),
+                    self.reqs.push(req);
+                    self.outcomes.push(Outcome::FromBatch(reply));
+                }
+                Err(error) => {
+                    // Malformed casts are dropped, as in the threaded path.
+                    if !matches!(reply, Reply::None) {
+                        self.outcomes
+                            .push(Outcome::Immediate(reply, RegistryResponse::Error { error }));
+                    }
+                }
             }
         }
-        if outcomes.is_empty() {
+        if self.outcomes.is_empty() {
             return true;
         }
-        let mut responses = core.serve_batch(site, reqs).into_iter();
-        for outcome in outcomes {
-            match outcome {
-                Outcome::FromBatch(reply) => match responses.next() {
-                    Some(resp) => self.append_reply(reply, &resp),
-                    // serve_batch answers every request; a shortfall is a
-                    // server-side invariant breach — drop the connection
-                    // rather than answer the wrong caller.
-                    None => return false,
-                },
-                Outcome::Immediate(reply, resp) => self.append_reply(reply, &resp),
+        // Resolve the borrowed reads: a single get probes the store with
+        // no allocation at all; two or more share shard locks through
+        // one grouped read (the collect below is amortized over ≥2).
+        match self.get_keys.len() {
+            0 => {}
+            1 => {
+                let key_bytes = self.reader.view(self.get_keys[0].clone());
+                let key = std::str::from_utf8(key_bytes).unwrap_or("");
+                core.serve_gets(site, &[key], &mut self.get_resps);
+            }
+            _ => {
+                let keys: Vec<&str> = self
+                    .get_keys
+                    .iter()
+                    .map(|r| std::str::from_utf8(self.reader.view(r.clone())).unwrap_or(""))
+                    // geometa-lint: allow(hot-alloc) amortized over >=2 gets per pass; the single-get path above is the strictly allocation-free one
+                    .collect();
+                core.serve_gets(site, &keys, &mut self.get_resps);
             }
         }
-        true
-    }
-
-    /// Queue one response frame on the output buffer.
-    fn append_reply(&mut self, reply: Reply, resp: &RegistryResponse) {
-        let body: Vec<u8> = match &reply {
-            Reply::None => return,
-            Reply::Bare => resp.encode().to_vec(),
-            Reply::Seq(seq) => seq_response_body(*seq, resp),
-        };
-        if write_frame(&mut self.out, &body).is_ok() {
-            return;
+        if !self.reqs.is_empty() {
+            core.serve_batch_into(site, &mut self.reqs, &mut self.resps, &mut self.batch);
         }
-        // Response exceeds the frame cap (a pathological Delta): send an
-        // encoded error instead so the caller fails fast rather than
-        // timing out on a missing response.
-        let err = RegistryResponse::Error {
-            error: MetaError::Codec("response exceeds frame cap".to_string()),
-        };
-        let body = match reply {
-            Reply::None => return,
-            Reply::Bare => err.encode().to_vec(),
-            Reply::Seq(seq) => seq_response_body(seq, &err),
-        };
-        let _ = write_frame(&mut self.out, &body); // Vec sink: cannot fail under the cap
+        // Weave the two response runs back into arrival order.
+        let (mut gi, mut bi) = (0usize, 0usize);
+        for outcome in &self.outcomes {
+            let (reply, resp) = match outcome {
+                Outcome::FromGets(reply) => match self.get_resps.get(gi) {
+                    Some(resp) => {
+                        gi += 1;
+                        (reply, resp)
+                    }
+                    // serve_gets/serve_batch_into answer every request; a
+                    // shortfall is a server-side invariant breach — drop
+                    // the connection rather than answer the wrong caller.
+                    None => return false,
+                },
+                Outcome::FromBatch(reply) => match self.resps.get(bi) {
+                    Some(resp) => {
+                        bi += 1;
+                        (reply, resp)
+                    }
+                    None => return false,
+                },
+                Outcome::Immediate(reply, resp) => (reply, resp),
+            };
+            append_reply(&mut self.out, reply, resp);
+        }
+        true
     }
 
     /// Push pending output to the kernel. `Ok(true)` = fully drained.
@@ -680,37 +829,116 @@ impl RConn {
     }
 }
 
-/// The per-site reactor: one thread drives the listener and every
-/// connection through nonblocking I/O and the poll shim. Poll waits are
-/// bounded by `tick` so the loop observes shutdown even when idle.
+/// Queue one response frame on `out`, encoding the response *in place*
+/// behind its frame header — no intermediate body buffer. The length
+/// prefix is exact up front because [`RegistryResponse::encoded_len`]
+/// is, which the debug assert pins.
+// geometa-hot
+fn append_reply(out: &mut Vec<u8>, reply: &Reply, resp: &RegistryResponse) {
+    let (seq, seq_len) = match reply {
+        Reply::None => return,
+        Reply::Bare => (0u32, 0usize),
+        Reply::Seq(seq) => (*seq, 4usize),
+    };
+    let body_len = seq_len + resp.encoded_len();
+    if body_len > MAX_FRAME {
+        // Response exceeds the frame cap (a pathological Delta): send an
+        // encoded error instead so the caller fails fast rather than
+        // timing out on a missing response.
+        let err = RegistryResponse::Error {
+            // geometa-lint: allow(hot-alloc) pathological oversize-response path, never steady state
+            error: MetaError::Codec("response exceeds frame cap".to_string()),
+        };
+        append_reply(out, reply, &err);
+        return;
+    }
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    if seq_len == 4 {
+        out.extend_from_slice(&seq.to_le_bytes());
+    }
+    let before = out.len();
+    resp.encode_into(out);
+    debug_assert_eq!(out.len() - before, resp.encoded_len());
+}
+
+/// One reactor thread of the per-site pool: drives its share of the
+/// connections (plus, for reactor 0, the listener) through nonblocking
+/// I/O and the poll shim. Poll waits are bounded by `tick` so the loop
+/// observes shutdown even when idle; workers additionally wake on their
+/// inbox pipe when the accepting reactor hands a connection off.
 fn reactor_loop(
-    listener: &TcpListener,
+    role: ReactorRole,
     core: &Arc<ServiceCore>,
     site: SiteId,
+    live: &AtomicUsize,
     max_conns: usize,
     tick: Duration,
 ) {
     let max_conns = max_conns.max(1);
-    if listener.set_nonblocking(true).is_err() {
-        return;
-    }
     let Ok(poller) = Poller::new() else { return };
-    if poller.add(listener, Event::readable(LISTENER_KEY)).is_err() {
-        return;
+    match &role {
+        ReactorRole::Accepting { listener, .. } => {
+            if listener.set_nonblocking(true).is_err() {
+                return;
+            }
+            if poller.add(listener, Event::readable(LISTENER_KEY)).is_err() {
+                return;
+            }
+        }
+        ReactorRole::Worker { wake_rx, .. } => {
+            if poller
+                .add(wake_rx, Event::readable(INBOX_WAKE_KEY))
+                .is_err()
+            {
+                return;
+            }
+        }
     }
     let mut conns: Vec<Option<RConn>> = Vec::new();
-    let mut live = 0usize;
     let mut events: Vec<Event> = Vec::new();
+    let mut next_target = 0usize; // round-robin cursor (accepting reactor)
+    let mut listener_paused = false;
     while !core.is_shutdown() {
         events.clear();
         if poller.wait(&mut events, Some(tick)).is_err() {
             break;
         }
+        // Re-arm a paused listener once the pool has room again. Any
+        // reactor may have freed the slot; reactor 0 notices within one
+        // tick — the same latency class as the threaded gate's wakeup.
+        if listener_paused && live.load(Ordering::SeqCst) < max_conns {
+            if let ReactorRole::Accepting { listener, .. } = &role {
+                if poller
+                    .modify(listener, Event::readable(LISTENER_KEY))
+                    .is_ok()
+                {
+                    listener_paused = false;
+                }
+            }
+        }
         for &ev in &events {
             if ev.key == LISTENER_KEY {
-                accept_ready(
-                    listener, core, site, &poller, &mut conns, &mut live, max_conns,
-                );
+                if let ReactorRole::Accepting { listener, peers } = &role {
+                    accept_ready(
+                        listener,
+                        core,
+                        site,
+                        &poller,
+                        &mut conns,
+                        live,
+                        max_conns,
+                        peers,
+                        &mut next_target,
+                        &mut listener_paused,
+                    );
+                }
+                continue;
+            }
+            if ev.key == INBOX_WAKE_KEY {
+                if let ReactorRole::Worker { inbox, wake_rx } = &role {
+                    drain_wake(wake_rx);
+                    adopt_handoffs(inbox, core, site, &poller, &mut conns, live);
+                }
                 continue;
             }
             let Some(conn) = conns.get_mut(ev.key).and_then(Option::as_mut) else {
@@ -727,12 +955,12 @@ fn reactor_loop(
                 }
             }
             if dead {
-                close_conn(&poller, &mut conns, ev.key, &mut live, max_conns, listener);
+                close_conn(&poller, &mut conns, ev.key, live);
                 core.conn_closed(site);
             } else {
                 let interest = conn.desired_interest(ev.key);
                 if poller.modify(&conn.stream, interest).is_err() {
-                    close_conn(&poller, &mut conns, ev.key, &mut live, max_conns, listener);
+                    close_conn(&poller, &mut conns, ev.key, live);
                     core.conn_closed(site);
                 }
             }
@@ -744,26 +972,43 @@ fn reactor_loop(
     // threaded path at shutdown.
     for conn in conns.into_iter().flatten() {
         drop(conn);
+        live.fetch_sub(1, Ordering::SeqCst);
         core.conn_closed(site);
+    }
+    // Hand-offs that were queued but never adopted were counted at
+    // accept time; close them out so the conn counters stay balanced.
+    if let ReactorRole::Worker { inbox, .. } = &role {
+        for stream in inbox.queue.lock().drain(..) {
+            drop(stream);
+            live.fetch_sub(1, Ordering::SeqCst);
+            core.conn_closed(site);
+        }
     }
 }
 
-/// Accept until the listener would block. At `max_conns` the listener's
-/// read interest is paused (further clients queue in the kernel backlog,
-/// exactly like the threaded path's gate) and re-armed when a
-/// connection closes.
+/// Accept until the listener would block, distributing connections
+/// round-robin over the reactor pool (slot 0 = the accepting reactor
+/// itself). At `max_conns` *site-wide* the listener's read interest is
+/// paused (further clients queue in the kernel backlog, exactly like
+/// the threaded path's gate) and re-armed when a connection closes.
+#[allow(clippy::too_many_arguments)]
 fn accept_ready(
     listener: &TcpListener,
     core: &Arc<ServiceCore>,
     site: SiteId,
     poller: &Poller,
     conns: &mut Vec<Option<RConn>>,
-    live: &mut usize,
+    live: &AtomicUsize,
     max_conns: usize,
+    peers: &[Arc<ReactorInbox>],
+    next_target: &mut usize,
+    listener_paused: &mut bool,
 ) {
     loop {
-        if *live >= max_conns {
-            let _ = poller.modify(listener, Event::none(LISTENER_KEY));
+        if live.load(Ordering::SeqCst) >= max_conns {
+            if poller.modify(listener, Event::none(LISTENER_KEY)).is_ok() {
+                *listener_paused = true;
+            }
             return;
         }
         match listener.accept() {
@@ -775,19 +1020,22 @@ fn accept_ready(
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
-                let key = match conns.iter().position(Option::is_none) {
-                    Some(k) => k,
-                    None => {
-                        conns.push(None);
-                        conns.len() - 1
-                    }
-                };
-                if poller.add(&stream, Event::readable(key)).is_err() {
-                    continue;
-                }
-                conns[key] = Some(RConn::new(stream));
-                *live += 1;
+                live.fetch_add(1, Ordering::SeqCst);
                 core.conn_opened(site);
+                let target = *next_target;
+                *next_target = (*next_target + 1) % (peers.len() + 1);
+                if target == 0 {
+                    if !adopt_conn(poller, conns, stream) {
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        core.conn_closed(site);
+                    }
+                } else {
+                    let inbox = &peers[target - 1];
+                    inbox.queue.lock().push(stream);
+                    // One byte wakes the worker; WouldBlock on a full
+                    // pipe means wakes are already pending.
+                    let _ = (&inbox.wake).write(&[1u8]);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -802,21 +1050,59 @@ fn accept_ready(
     }
 }
 
-/// Deregister and drop one connection, re-arming the listener if the
-/// pool was full.
-fn close_conn(
+/// Register one stream with this reactor's poller. Returns false when
+/// registration failed (dropping the stream closes it).
+fn adopt_conn(poller: &Poller, conns: &mut Vec<Option<RConn>>, stream: TcpStream) -> bool {
+    let key = match conns.iter().position(Option::is_none) {
+        Some(k) => k,
+        None => {
+            conns.push(None);
+            conns.len() - 1
+        }
+    };
+    if poller.add(&stream, Event::readable(key)).is_err() {
+        return false;
+    }
+    conns[key] = Some(RConn::new(stream));
+    true
+}
+
+/// Adopt every connection the accepting reactor queued on this worker's
+/// inbox. Streams arrive already nonblocking + nodelay and counted in
+/// `live`/`conn_opened`.
+fn adopt_handoffs(
+    inbox: &ReactorInbox,
+    core: &Arc<ServiceCore>,
+    site: SiteId,
     poller: &Poller,
-    conns: &mut [Option<RConn>],
-    key: usize,
-    live: &mut usize,
-    max_conns: usize,
-    listener: &TcpListener,
+    conns: &mut Vec<Option<RConn>>,
+    live: &AtomicUsize,
 ) {
+    let mut queue = inbox.queue.lock();
+    for stream in queue.drain(..) {
+        if !adopt_conn(poller, conns, stream) {
+            live.fetch_sub(1, Ordering::SeqCst);
+            core.conn_closed(site);
+        }
+    }
+}
+
+/// Drain the wake pipe so its level-triggered readability clears.
+fn drain_wake(mut wake_rx: &UnixStream) {
+    let mut buf = [0u8; 64];
+    loop {
+        match wake_rx.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Deregister and drop one connection. The accepting reactor re-arms a
+/// paused listener on its next pass once `live` drops below the cap.
+fn close_conn(poller: &Poller, conns: &mut [Option<RConn>], key: usize, live: &AtomicUsize) {
     if let Some(conn) = conns[key].take() {
         let _ = poller.delete(&conn.stream);
-        *live -= 1;
-        if *live == max_conns - 1 {
-            let _ = poller.modify(listener, Event::readable(LISTENER_KEY));
-        }
+        live.fetch_sub(1, Ordering::SeqCst);
     }
 }

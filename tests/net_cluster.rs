@@ -132,17 +132,102 @@ fn tcp_cluster_matches_in_process_run_and_shuts_down_cleanly() {
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    // Clean shutdown: every runtime thread joins (delay line + 4 per-site
-    // reactors, each of which owns all of its connections)…
+    // Clean shutdown: every runtime thread joins (delay line + the
+    // reactor pool of each of the 4 sites, each reactor owning its share
+    // of the connections)…
+    let pool = geometa::net::TcpConfig::default().resolved_reactors();
     drop(transport);
     let joined = runtime.shutdown();
-    assert_eq!(joined, 5, "delay line + one reactor per site");
+    assert_eq!(
+        joined,
+        1 + 4 * pool,
+        "delay line + {pool} reactors per site"
+    );
 
     // …and the ports are actually released.
     for addr in addrs {
         TcpListener::bind(addr)
             .unwrap_or_else(|e| panic!("port {addr} still held after shutdown: {e}"));
     }
+}
+
+/// The reactor pool is a pure serving-capacity knob: the same workload
+/// against a 1-reactor and a multi-reactor cluster must leave byte-equal
+/// registry contents at every site (modulo clock-stamped fields, as
+/// above). Connections land on different reactors round-robin, so this
+/// exercises the hand-off path and cross-reactor batching end to end.
+#[test]
+fn reactor_pool_matches_single_reactor_contents() {
+    let kind = StrategyKind::DhtLocalReplica;
+    let stream = montage_stream();
+    let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+
+    let run_with = |reactors: usize| -> SiteContents {
+        let runtime = ServiceRuntime::start(
+            RuntimeConfig {
+                topology: Topology::azure_4dc(),
+                kind,
+                shards: 8,
+                sync_interval: Duration::from_millis(5),
+                ..RuntimeConfig::default()
+            },
+            geometa::net::TcpLayer::new(geometa::net::TcpConfig {
+                reactors,
+                ..geometa::net::TcpConfig::default()
+            }),
+        );
+        let addrs: Vec<std::net::SocketAddr> = {
+            let map = runtime.layer().addrs();
+            let mut pairs: Vec<_> = map.iter().map(|(s, a)| (*s, *a)).collect();
+            pairs.sort_by_key(|(s, _)| *s);
+            pairs.into_iter().map(|(_, a)| a).collect()
+        };
+        let transport = geometa::net::transport_for(&addrs, Duration::from_secs(10));
+        let controller = Arc::new(ArchitectureController::with_kind(kind, sites.clone()));
+        let report = run_stream(
+            |site, node| {
+                StrategyClient::new(
+                    Arc::clone(&transport),
+                    Arc::clone(&controller),
+                    ClientConfig { site, node },
+                )
+            },
+            &stream,
+            &LoadOptions::default(),
+        )
+        .expect("TCP run completes");
+        assert_eq!(report.total_ops as usize, stream.total_ops());
+
+        // Lazy pushes ride the cast pump: wait for the contents to stop
+        // changing (stable across several consecutive samples).
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut last = contents(|s| runtime.registry(s).unwrap().all_entries());
+        let mut stable = 0;
+        while stable < 5 {
+            assert!(
+                Instant::now() < deadline,
+                "registry contents never quiesced"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+            let now = contents(|s| runtime.registry(s).unwrap().all_entries());
+            if now == last {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+        drop(transport);
+        runtime.shutdown();
+        last
+    };
+
+    let single = run_with(1);
+    let pooled = run_with(3);
+    assert_eq!(
+        single, pooled,
+        "reactor pool must not change registry contents"
+    );
 }
 
 #[test]

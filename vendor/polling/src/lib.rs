@@ -117,9 +117,20 @@ struct Registration {
     interest: Event,
 }
 
+/// Reusable `wait` scratch: the `pollfd` array and key map are built on
+/// every call, so they live on the poller (capacity retained) instead of
+/// being reallocated per wait — reactor loops poll thousands of times a
+/// second and must not produce steady-state heap traffic.
+#[derive(Default)]
+struct WaitScratch {
+    fds: Vec<PollFd>,
+    keys: Vec<usize>,
+}
+
 /// A `poll(2)`-backed readiness multiplexer.
 pub struct Poller {
     regs: Mutex<Vec<Registration>>,
+    scratch: Mutex<WaitScratch>,
 }
 
 impl Poller {
@@ -127,6 +138,7 @@ impl Poller {
     pub fn new() -> io::Result<Poller> {
         Ok(Poller {
             regs: Mutex::new(Vec::new()),
+            scratch: Mutex::new(WaitScratch::default()),
         })
     }
 
@@ -181,8 +193,10 @@ impl Poller {
     /// owner's next read observes the failure — the same mapping
     /// upstream uses for epoll.
     pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
-        let mut fds: Vec<PollFd> = Vec::new();
-        let mut keys: Vec<usize> = Vec::new();
+        let mut scratch = self.scratch.lock().expect("poller scratch poisoned");
+        let WaitScratch { fds, keys } = &mut *scratch;
+        fds.clear();
+        keys.clear();
         {
             let regs = self.regs.lock().expect("poller registry poisoned");
             fds.reserve(regs.len());
@@ -222,7 +236,7 @@ impl Poller {
             return Ok(0);
         }
         let mut added = 0;
-        for (pfd, &key) in fds.iter().zip(&keys) {
+        for (pfd, &key) in fds.iter().zip(keys.iter()) {
             if pfd.revents == 0 {
                 continue;
             }
